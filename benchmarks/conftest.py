@@ -1,0 +1,35 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at full
+fidelity (the paper's GPU sweep and its 110-iterations-drop-10 protocol),
+times the regeneration with pytest-benchmark, prints the rows, and asserts
+the paper's *shape* claims — orderings, crossovers, scaling slopes — not
+absolute numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Time a callable with a single round (experiments are deterministic
+    and expensive; statistical repetition adds nothing)."""
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return _run
+
+
+@pytest.fixture
+def show():
+    """Print an ExperimentResult table so bench logs double as the
+    paper-facing output."""
+    def _show(result, float_format="{:.1f}"):
+        print()
+        print(result.render_table(float_format))
+        return result
+    return _show

@@ -1,0 +1,55 @@
+"""Ablation: DDP bucket size and overlap (DESIGN.md §5).
+
+Bucketing exists to amortize per-collective latency while keeping enough
+buckets for overlap; this ablation sweeps the cap and shows the U-shape
+(tiny buckets pay alpha per layer, one giant bucket forfeits overlap),
+plus the raw value of overlap itself — the mechanisms §2.2 credits for
+optimized syncSGD's speed.
+"""
+
+from repro.hardware import cluster_for_gpus
+from repro.models import get_model
+from repro.simulator import DDPConfig, DDPSimulator
+from repro.units import MIB
+
+
+def bucket_sweep():
+    model = get_model("resnet101")
+    cluster = cluster_for_gpus(32)
+    out = {}
+    for cap_mib in (0.25, 1, 25, 10_000):
+        cfg = DDPConfig(bucket_cap_bytes=cap_mib * MIB,
+                        compute_jitter=0.0, comm_jitter=0.0)
+        out[cap_mib] = DDPSimulator(model, cluster, config=cfg).run(
+            64, iterations=20, warmup=4).mean * 1e3
+    return out
+
+
+def test_ablation_bucket_size(run_once):
+    times = run_once(bucket_sweep)
+    print(f"\nbucket-size sweep (ms): "
+          + ", ".join(f"{k} MiB: {v:.1f}" for k, v in times.items()))
+
+    # Tiny buckets pay per-bucket latency: worse than the default.
+    assert times[0.25] > times[25]
+    # One giant bucket kills overlap: worse than the default.
+    assert times[10_000] > times[25]
+
+
+def test_ablation_overlap_value(benchmark):
+    """Disabling comm/compute overlap costs real time — the core DDP
+    optimization the paper says compression papers ignored."""
+    def run():
+        model = get_model("bert-base")
+        cluster = cluster_for_gpus(32)
+        on = DDPSimulator(model, cluster, config=DDPConfig(
+            compute_jitter=0.0, comm_jitter=0.0)).run(
+            12, iterations=20, warmup=4).mean
+        off = DDPSimulator(model, cluster, config=DDPConfig(
+            overlap_communication=False, compute_jitter=0.0,
+            comm_jitter=0.0)).run(12, iterations=20, warmup=4).mean
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    # BERT is communication-heavy: overlap buys a large chunk.
+    assert off > 1.25 * on

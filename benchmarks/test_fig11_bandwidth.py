@@ -1,0 +1,40 @@
+"""Figure 11: bandwidth what-if — compression helps only on slow nets."""
+
+from repro.experiments import run_fig11
+from repro.core import find_crossover_gbps
+from repro.core.whatif import WhatIfPoint
+
+
+def _points(result, model):
+    return [WhatIfPoint(x=row["bandwidth_gbps"],
+                        syncsgd_s=row["syncsgd_ms"],
+                        compressed_s=row["powersgd_ms"])
+            for row in result.select(model=model)]
+
+
+def test_fig11_bandwidth_whatif(run_once, show):
+    result = run_once(run_fig11)
+    show(result, "{:.3f}")
+
+    for model in ("resnet50", "resnet101", "bert-base"):
+        points = _points(result, model)
+        speedups = [p.speedup for p in sorted(points, key=lambda p: p.x)]
+        # Speedup decreases monotonically with bandwidth.
+        assert speedups == sorted(speedups, reverse=True), model
+        # Compression is a large win at 1 Gbit/s...
+        assert speedups[0] > 0.5, model
+        # ...and no better than marginal at 30 Gbit/s.
+        assert speedups[-1] < 0.10, model
+
+    # ResNet crossovers near the paper's ~9 Gbit/s.
+    for model in ("resnet50", "resnet101"):
+        crossover = find_crossover_gbps(_points(result, model))
+        assert crossover is not None, model
+        assert 6 < crossover < 14, (model, crossover)
+
+    # BERT's crossover sits far above the ResNets' (the paper reports
+    # 15 Gbit/s; ours lands higher — see EXPERIMENTS.md — but the
+    # ordering is preserved).
+    bert_cross = find_crossover_gbps(_points(result, "bert-base"))
+    rn50_cross = find_crossover_gbps(_points(result, "resnet50"))
+    assert bert_cross is None or bert_cross > 1.5 * rn50_cross

@@ -1,0 +1,30 @@
+"""Figure 12: compute what-if — faster GPUs make compression attractive."""
+
+from repro.experiments import run_fig12
+
+
+def test_fig12_compute_whatif(run_once, show):
+    result = run_once(run_fig12)
+    show(result, "{:.2f}")
+
+    for model in ("resnet50", "resnet101", "bert-base"):
+        rows = sorted(result.select(model=model),
+                      key=lambda r: r["compute_factor"])
+        ratios = [r["speedup_ratio"] for r in rows]
+        # Compression's advantage grows monotonically with compute speed.
+        assert ratios == sorted(ratios), model
+        # syncSGD saturates (comm-bound): < 20% gain from 2x -> 4x.
+        sync2 = next(r for r in rows
+                     if r["compute_factor"] == 2.0)["syncsgd_ms"]
+        sync4 = next(r for r in rows
+                     if r["compute_factor"] == 4.0)["syncsgd_ms"]
+        assert sync4 > 0.80 * sync2, model
+        # PowerSGD keeps improving: >= 40% faster at 4x than at 1x.
+        pwr1 = rows[0]["powersgd_ms"]
+        pwr4 = rows[-1]["powersgd_ms"]
+        assert pwr4 < 0.6 * pwr1, model
+
+    # ResNet-50 passes the paper's 1.75x speedup mark within the sweep.
+    rn50 = sorted(result.select(model="resnet50"),
+                  key=lambda r: r["compute_factor"])
+    assert rn50[-1]["speedup_ratio"] > 1.75

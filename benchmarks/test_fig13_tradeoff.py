@@ -1,0 +1,22 @@
+"""Figure 13: cutting encode time beats raising compression ratio."""
+
+from repro.experiments import run_fig13
+
+
+def test_fig13_encode_tradeoff(run_once, show):
+    result = run_once(run_fig13)
+    show(result, "{:.3f}")
+
+    for model in ("resnet50", "resnet101", "bert-base"):
+        rows = result.select(model=model)
+        by_kl = {(r["k"], r["l"]): r["predicted_ms"] for r in rows}
+
+        # The figure's conclusion: at every size penalty l, any encode
+        # cut (k > 1) helps relative to no cut, even though the payload
+        # grows by l*k.
+        for l in (1.0, 2.0, 3.0):
+            for k in (2.0, 3.0, 4.0):
+                assert by_kl[(k, l)] < by_kl[(1.0, l)], (model, k, l)
+
+        # And deeper cuts keep helping at fixed l = 1.
+        assert by_kl[(4.0, 1.0)] < by_kl[(2.0, 1.0)] < by_kl[(1.0, 1.0)]

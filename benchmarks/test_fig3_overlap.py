@@ -1,0 +1,16 @@
+"""Figure 3: compression overlapped with backward loses to sequential."""
+
+from repro.experiments import run_fig3
+
+
+def test_fig3_overlap_vs_sequential(run_once, show):
+    result = run_once(run_fig3, iterations=110, warmup=10)
+    show(result, "{:.3f}")
+
+    assert len(result.rows) == 3
+    for row in result.rows:
+        # The paper's §3.1 finding for every method in the figure,
+        # including signSGD whose encode is nearly free.
+        assert row["overlapped_ms"] > row["sequential_ms"], row["scheme"]
+        # The contention penalty is material, not noise.
+        assert row["overlap_penalty"] > 0.05, row["scheme"]

@@ -1,0 +1,36 @@
+"""Figure 5: Top-K scalability (and its BERT OOM cliff)."""
+
+import math
+
+from repro.experiments import run_fig5
+
+
+def test_fig5_topk_scalability(run_once, show):
+    result = run_once(run_fig5, iterations=110, warmup=10)
+    show(result)
+
+    # --- Top-K never beats syncSGD, at any density, model or scale.
+    for row in result.rows:
+        if row["scheme"] == "syncsgd" or row["oom"]:
+            continue
+        base = result.single(model=row["model"], scheme="syncsgd",
+                             gpus=row["gpus"])["mean_ms"]
+        assert row["mean_ms"] > base, (row["model"], row["scheme"],
+                                       row["gpus"])
+
+    # --- The gap widens with scale (all-gather is linear in p).
+    for fraction in ("topk(1%)", "topk(10%)", "topk(20%)"):
+        small = result.single(model="resnet101", scheme=fraction,
+                              gpus=8)["mean_ms"]
+        large = result.single(model="resnet101", scheme=fraction,
+                              gpus=96)["mean_ms"]
+        assert large > 1.4 * small, fraction
+
+    # --- BERT cannot scale past 32 GPUs (paper's figure note).
+    for gpus in (8, 16, 32):
+        row = result.single(model="bert-base", scheme="topk(1%)",
+                            gpus=gpus)
+        assert not row["oom"] and math.isfinite(row["mean_ms"])
+    for gpus in (64, 96):
+        assert result.single(model="bert-base", scheme="topk(1%)",
+                             gpus=gpus)["oom"]

@@ -1,0 +1,25 @@
+"""Figure 7 / §3.3: batch size erodes PowerSGD's advantage."""
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_batch_size_effect(run_once, show):
+    result = run_once(run_fig7, iterations=110, warmup=10)
+    show(result, "{:.3f}")
+
+    # --- ResNet-101 at 64 GPUs: ~+40% at bs16, ~+20% at bs32,
+    # ~-10% at bs64 (paper's §3.3 numbers; we assert bands).
+    s16 = result.single(model="resnet101", batch_size=16)["speedup"]
+    s32 = result.single(model="resnet101", batch_size=32)["speedup"]
+    s64 = result.single(model="resnet101", batch_size=64)["speedup"]
+    assert 0.25 < s16 < 0.55
+    assert 0.10 < s32 < 0.40
+    assert -0.20 < s64 < 0.05
+    assert s16 > s32 > s64
+
+    # --- BERT at 64 GPUs: +24% at bs10 dropping to +18% at bs12.
+    b10 = result.single(model="bert-base", batch_size=10)["speedup"]
+    b12 = result.single(model="bert-base", batch_size=12)["speedup"]
+    assert b10 > b12
+    assert 0.15 < b12 < 0.35
+    assert 0.20 < b10 < 0.45

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Bottleneck hunting: where does the iteration actually go?
+
+Blocked-time analysis (the methodology of Ousterhout et al. that the
+paper's approach descends from) answers "how much faster would training
+be if resource X were free?" — which is a sharper question than "how
+busy is X?".  This example runs it for three configurations, prints the
+per-phase breakdown, the counterfactual speedups, the perf model's
+sensitivity to each calibrated input, and closes with a time-to-accuracy
+check showing how a statistical-efficiency penalty can erase a
+per-iteration win.
+
+Run:  python examples/bottleneck_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    blocked_time_analysis,
+    model_sensitivities,
+    time_breakdown,
+)
+from repro.compression import PowerSGDScheme, SignSGDScheme, SyncSGDScheme
+from repro.core import PerfModelInputs, time_to_accuracy
+from repro.hardware import cluster_for_gpus
+from repro.models import get_model
+from repro.simulator import DDPConfig, DDPSimulator
+from repro.units import gbps_to_bytes_per_s
+
+CASES = (
+    ("bert-base", None, 12, "BERT + syncSGD (communication-heavy)"),
+    ("bert-base", PowerSGDScheme(4), 12, "BERT + PowerSGD rank-4"),
+    ("resnet101", SignSGDScheme(), 64, "ResNet-101 + signSGD"),
+)
+
+
+def main() -> None:
+    cluster = cluster_for_gpus(64)
+    quiet = DDPConfig(compute_jitter=0.0, comm_jitter=0.0)
+
+    for model_name, scheme, batch, label in CASES:
+        model = get_model(model_name)
+        print("=" * 70)
+        print(label)
+        trace = DDPSimulator(model, cluster, scheme=scheme,
+                             config=quiet).simulate_iteration(
+            batch, np.random.default_rng(0))
+        print(time_breakdown(trace).render())
+        report = blocked_time_analysis(model, cluster, scheme=scheme,
+                                       batch_size=batch)
+        print(report.render())
+        print()
+
+    # Which calibration input deserves the most care?
+    print("=" * 70)
+    print("perf-model sensitivity (BERT at 64 GPUs, 10 Gbit/s):")
+    inputs = PerfModelInputs(
+        world_size=64, bandwidth_bytes_per_s=gbps_to_bytes_per_s(10),
+        batch_size=12)
+    for scheme, label in ((SyncSGDScheme(), "syncSGD"),
+                          (PowerSGDScheme(4), "PowerSGD r4")):
+        sens = model_sensitivities(get_model("bert-base"), scheme, inputs)
+        print(f"\n  {label}: most sensitive to '{sens.most_sensitive()}'")
+        for line in sens.render().splitlines()[1:]:
+            print("  " + line)
+
+    # The accuracy caveat the paper flags as future work.
+    print()
+    print("=" * 70)
+    print("time-to-accuracy: does PowerSGD's BERT win survive a "
+          "statistical penalty?")
+    bert = get_model("bert-base")
+    sync = time_to_accuracy(bert, SyncSGDScheme(), inputs,
+                            statistical_factor=1.0)
+    for factor in (1.0, 1.1, 1.2, 1.3):
+        comp = time_to_accuracy(bert, PowerSGDScheme(4), inputs,
+                                statistical_factor=factor)
+        delta = (sync.total_s(1000) - comp.total_s(1000)) \
+            / sync.total_s(1000)
+        print(f"  statistical factor {factor:.1f}: "
+              f"net time-to-accuracy {delta:+.1%} "
+              f"{'(win gone)' if delta < 0 else ''}")
+
+
+if __name__ == "__main__":
+    main()

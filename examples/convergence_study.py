@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Convergence study: what compression costs in *accuracy terms*.
+
+The paper's timing analysis is deliberately generous to compression — it
+ignores accuracy loss.  This example runs the numeric training substrate:
+four logical workers train the same MLP on a synthetic classification
+task, with gradients flowing through the *real* compressors, error
+feedback and collectives.  It reports, per method, the final loss and
+accuracy, the bytes each worker put on the wire, and the bytes it
+received (where the all-gather methods' linear-in-p cost shows up).
+
+Run:  python examples/convergence_study.py
+"""
+
+from repro.training import gaussian_blobs, train_with_method
+
+METHODS = [
+    # (name, params, learning rate)
+    ("fp32", None, 0.2),
+    ("fp16", None, 0.2),
+    ("powersgd", {"rank": 2}, 0.2),
+    ("topk", {"fraction": 0.05}, 0.2),
+    ("randomk", {"fraction": 0.25}, 0.2),
+    ("qsgd", {"levels": 16}, 0.2),
+    ("terngrad", None, 0.2),
+    ("gradiveq", {"block": 16, "dims": 4}, 0.2),
+    ("onebit", None, 0.05),
+    ("signsgd", None, 0.01),
+]
+
+
+def main() -> None:
+    dataset = gaussian_blobs(num_samples=1024, num_features=16,
+                             num_classes=4, seed=7)
+    workers, steps = 4, 150
+    print(f"data-parallel MLP training: {workers} workers, {steps} steps, "
+          f"{dataset.num_samples} samples, {dataset.num_classes} classes\n")
+    header = (f"{'method':<10} {'final loss':>10} {'accuracy':>9} "
+              f"{'sent/worker':>12} {'recv/worker':>12}")
+    print(header)
+    print("-" * len(header))
+
+    baseline_sent = None
+    for name, params, lr in METHODS:
+        history = train_with_method(
+            dataset, name, params, hidden_dims=(32, 32),
+            num_workers=workers, steps=steps, batch_size=32, lr=lr,
+            seed=11)
+        sent = history.bytes_sent_per_worker
+        recv = history.bytes_received_per_worker
+        if baseline_sent is None:
+            baseline_sent = sent
+        print(f"{name:<10} {history.final_loss:>10.4f} "
+              f"{history.final_accuracy:>8.1%} "
+              f"{sent / 1e6:>10.2f}MB {recv / 1e6:>10.2f}MB"
+              + (f"   ({baseline_sent / sent:>5.1f}x less traffic)"
+                 if sent < baseline_sent else ""))
+
+    print("\nreadings:")
+    print("  * every unbiased or error-feedback method reaches the dense")
+    print("    accuracy — compression semantics are implemented correctly;")
+    print("  * signSGD needs its own learning-rate regime (unit-magnitude")
+    print("    updates), the hidden tuning cost the paper alludes to;")
+    print("  * gather methods (topk/qsgd/terngrad/onebit/signsgd) receive")
+    print("    (p-1)x what they send — the §3.2 scalability cliff, visible")
+    print("    even at 4 workers.")
+
+
+if __name__ == "__main__":
+    main()

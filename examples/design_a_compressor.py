@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Design a compression scheme against the paper's criteria (§5, §7).
+
+The paper ends with a spec for a *useful* gradient compressor: it must be
+all-reduce compatible, need only ~4x compression, and spend well under
+the syncSGD-vs-ideal headroom on encode/decode.  This example builds a
+new method against the public API — "ChunkMean", which averages every
+group of 4 consecutive gradient values (4x ratio, one elementwise pass,
+linear and therefore all-reducible) — and walks it through the full
+evaluation pipeline:
+
+  1. numeric codec + convergence on the training substrate,
+  2. a Scheme for the cost model,
+  3. headroom check against Figure 10,
+  4. predicted speedups vs syncSGD and PowerSGD at the paper's scales.
+
+Run:  python examples/design_a_compressor.py
+"""
+
+import numpy as np
+
+from repro.compression import (
+    MeanAllReduceAggregator,
+    Compressor,
+    Payload,
+    PowerSGDScheme,
+    Scheme,
+    SchemeCost,
+)
+from repro.core import PerfModelInputs, headroom_curve, predict, syncsgd_time
+from repro.models import get_model
+from repro.training import MLP, DistributedTrainer, MLPConfig, gaussian_blobs
+from repro.units import FLOAT32_BYTES, gbps_to_bytes_per_s
+
+
+class ChunkMeanCompressor(Compressor):
+    """Average every ``chunk`` consecutive values; decode by broadcast.
+
+    Linear in the gradient, so payloads sum correctly across workers —
+    all-reduce compatible by construction.
+    """
+
+    name = "chunkmean"
+    all_reducible = True
+    layerwise = True
+
+    def __init__(self, chunk: int = 4):
+        self.chunk = chunk
+
+    def encode(self, grad: np.ndarray) -> Payload:
+        arr = self._require_floating(grad)
+        flat = arr.reshape(-1)
+        pad = (-flat.size) % self.chunk
+        padded = np.pad(flat, (0, pad))
+        means = padded.reshape(-1, self.chunk).mean(axis=1)
+        return Payload(arrays=(means,),
+                       wire_bytes=float(means.size * FLOAT32_BYTES),
+                       shape=arr.shape, meta={"pad": float(pad)})
+
+    def decode(self, payload: Payload) -> np.ndarray:
+        means = payload.arrays[0]
+        flat = np.repeat(means, self.chunk)
+        pad = int(payload.meta["pad"])
+        if pad:
+            flat = flat[:-pad]
+        return flat.reshape(payload.shape)
+
+
+class ChunkMeanScheme(Scheme):
+    """Cost model: ~4x ratio, one message, two elementwise passes."""
+
+    name = "chunkmean"
+    all_reducible = True
+    layerwise = True
+
+    def __init__(self, chunk: int = 4):
+        self.chunk = chunk
+
+    @property
+    def label(self) -> str:
+        return f"chunkmean(x{self.chunk})"
+
+    def cost(self, model, world_size, profile=None) -> SchemeCost:
+        prof = self._profile(profile)
+        return SchemeCost(
+            wire_bytes=np.ceil(model.num_params / self.chunk)
+            * FLOAT32_BYTES,
+            messages=1,
+            encode_decode_s=(prof.tensor_overhead_s
+                            + 2.0 * model.num_params
+                            / prof.elementwise_elems_per_s),
+            all_reducible=True,
+            gather_stack_bytes=0.0,
+        )
+
+
+def main() -> None:
+    # 1 --- does it train? (It is biased, so pair it with the mean
+    # all-reduce path and watch convergence.)
+    dataset = gaussian_blobs(num_samples=512, num_features=16,
+                             num_classes=4, seed=3)
+    model = MLP(MLPConfig(input_dim=16, hidden_dims=(32,), num_classes=4,
+                          seed=3))
+    trainer = DistributedTrainer(model, dataset, num_workers=4, lr=0.2,
+                                 seed=3)
+    trainer.aggregators = {
+        name: MeanAllReduceAggregator(4, ChunkMeanCompressor(4))
+        for name in model.param_names()}
+    history = trainer.train(steps=150, batch_size=32)
+    print(f"1. convergence: loss {history.losses[0]:.3f} -> "
+          f"{history.final_loss:.3f}, accuracy "
+          f"{history.final_accuracy:.1%}")
+
+    # 2 --- the paper's criteria.
+    scheme = ChunkMeanScheme(4)
+    rn50 = get_model("resnet50")
+    cost = scheme.cost(rn50, 96)
+    print(f"2. criteria: ratio {cost.compression_ratio(rn50):.1f}x "
+          f"(paper asks ~4x), all-reducible: {cost.all_reducible}, "
+          f"encode/decode {cost.encode_decode_s * 1e3:.1f} ms")
+
+    # 3 --- headroom check (Figure 10): encode must fit in the gap.
+    headroom = headroom_curve(rn50, [96], gbps_to_bytes_per_s(10),
+                              batch_size=64)[0].headroom_s
+    fits = cost.encode_decode_s < headroom
+    print(f"3. headroom at 96 GPUs / 10 Gbit/s: "
+          f"{headroom * 1e3:.0f} ms available, "
+          f"{cost.encode_decode_s * 1e3:.1f} ms needed -> "
+          f"{'fits' if fits else 'does NOT fit'}")
+
+    # 4 --- predicted end-to-end comparison.
+    inputs = PerfModelInputs(world_size=96,
+                             bandwidth_bytes_per_s=gbps_to_bytes_per_s(10),
+                             batch_size=64)
+    sync = syncsgd_time(rn50, inputs).total
+    mine = predict(rn50, scheme, inputs).total
+    power = predict(rn50, PowerSGDScheme(4), inputs).total
+    print(f"4. ResNet-50 @ 96 GPUs, 10 Gbit/s (model):")
+    print(f"     syncSGD   {sync * 1e3:7.1f} ms")
+    print(f"     chunkmean {mine * 1e3:7.1f} ms ({(sync - mine) / sync:+.1%})")
+    print(f"     PowerSGD  {power * 1e3:7.1f} ms ({(sync - power) / sync:+.1%})")
+    print("\na boring 4x all-reducible method with near-zero encode cost "
+          "competes with 60x PowerSGD — the paper's point, in code.")
+
+
+if __name__ == "__main__":
+    main()

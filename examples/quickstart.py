@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: is gradient compression worth it for your job?
+
+Simulates ResNet-50 data-parallel training on a 32-GPU cluster of AWS
+p3.8xlarge machines (the paper's testbed), compares syncSGD against
+PowerSGD rank-4, shows a Figure-2-style iteration timeline, and checks
+the analytic performance model against the simulated measurement.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.compression import PowerSGDScheme
+from repro.core import calibrate, predict
+from repro.hardware import cluster_for_gpus
+from repro.models import get_model
+from repro.simulator import DDPConfig, DDPSimulator
+
+
+def main() -> None:
+    model = get_model("resnet50")
+    cluster = cluster_for_gpus(32)
+
+    print(model.summary())
+    print(f"\ncluster: {cluster.describe()}")
+
+    # --- simulate both systems with the paper's measurement protocol.
+    baseline = DDPSimulator(model, cluster).run(batch_size=64)
+    powersgd = DDPSimulator(
+        model, cluster, scheme=PowerSGDScheme(rank=4)).run(batch_size=64)
+
+    print(f"\nper-iteration gradient computation + synchronization:")
+    print(f"  syncSGD          {baseline.mean * 1e3:7.1f} ms "
+          f"(± {baseline.std * 1e3:.1f})")
+    print(f"  PowerSGD rank-4  {powersgd.mean * 1e3:7.1f} ms "
+          f"(± {powersgd.std * 1e3:.1f})")
+    speedup = (baseline.mean - powersgd.mean) / baseline.mean
+    verdict = "helps" if speedup > 0.02 else (
+        "hurts" if speedup < -0.02 else "is a wash")
+    print(f"  -> compression {verdict} here ({speedup:+.1%})")
+
+    # --- a Figure-2-style look at one iteration: bucketed all-reduce
+    # overlapping the backward pass.
+    quiet = DDPConfig(compute_jitter=0.0, comm_jitter=0.0)
+    trace = DDPSimulator(model, cluster, config=quiet).simulate_iteration(
+        64, np.random.default_rng(0))
+    print("\none syncSGD iteration (compute vs communication streams):")
+    print(trace.render_ascii())
+    print(f"  comm hidden under backward: "
+          f"{trace.compute_comm_overlap() * 1e3:.0f} ms")
+
+    # --- the paper's §4.3 loop: calibrate, then predict without running.
+    report = calibrate(model, cluster, batch_size=64)
+    print(f"\ncalibration: {report.describe()}")
+    predicted = predict(model, PowerSGDScheme(rank=4), report.inputs)
+    print(f"model predicts PowerSGD at {predicted.total * 1e3:.1f} ms "
+          f"(simulated: {powersgd.mean * 1e3:.1f} ms) — "
+          f"breakdown: compute {predicted.compute * 1e3:.0f} ms, "
+          f"encode/decode {predicted.encode_decode * 1e3:.0f} ms, "
+          f"communication {predicted.comm_exposed * 1e3:.0f} ms")
+
+
+if __name__ == "__main__":
+    main()

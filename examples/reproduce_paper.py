@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Reproduce every table and figure of the paper in one run.
+
+Iterates the experiment registry (Table 1, Table 2, Figures 3-13) and
+prints each regenerated table.  ``--quick`` cuts simulator iterations for
+a fast smoke pass; the default matches the paper's 110-iterations
+protocol (a few minutes total).
+
+Run:  python examples/reproduce_paper.py [--quick] [--save DIR] [ids...]
+e.g.  python examples/reproduce_paper.py --quick fig4 fig11
+      python examples/reproduce_paper.py --save results/
+"""
+
+import os
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+#: Experiments that accept iterations/warmup (the simulator-driven ones).
+SIMULATED = {"fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}
+
+#: ext-tta trains a real (small) model; --quick trims its steps instead.
+TRAINED = {"ext-tta"}
+
+FLOAT_FORMATS = {"fig7": "{:.3f}", "fig8": "{:.3f}", "fig9": "{:.2f}",
+                 "fig11": "{:.3f}", "fig12": "{:.2f}", "fig13": "{:.3f}",
+                 "table2": "{:.2f}"}
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:]]
+    quick = "--quick" in args
+    save_dir = None
+    if "--save" in args:
+        idx = args.index("--save")
+        if idx + 1 >= len(args):
+            raise SystemExit("--save requires a directory argument")
+        save_dir = args[idx + 1]
+        os.makedirs(save_dir, exist_ok=True)
+        args = args[:idx] + args[idx + 2:]
+    ids = [a for a in args if not a.startswith("-")] or list(EXPERIMENTS)
+
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment ids {unknown}; "
+            f"available: {sorted(EXPERIMENTS)}")
+
+    for exp_id in ids:
+        runner = EXPERIMENTS[exp_id]
+        kwargs = {}
+        if quick and exp_id in SIMULATED:
+            kwargs = {"iterations": 15, "warmup": 3}
+        elif quick and exp_id in TRAINED:
+            kwargs = {"steps": 60}
+        start = time.perf_counter()
+        result = runner(**kwargs)
+        elapsed = time.perf_counter() - start
+        print("=" * 78)
+        print(result.render_table(FLOAT_FORMATS.get(exp_id, "{:.1f}")))
+        print(f"  [{elapsed:.1f}s]")
+        if save_dir is not None:
+            path = os.path.join(save_dir, f"{exp_id}.json")
+            result.save(path)
+            print(f"  saved {path}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so the package installs
+editable in offline environments that lack the ``wheel`` package required
+by PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

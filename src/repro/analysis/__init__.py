@@ -1,0 +1,15 @@
+"""Post-hoc analyses: blocked-time bottlenecks, model sensitivity."""
+
+from .bottleneck import (
+    BlockedTimeReport,
+    TimeBreakdown,
+    blocked_time_analysis,
+    time_breakdown,
+)
+from .sensitivity import DEFAULT_EPSILON, Sensitivities, model_sensitivities
+
+__all__ = [
+    "TimeBreakdown", "time_breakdown",
+    "BlockedTimeReport", "blocked_time_analysis",
+    "Sensitivities", "model_sensitivities", "DEFAULT_EPSILON",
+]

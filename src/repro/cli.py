@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands mirror the library's main workflows:
+
+* ``experiment`` — regenerate a paper exhibit (table1..fig13, or
+  ``all``);
+* ``recommend`` — §7 advisor: which scheme (if any) for a model on a
+  cluster;
+* ``whatif`` — bandwidth / compute sweeps for one scheme;
+* ``simulate`` — one simulated configuration with a timeline trace.
+
+Everything prints plain text; use ``--markdown`` on ``experiment`` for
+paste-ready tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .compression import make_scheme
+from .core import (
+    PerfModelInputs,
+    bandwidth_sweep,
+    compute_sweep,
+    find_crossover_gbps,
+    recommend,
+)
+from .errors import ReproError
+from .experiments import EXPERIMENTS
+from .hardware import cluster_for_gpus
+from .models import available_models, get_model
+from .reporting import to_markdown
+from .simulator import DDPConfig, DDPSimulator
+from .units import gbps_to_bytes_per_s
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="resnet50",
+                        choices=available_models())
+    parser.add_argument("--batch", type=int, default=None,
+                        help="per-GPU batch size (default: model's)")
+    parser.add_argument("--gpus", type=int, default=32,
+                        help="total GPUs (multiple of 4)")
+
+
+def _parse_scheme(spec: str):
+    """Parse 'name' or 'name:key=value,key=value' into a Scheme."""
+    name, _, params_text = spec.partition(":")
+    params = {}
+    if params_text:
+        for item in params_text.split(","):
+            key, _, value = item.partition("=")
+            if not key or not value:
+                raise ReproError(f"bad scheme parameter {item!r}")
+            try:
+                params[key] = int(value)
+            except ValueError:
+                params[key] = float(value)
+    return make_scheme(name, **params)
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
+    for exp_id in ids:
+        result = EXPERIMENTS[exp_id]()
+        if args.markdown:
+            print(to_markdown(result, "{:.2f}"))
+        else:
+            print(result.render_table("{:.2f}"))
+        print()
+    return 0
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    cluster = cluster_for_gpus(args.gpus)
+    if args.bandwidth is not None:
+        cluster = cluster.with_instance(
+            cluster.instance.with_network_gbps(args.bandwidth))
+    rec = recommend(model, cluster, batch_size=args.batch)
+    print(rec.render())
+    return 0
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    scheme = _parse_scheme(args.scheme)
+    inputs = PerfModelInputs(
+        world_size=args.gpus,
+        bandwidth_bytes_per_s=gbps_to_bytes_per_s(args.bandwidth or 10.0),
+        batch_size=args.batch)
+    print(f"{model.name} x {scheme.label} at {args.gpus} GPUs\n")
+    bws = [1, 2, 3, 5, 7, 9, 11, 13, 15, 20, 25, 30]
+    points = bandwidth_sweep(model, scheme, bws, inputs)
+    print("bandwidth sweep (Gbit/s -> speedup):")
+    for p in points:
+        print(f"  {p.x:5.1f}  sync {p.syncsgd_s * 1e3:7.1f} ms | "
+              f"{scheme.name} {p.compressed_s * 1e3:7.1f} ms | "
+              f"{p.speedup:+.1%}")
+    crossover = find_crossover_gbps(points)
+    print(f"  crossover: "
+          + (f"{crossover:.1f} Gbit/s" if crossover else "none in sweep"))
+    print("\ncompute sweep at "
+          f"{args.bandwidth or 10.0:g} Gbit/s (x V100 speed -> speedup):")
+    for p in compute_sweep(model, scheme, [1, 2, 3, 4], inputs):
+        print(f"  {p.x:4.1f}x  sync {p.syncsgd_s * 1e3:7.1f} ms | "
+              f"{scheme.name} {p.compressed_s * 1e3:7.1f} ms | "
+              f"{p.speedup:+.1%}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    model = get_model(args.model)
+    cluster = cluster_for_gpus(args.gpus)
+    scheme = _parse_scheme(args.scheme) if args.scheme else None
+    sim = DDPSimulator(model, cluster, scheme=scheme)
+    result = sim.run(args.batch, iterations=args.iterations, warmup=10)
+    label = scheme.label if scheme else "syncsgd"
+    print(f"{model.name} x {label} on {cluster.describe()}, "
+          f"batch {result.batch_size}:")
+    print(f"  sync time {result.mean * 1e3:.1f} ms "
+          f"(± {result.std * 1e3:.1f}) over "
+          f"{len(result.sync_times)} iterations")
+    quiet = DDPConfig(compute_jitter=0.0, comm_jitter=0.0)
+    trace = DDPSimulator(model, cluster, scheme=scheme,
+                         config=quiet).simulate_iteration(
+        args.batch, np.random.default_rng(0))
+    print(trace.render_ascii())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Gradient-compression utility study "
+                     "(MLSys 2022 reproduction)"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment",
+                           help="regenerate a paper table/figure")
+    p_exp.add_argument("id", choices=[*EXPERIMENTS, "all"])
+    p_exp.add_argument("--markdown", action="store_true")
+    p_exp.set_defaults(fn=cmd_experiment)
+
+    p_rec = sub.add_parser("recommend",
+                           help="pick a scheme for a model + cluster")
+    _add_model_args(p_rec)
+    p_rec.add_argument("--bandwidth", type=float, default=None,
+                       help="NIC Gbit/s (default: p3.8xlarge's 10)")
+    p_rec.set_defaults(fn=cmd_recommend)
+
+    p_what = sub.add_parser("whatif", help="bandwidth/compute sweeps")
+    _add_model_args(p_what)
+    p_what.add_argument("--scheme", default="powersgd:rank=4",
+                        help="e.g. powersgd:rank=4, topk:fraction=0.01")
+    p_what.add_argument("--bandwidth", type=float, default=None)
+    p_what.set_defaults(fn=cmd_whatif)
+
+    p_sim = sub.add_parser("simulate", help="simulate one configuration")
+    _add_model_args(p_sim)
+    p_sim.add_argument("--scheme", default=None)
+    p_sim.add_argument("--iterations", type=int, default=60)
+    p_sim.set_defaults(fn=cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

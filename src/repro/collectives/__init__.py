@@ -1,0 +1,34 @@
+"""Communication collectives: analytic cost models + numeric algorithms."""
+
+from .cost import (
+    TREE_BLOCK_BYTES,
+    allgather_time,
+    broadcast_time,
+    double_tree_allreduce_time,
+    parameter_server_time,
+    pick_allreduce_time,
+    reduce_scatter_time,
+    ring_allreduce_time,
+)
+from .hierarchical import (
+    hierarchical_allreduce,
+    hierarchical_allreduce_time,
+)
+from .numeric import (
+    allgather,
+    broadcast,
+    is_allreduce_safe,
+    parameter_server_reduce,
+    reduce_scatter,
+    ring_allreduce,
+    tree_allreduce,
+)
+
+__all__ = [
+    "ring_allreduce_time", "double_tree_allreduce_time", "allgather_time",
+    "reduce_scatter_time", "broadcast_time", "parameter_server_time",
+    "pick_allreduce_time", "TREE_BLOCK_BYTES",
+    "ring_allreduce", "tree_allreduce", "allgather", "reduce_scatter",
+    "broadcast", "parameter_server_reduce", "is_allreduce_safe",
+    "hierarchical_allreduce", "hierarchical_allreduce_time",
+]

@@ -1,0 +1,80 @@
+"""Gradient compression: codecs, distributed aggregators, cost schemes."""
+
+from .base import AggregationResult, Aggregator, Compressor, Payload
+from .error_feedback import ErrorFeedback
+from .hybrid import HybridPowerSGDScheme
+from .identity import FP16Compressor, FP32Compressor
+from .kernel_cost import (
+    TABLE2_POWERSGD_MS,
+    TABLE2_SIGNSGD_MS,
+    TABLE2_TOPK_MS,
+    TABLE2_WORLD_SIZE,
+    KernelProfile,
+    calibrate_v100_profile,
+    v100_kernel_profile,
+)
+from .lowrank import (
+    ATOMOCompressor,
+    GatherDecodeAggregator,
+    GradiVeqCompressor,
+    PowerSGDAggregator,
+    PowerSGDCompressor,
+    orthonormalize,
+)
+from .natural import EFSignCompressor, NaturalCompressor
+from .quantization import OneBitCompressor, QSGDCompressor, TernGradCompressor
+from .registry import (
+    available_methods,
+    make_aggregator,
+    make_compressor,
+    make_scheme,
+)
+from .schemes import (
+    ATOMOScheme,
+    DGCScheme,
+    EFSignScheme,
+    FP16Scheme,
+    GradiVeqScheme,
+    NaturalScheme,
+    OneBitScheme,
+    PowerSGDScheme,
+    QSGDScheme,
+    RandomKScheme,
+    Scheme,
+    SchemeCost,
+    SignSGDScheme,
+    SyncSGDScheme,
+    TernGradScheme,
+    TopKScheme,
+    table1_schemes,
+)
+from .signsgd import MajorityVoteAggregator, SignSGDCompressor, majority_vote
+from .sparsification import (
+    DGCCompressor,
+    MeanAllReduceAggregator,
+    RandomKCompressor,
+    SparseGatherAggregator,
+    TopKCompressor,
+)
+
+__all__ = [
+    "Compressor", "Payload", "Aggregator", "AggregationResult",
+    "ErrorFeedback",
+    "FP32Compressor", "FP16Compressor",
+    "SignSGDCompressor", "MajorityVoteAggregator", "majority_vote",
+    "TopKCompressor", "RandomKCompressor", "DGCCompressor",
+    "SparseGatherAggregator", "MeanAllReduceAggregator",
+    "QSGDCompressor", "TernGradCompressor", "OneBitCompressor",
+    "PowerSGDCompressor", "PowerSGDAggregator", "ATOMOCompressor",
+    "GradiVeqCompressor", "GatherDecodeAggregator", "orthonormalize",
+    "KernelProfile", "calibrate_v100_profile", "v100_kernel_profile",
+    "TABLE2_POWERSGD_MS", "TABLE2_TOPK_MS", "TABLE2_SIGNSGD_MS",
+    "TABLE2_WORLD_SIZE",
+    "Scheme", "SchemeCost", "SyncSGDScheme", "FP16Scheme", "PowerSGDScheme",
+    "TopKScheme", "SignSGDScheme", "QSGDScheme", "TernGradScheme",
+    "OneBitScheme", "ATOMOScheme", "RandomKScheme", "DGCScheme",
+    "GradiVeqScheme", "NaturalScheme", "EFSignScheme", "table1_schemes",
+    "HybridPowerSGDScheme",
+    "NaturalCompressor", "EFSignCompressor",
+    "make_compressor", "make_scheme", "make_aggregator", "available_methods",
+]

@@ -1,0 +1,73 @@
+"""Error feedback (EF) memory [35, 56].
+
+Biased compressors (Top-K, signSGD variants, PowerSGD) drop part of the
+gradient every step.  Error feedback accumulates what was dropped and adds
+it back before the next compression, which restores convergence for a
+large class of biased methods.  The paper notes EF as one of the costs of
+compression ("loss that can only be mitigated with more iterations or
+additional computation"); our training substrate uses it so the
+convergence tests exercise the same algorithm the compression papers
+propose.
+
+One :class:`ErrorFeedback` instance holds the residual memories of *all*
+workers for one tensor slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import CompressionError
+
+
+class ErrorFeedback:
+    """Per-worker residual memory for one tensor position.
+
+    Usage per round, for each worker ``rank``::
+
+        corrected = ef.corrected(rank, grad)   # grad + carried residual
+        ...compress corrected, build decoded approximation...
+        ef.store(rank, corrected - approximation)
+    """
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise CompressionError(
+                f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+        self._memory: Dict[int, np.ndarray] = {}
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_workers:
+            raise CompressionError(
+                f"rank {rank} out of range for {self.num_workers} workers")
+
+    def corrected(self, rank: int, grad: np.ndarray) -> np.ndarray:
+        """Gradient plus the residual carried from previous rounds."""
+        self._check_rank(rank)
+        arr = np.asarray(grad, dtype=np.float64)
+        mem = self._memory.get(rank)
+        if mem is None:
+            return arr.copy()
+        if mem.shape != arr.shape:
+            raise CompressionError(
+                f"rank {rank}: residual shape {mem.shape} does not match "
+                f"gradient shape {arr.shape}")
+        return arr + mem
+
+    def store(self, rank: int, residual: np.ndarray) -> None:
+        """Record what compression dropped this round."""
+        self._check_rank(rank)
+        self._memory[rank] = np.asarray(residual, dtype=np.float64).copy()
+
+    def residual_norm(self, rank: int) -> float:
+        """L2 norm of a worker's carried residual (0 before first store)."""
+        self._check_rank(rank)
+        mem = self._memory.get(rank)
+        return 0.0 if mem is None else float(np.linalg.norm(mem))
+
+    def reset(self) -> None:
+        """Drop all residual memories (e.g. between training runs)."""
+        self._memory.clear()

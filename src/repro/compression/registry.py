@@ -1,0 +1,137 @@
+"""Name-based construction of compressors, aggregators and schemes.
+
+Experiments and examples refer to methods by string (``"powersgd"``);
+this module maps those names to the three faces of each method: the
+single-tensor codec, the distributed aggregator, and the cost scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..errors import ConfigurationError
+from .base import Aggregator, Compressor
+from .hybrid import HybridPowerSGDScheme
+from .identity import FP16Compressor, FP32Compressor
+from .lowrank import (
+    ATOMOCompressor,
+    GatherDecodeAggregator,
+    GradiVeqCompressor,
+    PowerSGDAggregator,
+    PowerSGDCompressor,
+)
+from .natural import EFSignCompressor, NaturalCompressor
+from .quantization import OneBitCompressor, QSGDCompressor, TernGradCompressor
+from .schemes import (
+    ATOMOScheme,
+    DGCScheme,
+    EFSignScheme,
+    FP16Scheme,
+    GradiVeqScheme,
+    NaturalScheme,
+    OneBitScheme,
+    PowerSGDScheme,
+    QSGDScheme,
+    RandomKScheme,
+    Scheme,
+    SignSGDScheme,
+    SyncSGDScheme,
+    TernGradScheme,
+    TopKScheme,
+)
+from .signsgd import MajorityVoteAggregator, SignSGDCompressor
+from .sparsification import (
+    DGCCompressor,
+    MeanAllReduceAggregator,
+    RandomKCompressor,
+    SparseGatherAggregator,
+    TopKCompressor,
+)
+
+_COMPRESSORS: Dict[str, Callable[..., Compressor]] = {
+    "fp32": FP32Compressor,
+    "fp16": FP16Compressor,
+    "signsgd": SignSGDCompressor,
+    "topk": TopKCompressor,
+    "randomk": RandomKCompressor,
+    "dgc": DGCCompressor,
+    "qsgd": QSGDCompressor,
+    "terngrad": TernGradCompressor,
+    "onebit": OneBitCompressor,
+    "powersgd": PowerSGDCompressor,
+    "atomo": ATOMOCompressor,
+    "gradiveq": GradiVeqCompressor,
+    "natural": NaturalCompressor,
+    "efsignsgd": EFSignCompressor,
+}
+
+_SCHEMES: Dict[str, Callable[..., Scheme]] = {
+    "syncsgd": SyncSGDScheme,
+    "fp16": FP16Scheme,
+    "powersgd": PowerSGDScheme,
+    "topk": TopKScheme,
+    "signsgd": SignSGDScheme,
+    "qsgd": QSGDScheme,
+    "terngrad": TernGradScheme,
+    "onebit": OneBitScheme,
+    "atomo": ATOMOScheme,
+    "randomk": RandomKScheme,
+    "dgc": DGCScheme,
+    "gradiveq": GradiVeqScheme,
+    "natural": NaturalScheme,
+    "efsignsgd": EFSignScheme,
+    "hybrid-powersgd": HybridPowerSGDScheme,
+}
+
+
+def make_compressor(name: str, **params: Any) -> Compressor:
+    """Construct the single-tensor codec registered under ``name``."""
+    if name not in _COMPRESSORS:
+        raise ConfigurationError(
+            f"unknown compressor {name!r}; available: {available_methods()}")
+    return _COMPRESSORS[name](**params)
+
+
+def make_scheme(name: str, **params: Any) -> Scheme:
+    """Construct the cost scheme registered under ``name``."""
+    if name not in _SCHEMES:
+        raise ConfigurationError(
+            f"unknown scheme {name!r}; available: {sorted(_SCHEMES)}")
+    return _SCHEMES[name](**params)
+
+
+def make_aggregator(name: str, num_workers: int, **params: Any) -> Aggregator:
+    """Construct the distributed aggregator for method ``name``.
+
+    Routes each method to its aggregation strategy: PowerSGD to the
+    warm-started two-all-reduce algorithm, all-reducible codecs to the
+    mean-all-reduce path, the rest to gather-and-decode (with error
+    feedback for the biased sparsifiers, matching the reference systems).
+    """
+    if name == "powersgd":
+        return PowerSGDAggregator(num_workers, **params)
+    if name == "signsgd":
+        if params:
+            raise ConfigurationError(
+                f"signsgd aggregator takes no parameters, got {params}")
+        return MajorityVoteAggregator(num_workers)
+    if name in ("fp32", "fp16", "randomk", "gradiveq"):
+        return MeanAllReduceAggregator(
+            num_workers, make_compressor(name, **params))
+    if name in ("topk", "dgc"):
+        return SparseGatherAggregator(
+            num_workers, make_compressor(name, **params),
+            use_error_feedback=True)
+    if name in ("qsgd", "terngrad", "atomo", "onebit", "natural",
+                "efsignsgd"):
+        use_ef = name in ("atomo", "onebit", "efsignsgd")  # the biased ones
+        return GatherDecodeAggregator(
+            num_workers, make_compressor(name, **params),
+            use_error_feedback=use_ef)
+    raise ConfigurationError(
+        f"unknown aggregator {name!r}; available: {available_methods()}")
+
+
+def available_methods() -> List[str]:
+    """Sorted names of all registered compression methods."""
+    return sorted(_COMPRESSORS)

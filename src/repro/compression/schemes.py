@@ -1,0 +1,499 @@
+"""Compression *schemes*: the metadata face of each method.
+
+A :class:`Scheme` prices one method for a given model and world size —
+wire bytes per worker, number of collective messages, encode/decode
+seconds, whether all-reduce applies, and the decode working-set unit for
+the memory model.  This is what the performance model (§4 of the paper)
+and the what-if engine consume; the numeric compressors/aggregators in the
+sibling modules carry the actual math.
+
+The two Table-1 columns appear here as :attr:`Scheme.all_reducible` and
+:attr:`Scheme.layerwise`; ``benchmarks/test_table1_classification.py``
+regenerates the table from these flags and the property tests verify the
+``all_reducible`` claims against the numeric implementations.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..models import ModelSpec
+from ..units import FLOAT32_BYTES
+from . import kernel_cost as kc
+from .kernel_cost import KernelProfile, v100_kernel_profile
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    """What one method costs for one (model, world size) pair.
+
+    Attributes:
+        wire_bytes: Per-worker payload bytes for the whole gradient.
+        messages: Number of collective invocations (each pays its own
+            latency term — PowerSGD pays two, for P then Q).
+        encode_decode_s: Total compression + decompression seconds per
+            iteration (includes the linear-in-p decode for gather
+            methods).
+        all_reducible: Whether the payloads aggregate via all-reduce.
+        gather_stack_bytes: Bytes of *dense* gradient the decode path
+            materializes per received payload (0 for all-reduce methods);
+            multiplied by the world size this is the aggregation working
+            set that OOMs BERT past 32 GPUs in the paper.
+    """
+
+    wire_bytes: float
+    messages: int
+    encode_decode_s: float
+    all_reducible: bool
+    gather_stack_bytes: float
+
+    def compression_ratio(self, model: ModelSpec) -> float:
+        """Dense gradient bytes over wire bytes."""
+        if self.wire_bytes <= 0:
+            raise ConfigurationError("scheme produced non-positive wire bytes")
+        return model.grad_bytes / self.wire_bytes
+
+    def aggregation_working_set(self, world_size: int) -> float:
+        """Decode working set at ``world_size`` workers."""
+        return self.gather_stack_bytes * world_size
+
+
+class Scheme(abc.ABC):
+    """One gradient compression method, parameterized."""
+
+    name: str = "abstract"
+    all_reducible: bool = False
+    layerwise: bool = True
+    #: Whether the method composes with DDP's per-bucket overlap: it must
+    #: be all-reducible, layer-wise, *and* have negligible per-bucket
+    #: encode cost, so it can run inside the communication hook without
+    #: the §3.1 contention (only fp16 qualifies among the built-ins).
+    ddp_overlap: bool = False
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``"powersgd(rank=4)"``."""
+        return self.name
+
+    @abc.abstractmethod
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        """Price this scheme for one model and world size."""
+
+    def _profile(self, profile: Optional[KernelProfile]) -> KernelProfile:
+        return profile if profile is not None else v100_kernel_profile()
+
+    def _stack_bytes(self, model: ModelSpec) -> float:
+        """Dense-stacking unit for gather decodes (see ModelSpec docs)."""
+        if self.all_reducible:
+            return 0.0
+        if model.gather_granularity == "layer":
+            return float(model.largest_layer_grad_bytes)
+        return float(model.grad_bytes)
+
+    def __repr__(self) -> str:
+        return f"<Scheme {self.label}>"
+
+
+class SyncSGDScheme(Scheme):
+    """The baseline: dense fp32 gradients, ring all-reduce, zero encode
+    cost.  Bucketing/overlap are applied by the DDP performance model,
+    not here."""
+
+    name = "syncsgd"
+    all_reducible = True
+    layerwise = True
+
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        return SchemeCost(
+            wire_bytes=float(model.grad_bytes),
+            messages=1,
+            encode_decode_s=0.0,
+            all_reducible=True,
+            gather_stack_bytes=0.0,
+        )
+
+
+class FP16Scheme(Scheme):
+    """Half-precision communication: 2x reduction, near-free encode.
+
+    The cast is cheap enough to run inside the DDP bucket hook, so fp16
+    keeps communication/computation overlap — which is exactly why the
+    paper's first finding recommends it over aggressive compression.
+    """
+
+    name = "fp16"
+    all_reducible = True
+    layerwise = True
+    ddp_overlap = True
+
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        prof = self._profile(profile)
+        return SchemeCost(
+            wire_bytes=model.grad_bytes / 2.0,
+            messages=1,
+            encode_decode_s=kc.fp16_encode_decode_time(model, prof),
+            all_reducible=True,
+            gather_stack_bytes=0.0,
+        )
+
+
+class PowerSGDScheme(Scheme):
+    """PowerSGD(rank): low-rank P/Q factors, all-reduce compatible, two
+    messages; non-matrix parameters (biases, norms) travel uncompressed."""
+
+    name = "powersgd"
+    all_reducible = True
+    layerwise = True
+
+    def __init__(self, rank: int = 4):
+        if rank < 1:
+            raise ConfigurationError(f"rank must be >= 1, got {rank}")
+        self.rank = rank
+
+    @property
+    def label(self) -> str:
+        return f"powersgd(rank={self.rank})"
+
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        prof = self._profile(profile)
+        wire = 0.0
+        for layer in model.trainable_layers:
+            if layer.has_matrix:
+                m, n = layer.matrix_shape
+                r = max(1, min(self.rank, m, n))
+                wire += r * (m + n) * FLOAT32_BYTES
+                wire += layer.extra_params * FLOAT32_BYTES
+            else:
+                wire += layer.num_params * FLOAT32_BYTES
+        return SchemeCost(
+            wire_bytes=wire,
+            messages=2,
+            encode_decode_s=kc.powersgd_encode_decode_time(
+                model, self.rank, prof),
+            all_reducible=True,
+            gather_stack_bytes=0.0,
+        )
+
+
+class TopKScheme(Scheme):
+    """Top-K sparsification: values + indices, all-gather aggregation."""
+
+    name = "topk"
+    all_reducible = False
+    layerwise = True
+
+    def __init__(self, fraction: float = 0.01):
+        if not 0 < fraction <= 1:
+            raise ConfigurationError(
+                f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    @property
+    def label(self) -> str:
+        return f"topk({self.fraction:.0%})"
+
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        prof = self._profile(profile)
+        selected = self.fraction * model.num_params
+        index_bytes = 4 if model.num_params < 2**31 else 8
+        return SchemeCost(
+            wire_bytes=selected * (FLOAT32_BYTES + index_bytes),
+            messages=2,
+            encode_decode_s=kc.topk_encode_decode_time(
+                model, self.fraction, prof, world_size),
+            all_reducible=False,
+            gather_stack_bytes=self._stack_bytes(model),
+        )
+
+
+class SignSGDScheme(Scheme):
+    """signSGD with majority vote: 1 bit per coordinate, all-gather."""
+
+    name = "signsgd"
+    all_reducible = False
+    layerwise = True
+
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        prof = self._profile(profile)
+        return SchemeCost(
+            wire_bytes=math.ceil(model.num_params / 8.0),
+            messages=1,
+            encode_decode_s=kc.signsgd_encode_decode_time(
+                model, prof, world_size),
+            all_reducible=False,
+            gather_stack_bytes=self._stack_bytes(model),
+        )
+
+
+class QSGDScheme(Scheme):
+    """QSGD with ``levels`` quantization buckets, fixed-width coding."""
+
+    name = "qsgd"
+    all_reducible = False
+    layerwise = True
+
+    def __init__(self, levels: int = 16):
+        if levels < 1:
+            raise ConfigurationError(f"levels must be >= 1, got {levels}")
+        self.levels = levels
+
+    @property
+    def label(self) -> str:
+        return f"qsgd(levels={self.levels})"
+
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        prof = self._profile(profile)
+        bits = 1.0 + math.ceil(math.log2(self.levels + 1))
+        return SchemeCost(
+            wire_bytes=model.num_params * bits / 8.0 + FLOAT32_BYTES,
+            messages=1,
+            encode_decode_s=kc.qsgd_encode_decode_time(
+                model, prof, world_size),
+            all_reducible=False,
+            gather_stack_bytes=self._stack_bytes(model),
+        )
+
+
+class TernGradScheme(Scheme):
+    """TernGrad: 2 bits per coordinate plus a scale, all-gather."""
+
+    name = "terngrad"
+    all_reducible = False
+    layerwise = True
+
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        prof = self._profile(profile)
+        return SchemeCost(
+            wire_bytes=model.num_params / 4.0 + FLOAT32_BYTES,
+            messages=1,
+            encode_decode_s=kc.terngrad_encode_decode_time(
+                model, prof, world_size),
+            all_reducible=False,
+            gather_stack_bytes=self._stack_bytes(model),
+        )
+
+
+class OneBitScheme(Scheme):
+    """1-bit SGD: bit mask plus two centroids per tensor, all-gather."""
+
+    name = "onebit"
+    all_reducible = False
+    layerwise = True
+
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        prof = self._profile(profile)
+        return SchemeCost(
+            wire_bytes=math.ceil(model.num_params / 8.0) + 2 * FLOAT32_BYTES,
+            messages=1,
+            encode_decode_s=kc.onebit_encode_decode_time(
+                model, prof, world_size),
+            all_reducible=False,
+            gather_stack_bytes=self._stack_bytes(model),
+        )
+
+
+class ATOMOScheme(Scheme):
+    """ATOMO with SVD atoms: like PowerSGD sizes plus singular values,
+    but per-worker factors do not align, so all-gather + expensive SVD."""
+
+    name = "atomo"
+    all_reducible = False
+    layerwise = True
+
+    def __init__(self, rank: int = 4):
+        if rank < 1:
+            raise ConfigurationError(f"rank must be >= 1, got {rank}")
+        self.rank = rank
+
+    @property
+    def label(self) -> str:
+        return f"atomo(rank={self.rank})"
+
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        prof = self._profile(profile)
+        wire = 0.0
+        for layer in model.trainable_layers:
+            if layer.has_matrix:
+                m, n = layer.matrix_shape
+                r = max(1, min(self.rank, m, n))
+                wire += (r * (m + n + 1) + layer.extra_params) * FLOAT32_BYTES
+            else:
+                wire += layer.num_params * FLOAT32_BYTES
+        return SchemeCost(
+            wire_bytes=wire,
+            messages=3,
+            encode_decode_s=kc.atomo_encode_decode_time(
+                model, self.rank, prof, world_size),
+            all_reducible=False,
+            gather_stack_bytes=self._stack_bytes(model),
+        )
+
+
+class RandomKScheme(Scheme):
+    """Shared-seed Random-K: values only, all-reduce compatible, but the
+    shared draw spans the whole flat gradient (not layer-wise — Table 1)."""
+
+    name = "randomk"
+    all_reducible = True
+    layerwise = False
+
+    def __init__(self, fraction: float = 0.01):
+        if not 0 < fraction <= 1:
+            raise ConfigurationError(
+                f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    @property
+    def label(self) -> str:
+        return f"randomk({self.fraction:.0%})"
+
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        prof = self._profile(profile)
+        return SchemeCost(
+            wire_bytes=self.fraction * model.num_params * FLOAT32_BYTES,
+            messages=1,
+            encode_decode_s=kc.randomk_encode_decode_time(
+                model, self.fraction, prof),
+            all_reducible=True,
+            gather_stack_bytes=0.0,
+        )
+
+
+class DGCScheme(Scheme):
+    """Deep Gradient Compression: threshold sparsification, values +
+    indices via all-gather."""
+
+    name = "dgc"
+    all_reducible = False
+    layerwise = True
+
+    def __init__(self, fraction: float = 0.001):
+        if not 0 < fraction <= 1:
+            raise ConfigurationError(
+                f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    @property
+    def label(self) -> str:
+        return f"dgc({self.fraction:.1%})"
+
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        prof = self._profile(profile)
+        selected = self.fraction * model.num_params
+        index_bytes = 4 if model.num_params < 2**31 else 8
+        return SchemeCost(
+            wire_bytes=selected * (FLOAT32_BYTES + index_bytes),
+            messages=2,
+            encode_decode_s=kc.dgc_encode_decode_time(
+                model, self.fraction, prof, world_size),
+            all_reducible=False,
+            gather_stack_bytes=self._stack_bytes(model),
+        )
+
+
+class GradiVeqScheme(Scheme):
+    """GradiVeq-style shared-basis projection: linear (all-reducible)
+    and layer-wise — Table 1's other "yes/yes" row besides PowerSGD."""
+
+    name = "gradiveq"
+    all_reducible = True
+    layerwise = True
+
+    def __init__(self, block: int = 512, dims: int = 64):
+        if block < 1 or dims < 1 or dims > block:
+            raise ConfigurationError(
+                f"invalid block/dims ({block}, {dims})")
+        self.block = block
+        self.dims = dims
+
+    @property
+    def label(self) -> str:
+        return f"gradiveq({self.block}->{self.dims})"
+
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        prof = self._profile(profile)
+        blocks = math.ceil(model.num_params / self.block)
+        return SchemeCost(
+            wire_bytes=blocks * self.dims * FLOAT32_BYTES,
+            messages=1,
+            encode_decode_s=kc.gradiveq_encode_decode_time(
+                model, self.block, self.dims, prof),
+            all_reducible=True,
+            gather_stack_bytes=0.0,
+        )
+
+
+class NaturalScheme(Scheme):
+    """Natural compression [30]: sign + 8-bit exponent per value (~3.6x),
+    unbiased, nearly-free encode, but exponent payloads do not sum —
+    all-gather aggregation."""
+
+    name = "natural"
+    all_reducible = False
+    layerwise = True
+
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        prof = self._profile(profile)
+        return SchemeCost(
+            wire_bytes=model.num_params * 9.0 / 8.0,
+            messages=1,
+            encode_decode_s=kc.qsgd_encode_decode_time(
+                model, prof, world_size),  # same elementwise structure
+            all_reducible=False,
+            gather_stack_bytes=self._stack_bytes(model),
+        )
+
+
+class EFSignScheme(Scheme):
+    """EF-signSGD [35]: signSGD's wire format plus a scale, with error
+    feedback restoring convergence; still all-gather-bound."""
+
+    name = "efsignsgd"
+    all_reducible = False
+    layerwise = True
+
+    def cost(self, model: ModelSpec, world_size: int,
+             profile: Optional[KernelProfile] = None) -> SchemeCost:
+        prof = self._profile(profile)
+        return SchemeCost(
+            wire_bytes=math.ceil(model.num_params / 8.0) + FLOAT32_BYTES,
+            messages=1,
+            encode_decode_s=kc.signsgd_encode_decode_time(
+                model, prof, world_size),
+            all_reducible=False,
+            gather_stack_bytes=self._stack_bytes(model),
+        )
+
+
+#: The Table-1 roster, in the paper's row order, with default parameters.
+def table1_schemes() -> List[Scheme]:
+    """All methods the paper's Table 1 classifies, as scheme objects."""
+    return [
+        SyncSGDScheme(),
+        GradiVeqScheme(),
+        PowerSGDScheme(rank=4),
+        RandomKScheme(fraction=0.01),
+        ATOMOScheme(rank=4),
+        SignSGDScheme(),
+        TernGradScheme(),
+        QSGDScheme(levels=16),
+        DGCScheme(fraction=0.001),
+    ]

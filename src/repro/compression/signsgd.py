@@ -1,0 +1,94 @@
+"""signSGD with majority vote [12, 13].
+
+Encode: keep only the sign of each coordinate, bit-packed — 1 bit per
+32-bit float, ~32x compression.  Aggregate: *majority vote* across
+workers, ``sign(sum_i sign(g_i))``.
+
+The vote is **not associative** — ``sign(sign(a+b) + sign(c))`` differs
+from ``sign(sign(a) + sign(b+c))`` — so workers cannot ring-all-reduce
+their payloads; they must all-gather all ``p`` sign vectors and vote
+locally.  Received volume and decode work therefore grow linearly with
+``p``, which is the paper's §3.2 explanation for signSGD taking ~1075 ms
+at 96 GPUs on ResNet-101 while syncSGD needs ~265 ms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import CompressionError
+from .base import AggregationResult, Aggregator, Compressor, Payload
+
+
+class SignSGDCompressor(Compressor):
+    """Bit-packed sign compressor.
+
+    Zero is mapped to +1 (a tie-break every implementation must pick;
+    matching ``np.sign`` would waste a symbol on an event of measure
+    zero).  The decoded tensor is the unit-magnitude sign pattern — the
+    optimizer's learning rate carries the step size, as in the signSGD
+    paper.
+    """
+
+    name = "signsgd"
+    all_reducible = False
+    layerwise = True
+
+    def encode(self, grad: np.ndarray) -> Payload:
+        arr = self._require_floating(grad)
+        bits = (arr.reshape(-1) >= 0.0)
+        packed = np.packbits(bits)
+        return Payload(
+            arrays=(packed,),
+            wire_bytes=float(np.ceil(arr.size / 8.0)),
+            shape=arr.shape,
+            meta={"numel": float(arr.size)},
+        )
+
+    def decode(self, payload: Payload) -> np.ndarray:
+        numel = int(payload.meta["numel"])
+        bits = np.unpackbits(payload.arrays[0], count=numel)
+        signs = np.where(bits.astype(bool), 1.0, -1.0)
+        return signs.reshape(payload.shape)
+
+
+def majority_vote(sign_tensors: Sequence[np.ndarray]) -> np.ndarray:
+    """``sign(sum_i sign_i)`` with ties broken toward +1 (consistent with
+    the encoder's zero convention)."""
+    if len(sign_tensors) == 0:
+        raise CompressionError("majority vote needs at least one worker")
+    total = np.sum(sign_tensors, axis=0)
+    return np.where(total >= 0.0, 1.0, -1.0)
+
+
+class MajorityVoteAggregator(Aggregator):
+    """Full signSGD aggregation: encode per worker, all-gather the packed
+    sign vectors, unpack all ``p`` of them and vote.
+
+    The returned update is the voted sign pattern (unit magnitude).  Note
+    the received bytes: ``(p-1)`` payloads per worker — the linear term.
+    """
+
+    name = "signsgd"
+    all_reducible = False
+
+    def __init__(self, num_workers: int):
+        super().__init__(num_workers)
+        self._codec = SignSGDCompressor()
+
+    def step(self, worker_grads: Sequence[np.ndarray]) -> AggregationResult:
+        grads = self._check_round(worker_grads)
+        payloads = [self._codec.encode(g) for g in grads]
+        # All-gather: every worker receives every other worker's payload.
+        decoded = [self._codec.decode(p) for p in payloads]
+        update = majority_vote(decoded)
+        wire = payloads[0].wire_bytes
+        return AggregationResult(
+            update=update,
+            bytes_sent_per_worker=wire,
+            bytes_received_per_worker=wire * (self.num_workers - 1),
+            messages=1,
+            collective="allgather",
+        )

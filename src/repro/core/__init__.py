@@ -1,0 +1,67 @@
+"""The paper's primary contribution: performance model + what-if engine."""
+
+from .accuracy import (
+    TimeToAccuracy,
+    measure_statistical_efficiency,
+    steps_to_loss,
+    time_to_accuracy,
+)
+from .advisor import (
+    CandidateVerdict,
+    Recommendation,
+    default_candidates,
+    recommend,
+    recommend_for_inputs,
+)
+from .calibration import CalibrationReport, calibrate
+from .ideal import (
+    HeadroomPoint,
+    RequiredCompression,
+    communicable_bytes,
+    headroom_curve,
+    required_compression,
+)
+from .perf_model import (
+    PerfModelInputs,
+    PredictedTime,
+    compressed_time,
+    predict,
+    speedup_over_syncsgd,
+    syncsgd_time,
+)
+from .planning import (
+    CostEstimate,
+    EpochEstimate,
+    StrongScalingPoint,
+    batch_size_plan,
+    epoch_time,
+    strong_scaling_sweep,
+    training_cost,
+)
+from .validation import ValidationCurve, ValidationPoint, validate_scheme
+from .whatif import (
+    TradeoffPoint,
+    WhatIfPoint,
+    bandwidth_sweep,
+    compute_sweep,
+    encode_tradeoff_grid,
+    find_crossover_gbps,
+)
+
+__all__ = [
+    "PerfModelInputs", "PredictedTime", "syncsgd_time", "compressed_time",
+    "predict", "speedup_over_syncsgd",
+    "CalibrationReport", "calibrate",
+    "ValidationPoint", "ValidationCurve", "validate_scheme",
+    "RequiredCompression", "communicable_bytes", "required_compression",
+    "HeadroomPoint", "headroom_curve",
+    "WhatIfPoint", "bandwidth_sweep", "compute_sweep", "TradeoffPoint",
+    "encode_tradeoff_grid", "find_crossover_gbps",
+    "Recommendation", "CandidateVerdict", "recommend",
+    "recommend_for_inputs", "default_candidates",
+    "EpochEstimate", "epoch_time", "batch_size_plan",
+    "CostEstimate", "training_cost",
+    "StrongScalingPoint", "strong_scaling_sweep",
+    "TimeToAccuracy", "time_to_accuracy",
+    "measure_statistical_efficiency", "steps_to_loss",
+]

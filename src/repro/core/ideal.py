@@ -1,0 +1,127 @@
+"""Ideal-scaling analysis (§5: Figures 9 and 10).
+
+**Figure 9 — how much compression is actually needed.**  Under weak
+scaling, per-iteration time stays flat iff communication hides entirely
+under computation.  With the §5 simplifications (whole gradient in one
+overlappable bucket, all-reduce-compatible compression, encode cost
+ignored), the threshold is ``T_comp = T_comm(ĝ, p, BW)``; solving for the
+communicable size ``ĝ`` gives the *required* compression ratio
+``g / ĝ`` — which comes out small (< 7x at 10 Gbit/s even for small
+batches, < 2x for BERT), the paper's "no utility in overcompressing"
+finding.
+
+**Figure 10 — the headroom available to compression.**  The gap between
+the syncSGD model's prediction and the ideal ``T_comp`` bounds how much
+time an encode/decode step may spend before it cannot win at all: ~50 ms
+for ResNet-50, ~100 ms for ResNet-101, ~200 ms for BERT at 10 Gbit/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..compute import ComputeModel
+from ..errors import ConfigurationError
+from ..hardware import GPUSpec, V100
+from ..models import ModelSpec
+from .perf_model import PerfModelInputs, syncsgd_time
+
+
+@dataclass(frozen=True)
+class RequiredCompression:
+    """Figure-9 style result for one configuration."""
+
+    model: str
+    batch_size: int
+    world_size: int
+    bandwidth_bytes_per_s: float
+    compute_time_s: float
+    communicable_bytes: float
+    required_ratio: float
+
+
+def communicable_bytes(t_comp: float, world_size: int,
+                       bandwidth_bytes_per_s: float,
+                       alpha_s: float = 10e-6) -> float:
+    """Solve ``ring_allreduce_time(g, p, BW) == t_comp`` for ``g``.
+
+    Inverts Equation (1): ``t = 2α(p-1) + 2g(p-1)/(p·BW)``.  Returns 0
+    when latency alone already exceeds the compute time (no amount of
+    compression achieves linear scaling there).
+    """
+    if t_comp <= 0:
+        raise ConfigurationError(f"t_comp must be > 0, got {t_comp}")
+    if world_size < 2:
+        return float("inf")  # a single worker communicates nothing
+    p = world_size
+    budget = t_comp - 2.0 * alpha_s * (p - 1)
+    if budget <= 0:
+        return 0.0
+    return budget * p * bandwidth_bytes_per_s / (2.0 * (p - 1))
+
+
+def required_compression(model: ModelSpec, batch_size: int,
+                         world_size: int, bandwidth_bytes_per_s: float,
+                         gpu: GPUSpec = V100,
+                         alpha_s: float = 10e-6) -> RequiredCompression:
+    """Figure 9: the compression ratio needed for near-linear scaling."""
+    compute = ComputeModel(model, gpu)
+    t_comp = compute.backward_time(batch_size)
+    g_hat = communicable_bytes(t_comp, world_size, bandwidth_bytes_per_s,
+                               alpha_s)
+    if g_hat == 0.0:
+        ratio = float("inf")
+    elif g_hat == float("inf") or g_hat >= model.grad_bytes:
+        ratio = 1.0  # no compression needed at all
+    else:
+        ratio = model.grad_bytes / g_hat
+    return RequiredCompression(
+        model=model.name,
+        batch_size=batch_size,
+        world_size=world_size,
+        bandwidth_bytes_per_s=bandwidth_bytes_per_s,
+        compute_time_s=t_comp,
+        communicable_bytes=g_hat,
+        required_ratio=ratio,
+    )
+
+
+@dataclass(frozen=True)
+class HeadroomPoint:
+    """Figure-10 style result: syncSGD's gap to ideal at one scale."""
+
+    world_size: int
+    ideal_s: float
+    syncsgd_s: float
+
+    @property
+    def headroom_s(self) -> float:
+        """Seconds a compression scheme may spend (encode + decode +
+        compressed comm) and still beat syncSGD."""
+        return max(0.0, self.syncsgd_s - self.ideal_s)
+
+
+def headroom_curve(model: ModelSpec, world_sizes: Sequence[int],
+                   bandwidth_bytes_per_s: float,
+                   batch_size: Optional[int] = None,
+                   gpu: GPUSpec = V100, alpha_s: float = 10e-6,
+                   gamma: float = 1.10) -> Tuple[HeadroomPoint, ...]:
+    """Figure 10: gap between optimized syncSGD and ideal scaling.
+
+    Ideal weak scaling keeps per-iteration sync time at the standalone
+    backward time ``T_comp``; the gap to the §4.1 prediction is the
+    encode/decode budget available to any compression scheme.
+    """
+    compute = ComputeModel(model, gpu)
+    bs = batch_size if batch_size is not None else model.default_batch_size
+    ideal = compute.backward_time(bs)
+    points: List[HeadroomPoint] = []
+    for p in world_sizes:
+        inputs = PerfModelInputs(
+            world_size=p, bandwidth_bytes_per_s=bandwidth_bytes_per_s,
+            alpha_s=alpha_s, gamma=gamma, batch_size=bs)
+        predicted = syncsgd_time(model, inputs, gpu).total
+        points.append(HeadroomPoint(
+            world_size=p, ideal_s=ideal, syncsgd_s=predicted))
+    return tuple(points)

@@ -1,0 +1,157 @@
+"""What-if analyses (§6: Figures 11, 12, 13).
+
+The performance model makes hardware hypotheticals cheap: sweep the
+network bandwidth (Figure 11), scale the compute (Figure 12) — which
+shrinks both the backward pass *and* the encode/decode time, the paper's
+key observation about why faster GPUs favour compression — or trade
+encode time against compression ratio for a hypothetical scheme
+(Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..collectives import allgather_time, ring_allreduce_time
+from ..compute import ComputeModel
+from ..compression.kernel_cost import KernelProfile, v100_kernel_profile
+from ..compression.schemes import Scheme
+from ..errors import ConfigurationError
+from ..hardware import GPUSpec, V100
+from ..models import ModelSpec
+from ..units import gbps_to_bytes_per_s
+from .perf_model import PerfModelInputs, compressed_time, syncsgd_time
+
+
+@dataclass(frozen=True)
+class WhatIfPoint:
+    """One sweep point: baseline vs compressed prediction."""
+
+    x: float                   # the swept quantity (Gbit/s, factor, k...)
+    syncsgd_s: float
+    compressed_s: float
+
+    @property
+    def speedup(self) -> float:
+        """Fractional speedup of compression (+ helps, - hurts)."""
+        return (self.syncsgd_s - self.compressed_s) / self.syncsgd_s
+
+
+def bandwidth_sweep(model: ModelSpec, scheme: Scheme,
+                    bandwidths_gbps: Sequence[float],
+                    inputs: PerfModelInputs, gpu: GPUSpec = V100,
+                    profile: Optional[KernelProfile] = None,
+                    ) -> Tuple[WhatIfPoint, ...]:
+    """Figure 11: vary the network from e.g. 1 to 30 Gbit/s."""
+    points: List[WhatIfPoint] = []
+    for gbps in bandwidths_gbps:
+        swept = inputs.with_bandwidth(gbps_to_bytes_per_s(gbps))
+        base = syncsgd_time(model, swept, gpu).total
+        comp = compressed_time(model, scheme, swept, gpu, profile).total
+        points.append(WhatIfPoint(x=gbps, syncsgd_s=base, compressed_s=comp))
+    return tuple(points)
+
+
+def compute_sweep(model: ModelSpec, scheme: Scheme,
+                  compute_factors: Sequence[float],
+                  inputs: PerfModelInputs, gpu: GPUSpec = V100,
+                  profile: Optional[KernelProfile] = None,
+                  ) -> Tuple[WhatIfPoint, ...]:
+    """Figure 12: scale GPU speed while the network stays fixed.
+
+    Scaling the GPU scales the backward pass *and* the kernel profile, so
+    encode/decode shrinks too — the two effects §6 credits for
+    compression becoming attractive on faster hardware.
+    """
+    prof = profile if profile is not None else v100_kernel_profile()
+    points: List[WhatIfPoint] = []
+    for factor in compute_factors:
+        if factor <= 0:
+            raise ConfigurationError(
+                f"compute factors must be > 0, got {factor}")
+        fast_gpu = gpu.scaled(factor)
+        fast_prof = prof.scaled(factor)
+        base = syncsgd_time(model, inputs, fast_gpu).total
+        comp = compressed_time(model, scheme, inputs, fast_gpu,
+                               fast_prof).total
+        points.append(WhatIfPoint(x=factor, syncsgd_s=base,
+                                  compressed_s=comp))
+    return tuple(points)
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """Figure-13 grid cell: hypothetical scheme with encode time /k and
+    wire size *(l*k), relative to a real base scheme."""
+
+    k: float
+    l: float
+    predicted_s: float
+    syncsgd_s: float
+
+    @property
+    def speedup(self) -> float:
+        return (self.syncsgd_s - self.predicted_s) / self.syncsgd_s
+
+
+def encode_tradeoff_grid(model: ModelSpec, base_scheme: Scheme,
+                         ks: Sequence[float], ls: Sequence[float],
+                         inputs: PerfModelInputs, gpu: GPUSpec = V100,
+                         profile: Optional[KernelProfile] = None,
+                         ) -> Tuple[TradeoffPoint, ...]:
+    """Figure 13: for each ``(k, l)``, price a hypothetical scheme whose
+    encode/decode time is the base scheme's divided by ``k`` and whose
+    payload is multiplied by ``l*k`` (the paper's example: k=2, l=2 means
+    2x faster encode for 4x more data on the wire)."""
+    prof = profile if profile is not None else v100_kernel_profile()
+    compute = ComputeModel(model, gpu)
+    bs = inputs.batch_size or model.default_batch_size
+    t_comp = compute.backward_time(bs)
+    p = inputs.world_size
+    base_cost = base_scheme.cost(model, p, prof)
+    baseline = syncsgd_time(model, inputs, gpu).total
+
+    points: List[TradeoffPoint] = []
+    for k in ks:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        for l in ls:
+            if l < 1:
+                raise ConfigurationError(f"l must be >= 1, got {l}")
+            wire = min(base_cost.wire_bytes * l * k,
+                       float(model.grad_bytes))
+            enc = base_cost.encode_decode_s / k
+            if p == 1:
+                comm = 0.0
+            else:
+                per_message = wire / base_cost.messages
+                if base_cost.all_reducible:
+                    single = ring_allreduce_time(
+                        per_message, p, inputs.bandwidth_bytes_per_s,
+                        inputs.alpha_s)
+                else:
+                    single = allgather_time(
+                        per_message, p, inputs.bandwidth_bytes_per_s,
+                        inputs.alpha_s)
+                comm = single * base_cost.messages
+            points.append(TradeoffPoint(
+                k=k, l=l, predicted_s=t_comp + enc + comm,
+                syncsgd_s=baseline))
+    return tuple(points)
+
+
+def find_crossover_gbps(points: Sequence[WhatIfPoint]) -> Optional[float]:
+    """Bandwidth at which compression stops helping: the first swept
+    value where the speedup goes non-positive, linearly interpolated
+    between neighbouring points.  ``None`` if compression helps (or
+    hurts) across the whole sweep."""
+    ordered = sorted(points, key=lambda pt: pt.x)
+    for prev, curr in zip(ordered, ordered[1:]):
+        if prev.speedup > 0 >= curr.speedup:
+            span = prev.speedup - curr.speedup
+            if span <= 0:
+                return curr.x
+            frac = prev.speedup / span
+            return prev.x + frac * (curr.x - prev.x)
+    return None

@@ -1,0 +1,59 @@
+"""Figure 10: the encode/decode budget available to any compressor.
+
+The gap between optimized syncSGD and ideal (communication-free) weak
+scaling is the *entire* time window a compression scheme has to encode,
+communicate and decode in.  The paper's observation, asserted by the
+benchmark: the gap is small — ~50 ms for ResNet-50, ~100 ms for
+ResNet-101, ~200 ms for BERT at 10 Gbit/s even at ~150 machines — while
+measured encode/decode times (Table 2) already exceed it for most
+methods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core import headroom_curve
+from ..models import get_model
+from ..units import gbps_to_bytes_per_s
+from .runner import ExperimentResult
+
+#: Machine counts the figure sweeps (the paper goes to ~150).
+FIG10_WORLD_SIZES: Tuple[int, ...] = (8, 16, 32, 64, 96, 128, 152)
+
+#: (model, batch) pairs shown.
+FIG10_WORKLOADS: Tuple[Tuple[str, int], ...] = (
+    ("resnet50", 64),
+    ("resnet101", 64),
+    ("bert-base", 12),
+)
+
+
+def run_fig10(bandwidth_gbps: float = 10.0,
+              world_sizes: Sequence[int] = FIG10_WORLD_SIZES,
+              workloads: Sequence[Tuple[str, int]] = FIG10_WORKLOADS,
+              ) -> ExperimentResult:
+    """Ideal-vs-syncSGD gap across scale for the paper's workloads."""
+    rows: List[Dict[str, Any]] = []
+    for model_name, batch_size in workloads:
+        model = get_model(model_name)
+        points = headroom_curve(
+            model, world_sizes, gbps_to_bytes_per_s(bandwidth_gbps),
+            batch_size=batch_size)
+        for point in points:
+            rows.append({
+                "model": model_name,
+                "batch_size": batch_size,
+                "gpus": point.world_size,
+                "ideal_ms": point.ideal_s * 1e3,
+                "syncsgd_ms": point.syncsgd_s * 1e3,
+                "headroom_ms": point.headroom_s * 1e3,
+            })
+    return ExperimentResult(
+        experiment_id="fig10",
+        title=(f"Gap between syncSGD and ideal scaling at "
+               f"{bandwidth_gbps:g} Gbit/s"),
+        columns=("model", "batch_size", "gpus", "ideal_ms", "syncsgd_ms",
+                 "headroom_ms"),
+        rows=tuple(rows),
+    )

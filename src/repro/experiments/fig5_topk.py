@@ -1,0 +1,38 @@
+"""Figure 5: scalability of Top-K sparsification.
+
+Top-K at 1 %, 10 % and 20 % density against syncSGD.  The paper's
+observations, which the benchmark asserts:
+
+* even at 1 % density (99 % of coordinates dropped) Top-K never beats
+  syncSGD — encode time plus all-gather kill it;
+* BERT cannot scale past 32 GPUs: the gather working set grows linearly
+  with the worker count and runs out of GPU memory.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..compression.schemes import TopKScheme
+from .runner import PAPER_GPU_SWEEP, ExperimentResult
+from .scaling import PAPER_WORKLOADS, run_scaling_sweep
+
+#: The densities the figure sweeps.
+FIG5_FRACTIONS: Tuple[float, ...] = (0.01, 0.10, 0.20)
+
+
+def run_fig5(gpu_counts: Sequence[int] = PAPER_GPU_SWEEP,
+             workloads=PAPER_WORKLOADS,
+             iterations: int = 40, warmup: int = 5,
+             seed: int = 0) -> ExperimentResult:
+    """Scaling sweep for Top-K 1/10/20 % vs syncSGD."""
+    return run_scaling_sweep(
+        experiment_id="fig5",
+        title="Top-K scalability vs syncSGD",
+        schemes=[TopKScheme(fraction=f) for f in FIG5_FRACTIONS],
+        workloads=workloads,
+        gpu_counts=gpu_counts,
+        iterations=iterations,
+        warmup=warmup,
+        seed=seed,
+    )

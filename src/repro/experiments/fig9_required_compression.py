@@ -1,0 +1,58 @@
+"""Figure 9: how much compression linear scaling actually requires.
+
+For each model and batch size, solve for the gradient size whose
+all-reduce hides entirely under the backward pass, and report the implied
+compression ratio.  The paper's finding, asserted by the benchmark: at
+10 Gbit/s, even small batches need at most ~7x compression, and BERT at
+its default batch needs < 2x — orders of magnitude below what compression
+papers advertise (>100x).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core import required_compression
+from ..models import get_model
+from ..units import gbps_to_bytes_per_s
+from .runner import ExperimentResult
+
+#: (model, batch sizes) the figure sweeps.
+FIG9_WORKLOADS: Tuple[Tuple[str, Tuple[int, ...]], ...] = (
+    ("resnet50", (8, 16, 32, 64)),
+    ("resnet101", (8, 16, 32, 64)),
+    ("bert-base", (2, 4, 8, 12)),
+)
+
+#: Bandwidths (Gbit/s) shown in the figure panels.
+FIG9_BANDWIDTHS_GBPS: Tuple[float, ...] = (10.0, 25.0)
+
+
+def run_fig9(num_gpus: int = 64,
+             workloads: Sequence[Tuple[str, Tuple[int, ...]]] = FIG9_WORKLOADS,
+             bandwidths_gbps: Sequence[float] = FIG9_BANDWIDTHS_GBPS,
+             ) -> ExperimentResult:
+    """Required compression ratios across batch sizes and bandwidths."""
+    rows: List[Dict[str, Any]] = []
+    for model_name, batch_sizes in workloads:
+        model = get_model(model_name)
+        for gbps in bandwidths_gbps:
+            for batch_size in batch_sizes:
+                rc = required_compression(
+                    model, batch_size, num_gpus,
+                    gbps_to_bytes_per_s(gbps))
+                rows.append({
+                    "model": model_name,
+                    "bandwidth_gbps": gbps,
+                    "batch_size": batch_size,
+                    "t_comp_ms": rc.compute_time_s * 1e3,
+                    "required_ratio": rc.required_ratio,
+                })
+    return ExperimentResult(
+        experiment_id="fig9",
+        title=(f"Compression required for near-linear weak scaling "
+               f"({num_gpus} GPUs)"),
+        columns=("model", "bandwidth_gbps", "batch_size", "t_comp_ms",
+                 "required_ratio"),
+        rows=tuple(rows),
+    )

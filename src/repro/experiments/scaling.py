@@ -1,0 +1,82 @@
+"""Shared scaling-sweep harness for Figures 4, 5 and 6.
+
+All three figures have the same shape: per-iteration time (gradient
+computation + synchronization) of one or more compressed variants against
+the syncSGD baseline, for ResNet-50 / ResNet-101 / BERT_BASE, as the GPU
+count grows.  This module runs that sweep through the discrete-event
+simulator, marking OOM configurations the way the paper's plot notes do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..compression.schemes import Scheme, SyncSGDScheme
+from ..errors import OutOfMemoryError
+from ..models import get_model
+from ..simulator import DDPSimulator
+from .runner import PAPER_GPU_SWEEP, ExperimentResult, scaling_clusters
+
+#: (model name, per-GPU batch size) triples the paper evaluates.
+PAPER_WORKLOADS: Tuple[Tuple[str, int], ...] = (
+    ("resnet50", 64),
+    ("resnet101", 64),
+    ("bert-base", 12),
+)
+
+
+def run_scaling_sweep(experiment_id: str, title: str,
+                      schemes: Sequence[Scheme],
+                      workloads: Sequence[Tuple[str, int]] = PAPER_WORKLOADS,
+                      gpu_counts: Sequence[int] = PAPER_GPU_SWEEP,
+                      iterations: int = 40, warmup: int = 5,
+                      seed: int = 0) -> ExperimentResult:
+    """Run syncSGD plus each scheme across the sweep.
+
+    Rows contain mean/std per-iteration sync time in milliseconds; OOM
+    points appear as rows with ``oom=True`` and NaN times, so downstream
+    consumers see exactly where a method stopped scaling.
+    """
+    all_schemes: List[Scheme] = [SyncSGDScheme(), *schemes]
+    rows: List[Dict[str, Any]] = []
+    notes: List[str] = []
+    for model_name, batch_size in workloads:
+        model = get_model(model_name)
+        for cluster in scaling_clusters(gpu_counts):
+            for scheme in all_schemes:
+                sim = DDPSimulator(model, cluster, scheme=scheme)
+                try:
+                    result = sim.run(batch_size, iterations=iterations,
+                                     warmup=warmup, seed=seed)
+                except OutOfMemoryError as exc:
+                    rows.append({
+                        "model": model_name,
+                        "scheme": scheme.label,
+                        "gpus": cluster.world_size,
+                        "batch_size": batch_size,
+                        "mean_ms": float("nan"),
+                        "std_ms": float("nan"),
+                        "oom": True,
+                    })
+                    notes.append(
+                        f"{model_name}/{scheme.label} OOM at "
+                        f"{cluster.world_size} GPUs "
+                        f"({exc.required_bytes / 1e9:.1f} GB needed)")
+                    continue
+                rows.append({
+                    "model": model_name,
+                    "scheme": scheme.label,
+                    "gpus": cluster.world_size,
+                    "batch_size": batch_size,
+                    "mean_ms": result.mean * 1e3,
+                    "std_ms": result.std * 1e3,
+                    "oom": False,
+                })
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        columns=("model", "scheme", "gpus", "batch_size", "mean_ms",
+                 "std_ms", "oom"),
+        rows=tuple(rows),
+        notes=tuple(notes),
+    )

@@ -1,0 +1,121 @@
+"""Cloud instance types.
+
+An instance bundles GPUs with a NIC.  The paper's experiments all run on
+AWS ``p3.8xlarge`` (4x V100, ~10 Gbit/s guaranteed network); we also ship
+the rest of the p3 family plus 25/100 Gbit/s variants so the what-if
+analyses can be driven from realistic configurations rather than raw
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from ..errors import ConfigurationError
+from ..units import gbps_to_bytes_per_s
+from .gpus import A100, GPUSpec, V100
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A machine with one or more GPUs and a network interface.
+
+    Attributes:
+        name: Cloud SKU, e.g. ``"p3.8xlarge"``.
+        gpu: The GPU spec installed in the machine.
+        gpus_per_node: Number of GPUs.
+        network_bytes_per_s: NIC bandwidth (bytes/s) available to the
+            training job; the paper measures this with iperf3 before each
+            run and uses the pairwise minimum.
+        intra_node_bytes_per_s: GPU-to-GPU bandwidth inside the node
+            (NVLink on p3), used by hierarchical collectives.
+        hourly_usd: On-demand price (us-east-1 list prices at the
+            paper's time), for cost-to-train planning.
+    """
+
+    name: str
+    gpu: GPUSpec
+    gpus_per_node: int
+    network_bytes_per_s: float
+    intra_node_bytes_per_s: float
+    hourly_usd: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node < 1:
+            raise ConfigurationError(
+                f"{self.name}: gpus_per_node must be >= 1, got {self.gpus_per_node}")
+        if self.network_bytes_per_s <= 0:
+            raise ConfigurationError(f"{self.name}: network bandwidth must be > 0")
+        if self.intra_node_bytes_per_s <= 0:
+            raise ConfigurationError(f"{self.name}: intra-node bandwidth must be > 0")
+        if self.hourly_usd < 0:
+            raise ConfigurationError(f"{self.name}: hourly_usd must be >= 0")
+
+    def with_network_gbps(self, gbps: float) -> "InstanceType":
+        """Return a copy with a different NIC speed (for what-if sweeps)."""
+        return replace(
+            self,
+            name=f"{self.name}@{gbps:g}Gbps",
+            network_bytes_per_s=gbps_to_bytes_per_s(gbps),
+        )
+
+    def with_gpu(self, gpu: GPUSpec) -> "InstanceType":
+        """Return a copy with a different GPU (for compute what-ifs)."""
+        return replace(self, name=f"{self.name}/{gpu.name}", gpu=gpu)
+
+
+#: The paper's testbed: 4x V100, ~10 Gbit/s.
+P3_8XLARGE = InstanceType(
+    name="p3.8xlarge",
+    gpu=V100,
+    gpus_per_node=4,
+    network_bytes_per_s=gbps_to_bytes_per_s(10),
+    intra_node_bytes_per_s=gbps_to_bytes_per_s(300 * 8),  # NVLink ~300 GB/s
+    hourly_usd=12.24,
+)
+
+P3_2XLARGE = InstanceType(
+    name="p3.2xlarge",
+    gpu=V100,
+    gpus_per_node=1,
+    network_bytes_per_s=gbps_to_bytes_per_s(10),
+    intra_node_bytes_per_s=gbps_to_bytes_per_s(300 * 8),
+    hourly_usd=3.06,
+)
+
+P3DN_24XLARGE = InstanceType(
+    name="p3dn.24xlarge",
+    gpu=V100,
+    gpus_per_node=8,
+    network_bytes_per_s=gbps_to_bytes_per_s(100),
+    intra_node_bytes_per_s=gbps_to_bytes_per_s(300 * 8),
+    hourly_usd=31.212,
+)
+
+P4D_24XLARGE = InstanceType(
+    name="p4d.24xlarge",
+    gpu=A100,
+    gpus_per_node=8,
+    network_bytes_per_s=gbps_to_bytes_per_s(400),
+    intra_node_bytes_per_s=gbps_to_bytes_per_s(600 * 8),
+    hourly_usd=32.7726,
+)
+
+_REGISTRY: Dict[str, InstanceType] = {
+    i.name: i for i in (P3_2XLARGE, P3_8XLARGE, P3DN_24XLARGE, P4D_24XLARGE)
+}
+
+
+def get_instance(name: str) -> InstanceType:
+    """Look up a built-in instance type by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown instance {name!r}; available: {sorted(_REGISTRY)}") from None
+
+
+def available_instances() -> Dict[str, InstanceType]:
+    """Return a copy of the built-in instance registry."""
+    return dict(_REGISTRY)

@@ -1,0 +1,166 @@
+"""Builders for user-defined architectures.
+
+The zoo covers the paper's workloads; these helpers let a user model
+*their* network without hand-writing :class:`LayerSpec` lists:
+
+* :func:`mlp_model` — dense stacks (recommenders, tabular models);
+* :func:`simple_cnn` — plain conv/pool stacks (non-residual CNNs);
+* :func:`scaled_model` — an existing spec with every layer width
+  multiplied (capacity what-ifs: "what if my model were 4x wider?").
+
+All return ordinary :class:`~repro.models.ModelSpec` objects, so the
+performance model, simulator and advisor work on them unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..units import FLOAT32_BYTES
+from .flops import conv2d_flops, linear_flops, norm_flops, pool_flops
+from .layers import LayerSpec, ModelSpec
+
+
+def mlp_model(name: str, input_dim: int, hidden_dims: Sequence[int],
+              num_classes: int, default_batch_size: int = 256,
+              compute_efficiency: float = 0.7) -> ModelSpec:
+    """A fully connected network spec.
+
+    Dense layers are communication-heavy relative to their compute
+    (VGG's pathology, concentrated) — useful for exploring the paper's
+    "low compute density" workload trend.
+    """
+    if input_dim < 1 or num_classes < 2:
+        raise ConfigurationError(
+            f"invalid dims: input={input_dim}, classes={num_classes}")
+    dims = (input_dim, *hidden_dims, num_classes)
+    if any(d < 1 for d in dims):
+        raise ConfigurationError(f"all dims must be >= 1, got {dims}")
+    layers: List[LayerSpec] = []
+    for i, (fan_in, fan_out) in enumerate(zip(dims, dims[1:])):
+        layers.append(LayerSpec(
+            name=f"fc{i}", kind="linear",
+            param_shape=(fan_out, fan_in),
+            matrix_shape=(fan_out, fan_in),
+            extra_params=fan_out,
+            fwd_flops_per_sample=linear_flops(fan_in, fan_out),
+            activation_bytes_per_sample=fan_out * FLOAT32_BYTES,
+        ))
+    return ModelSpec(
+        name=name, layers=tuple(layers),
+        default_batch_size=default_batch_size,
+        sample_description=f"{input_dim}-dim feature vector",
+        compute_efficiency=compute_efficiency,
+        batch_half_saturation=32.0,
+        gather_granularity="layer",
+    )
+
+
+def simple_cnn(name: str, input_hw: int, channels: Sequence[int],
+               num_classes: int, kernel: int = 3,
+               default_batch_size: int = 64,
+               compute_efficiency: float = 1.0) -> ModelSpec:
+    """A plain conv stack: conv-norm per stage, 2x pool between stages,
+    global pool, classifier."""
+    if input_hw < 2 ** len(channels):
+        raise ConfigurationError(
+            f"input_hw={input_hw} too small for {len(channels)} "
+            f"pooling stages")
+    if num_classes < 2 or kernel < 1:
+        raise ConfigurationError(
+            f"invalid num_classes={num_classes} or kernel={kernel}")
+    layers: List[LayerSpec] = []
+    cin, hw = 3, input_hw
+    for i, cout in enumerate(channels):
+        if cout < 1:
+            raise ConfigurationError(f"channel widths must be >= 1")
+        layers.append(LayerSpec(
+            name=f"conv{i}", kind="conv",
+            param_shape=(cout, cin, kernel, kernel),
+            matrix_shape=(cout, cin * kernel * kernel),
+            fwd_flops_per_sample=conv2d_flops(cin, cout, kernel, hw, hw),
+            activation_bytes_per_sample=cout * hw * hw * FLOAT32_BYTES,
+        ))
+        layers.append(LayerSpec(
+            name=f"norm{i}", kind="norm", extra_params=2 * cout,
+            fwd_flops_per_sample=norm_flops(cout, hw * hw),
+            activation_bytes_per_sample=cout * hw * hw * FLOAT32_BYTES,
+        ))
+        hw //= 2
+        layers.append(LayerSpec(
+            name=f"pool{i}", kind="pool",
+            fwd_flops_per_sample=pool_flops(cout, hw, hw, 2),
+            activation_bytes_per_sample=cout * hw * hw * FLOAT32_BYTES,
+        ))
+        cin = cout
+    layers.append(LayerSpec(
+        name="head", kind="linear",
+        param_shape=(num_classes, cin),
+        matrix_shape=(num_classes, cin),
+        extra_params=num_classes,
+        fwd_flops_per_sample=linear_flops(cin, num_classes),
+        activation_bytes_per_sample=num_classes * FLOAT32_BYTES,
+    ))
+    return ModelSpec(
+        name=name, layers=tuple(layers),
+        default_batch_size=default_batch_size,
+        sample_description=f"{input_hw}x{input_hw} RGB image",
+        compute_efficiency=compute_efficiency,
+        batch_half_saturation=16.0,
+        gather_granularity="layer",
+    )
+
+
+def scaled_model(base: ModelSpec, width_factor: float,
+                 name: str = "") -> ModelSpec:
+    """A capacity what-if: every layer's width multiplied.
+
+    Parameter counts and FLOPs scale quadratically with width (both
+    fan-in and fan-out grow), activations linearly — the trend behind
+    "larger models are more communication-heavy".
+    """
+    if width_factor <= 0:
+        raise ConfigurationError(
+            f"width_factor must be > 0, got {width_factor}")
+
+    def scale_dim(d: int) -> int:
+        return max(1, int(round(d * width_factor)))
+
+    layers: List[LayerSpec] = []
+    for layer in base.layers:
+        if layer.param_shape:
+            new_shape = tuple(scale_dim(d) for d in layer.param_shape)
+            m = scale_dim(layer.matrix_shape[0]) if layer.has_matrix else 0
+            # Keep matrix_shape consistent with the scaled param shape.
+            numel = 1
+            for d in new_shape:
+                numel *= d
+            if layer.has_matrix and m > 0 and numel % m == 0:
+                new_matrix = (m, numel // m)
+            elif layer.has_matrix:
+                new_matrix = (numel, 1)
+            else:
+                new_matrix = (0, 0)
+        else:
+            new_shape, new_matrix = (), (0, 0)
+        layers.append(LayerSpec(
+            name=layer.name, kind=layer.kind,
+            param_shape=new_shape,
+            matrix_shape=new_matrix,
+            extra_params=scale_dim(layer.extra_params)
+            if layer.extra_params else 0,
+            fwd_flops_per_sample=layer.fwd_flops_per_sample
+            * width_factor ** 2,
+            activation_bytes_per_sample=layer.activation_bytes_per_sample
+            * width_factor,
+        ))
+    return ModelSpec(
+        name=name or f"{base.name}-x{width_factor:g}",
+        layers=tuple(layers),
+        default_batch_size=base.default_batch_size,
+        sample_description=base.sample_description,
+        compute_efficiency=base.compute_efficiency,
+        batch_half_saturation=base.batch_half_saturation,
+        gather_granularity=base.gather_granularity,
+    )

@@ -1,0 +1,76 @@
+"""FLOP accounting helpers for the model zoo.
+
+Conventions (shared by the whole library):
+
+* one multiply-accumulate counts as **2 FLOPs**;
+* forward FLOPs are per *sample* (the batch multiplies in later);
+* the backward pass of a layer costs **2x** its forward pass (one
+  matmul-shaped pass for the input gradient, one for the weight gradient),
+  the standard approximation used by performance studies of DNN training.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+#: Backward-to-forward FLOP ratio for trainable layers.
+BACKWARD_FLOP_RATIO = 2.0
+
+
+def conv2d_flops(in_channels: int, out_channels: int, kernel: int,
+                 out_h: int, out_w: int, groups: int = 1) -> float:
+    """Forward FLOPs of a 2D convolution for one sample.
+
+    ``2 * K*K * (Cin/groups) * Cout * Hout * Wout``.
+    """
+    _check_positive(in_channels=in_channels, out_channels=out_channels,
+                    kernel=kernel, out_h=out_h, out_w=out_w, groups=groups)
+    if in_channels % groups or out_channels % groups:
+        raise ConfigurationError(
+            f"channels ({in_channels}, {out_channels}) not divisible by "
+            f"groups={groups}")
+    return 2.0 * kernel * kernel * (in_channels // groups) * out_channels * out_h * out_w
+
+
+def linear_flops(in_features: int, out_features: int, tokens: int = 1) -> float:
+    """Forward FLOPs of a dense layer applied to ``tokens`` positions."""
+    _check_positive(in_features=in_features, out_features=out_features,
+                    tokens=tokens)
+    return 2.0 * in_features * out_features * tokens
+
+
+def attention_flops(seq_len: int, hidden: int, num_heads: int) -> float:
+    """Forward FLOPs of the score/weighted-sum part of self-attention.
+
+    Covers ``QK^T`` and ``softmax(..)V`` (``2 * 2 * L^2 * H`` total); the
+    Q/K/V/output projections are ordinary linear layers and accounted
+    separately.  ``num_heads`` does not change the FLOP count (heads
+    partition the hidden dimension) but is validated for sanity.
+    """
+    _check_positive(seq_len=seq_len, hidden=hidden, num_heads=num_heads)
+    if hidden % num_heads:
+        raise ConfigurationError(
+            f"hidden={hidden} not divisible by num_heads={num_heads}")
+    return 2.0 * 2.0 * seq_len * seq_len * hidden
+
+
+def norm_flops(num_features: int, positions: int = 1) -> float:
+    """Forward FLOPs of a batch/layer-norm over ``positions`` locations.
+
+    Normalization is memory-bound; we charge ~8 FLOPs per element so the
+    compute model does not treat it as free.
+    """
+    _check_positive(num_features=num_features, positions=positions)
+    return 8.0 * num_features * positions
+
+
+def pool_flops(channels: int, out_h: int, out_w: int, kernel: int) -> float:
+    """Forward FLOPs of a pooling layer (one op per element in window)."""
+    _check_positive(channels=channels, out_h=out_h, out_w=out_w, kernel=kernel)
+    return float(channels * out_h * out_w * kernel * kernel)
+
+
+def _check_positive(**kwargs: float) -> None:
+    for key, value in kwargs.items():
+        if value <= 0:
+            raise ConfigurationError(f"{key} must be > 0, got {value}")

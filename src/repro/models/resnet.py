@@ -1,0 +1,163 @@
+"""ResNet model specs (He et al., 2016), built layer-by-layer.
+
+The builders mirror the torchvision bottleneck ResNets for 224x224
+ImageNet inputs: a 7x7 stem, four stages of bottleneck blocks (stride-2 at
+the entry of stages 2-4, applied at the 3x3 convolution), and a final
+1000-way classifier.  Parameter counts come out at 25.6 M for ResNet-50
+(97 MB fp32) and 44.5 M for ResNet-101 (170 MB) — the sizes the paper
+quotes.
+
+Only metadata is produced (see :mod:`repro.models.layers`); nothing here
+allocates weights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..units import FLOAT32_BYTES
+from .flops import conv2d_flops, linear_flops, norm_flops, pool_flops
+from .layers import LayerSpec, ModelSpec
+
+#: Bottleneck expansion factor (output channels = 4x bottleneck width).
+EXPANSION = 4
+
+#: Stage configurations: blocks per stage for each published depth.
+STAGE_BLOCKS = {
+    50: (3, 4, 6, 3),
+    101: (3, 4, 23, 3),
+    152: (3, 8, 36, 3),
+}
+
+
+def _conv(name: str, cin: int, cout: int, kernel: int,
+          out_hw: int) -> LayerSpec:
+    """A conv layer: weight ``(cout, cin, k, k)``, matrix view
+    ``(cout, cin*k*k)`` — the reshape the paper describes for low-rank
+    compression of 4D kernels."""
+    return LayerSpec(
+        name=name,
+        kind="conv",
+        param_shape=(cout, cin, kernel, kernel),
+        matrix_shape=(cout, cin * kernel * kernel),
+        fwd_flops_per_sample=conv2d_flops(cin, cout, kernel, out_hw, out_hw),
+        activation_bytes_per_sample=cout * out_hw * out_hw * FLOAT32_BYTES,
+    )
+
+
+def _bn(name: str, channels: int, out_hw: int) -> LayerSpec:
+    """BatchNorm: 2*C affine parameters, no low-rank matrix view."""
+    return LayerSpec(
+        name=name,
+        kind="norm",
+        extra_params=2 * channels,
+        fwd_flops_per_sample=norm_flops(channels, out_hw * out_hw),
+        activation_bytes_per_sample=channels * out_hw * out_hw * FLOAT32_BYTES,
+    )
+
+
+def _bottleneck(prefix: str, cin: int, width: int, stride: int,
+                in_hw: int) -> Tuple[List[LayerSpec], int, int]:
+    """Build one bottleneck block.
+
+    Returns the block's layers, its output channel count and output
+    spatial size.  The stride is applied at the 3x3 convolution
+    (torchvision convention).
+    """
+    out_hw = in_hw // stride
+    cout = width * EXPANSION
+    layers = [
+        _conv(f"{prefix}.conv1", cin, width, 1, in_hw),
+        _bn(f"{prefix}.bn1", width, in_hw),
+        _conv(f"{prefix}.conv2", width, width, 3, out_hw),
+        _bn(f"{prefix}.bn2", width, out_hw),
+        _conv(f"{prefix}.conv3", width, cout, 1, out_hw),
+        _bn(f"{prefix}.bn3", cout, out_hw),
+    ]
+    if stride != 1 or cin != cout:
+        layers.append(_conv(f"{prefix}.downsample.conv", cin, cout, 1, out_hw))
+        layers.append(_bn(f"{prefix}.downsample.bn", cout, out_hw))
+    return layers, cout, out_hw
+
+
+def build_resnet(depth: int, num_classes: int = 1000,
+                 input_hw: int = 224) -> ModelSpec:
+    """Build a bottleneck ResNet spec of the given published depth.
+
+    Args:
+        depth: 50, 101 or 152.
+        num_classes: Classifier width (1000 for ImageNet).
+        input_hw: Input spatial resolution; must be divisible by 32.
+
+    Raises:
+        ConfigurationError: on unsupported depth or resolution.
+    """
+    if depth not in STAGE_BLOCKS:
+        raise ConfigurationError(
+            f"unsupported ResNet depth {depth}; choose from "
+            f"{sorted(STAGE_BLOCKS)}")
+    if input_hw % 32 != 0 or input_hw <= 0:
+        raise ConfigurationError(
+            f"input_hw must be a positive multiple of 32, got {input_hw}")
+
+    layers: List[LayerSpec] = []
+    hw = input_hw // 2  # stem conv is stride 2
+    layers.append(_conv("conv1", 3, 64, 7, hw))
+    layers.append(_bn("bn1", 64, hw))
+    hw //= 2  # 3x3 max-pool, stride 2
+    layers.append(LayerSpec(
+        name="maxpool", kind="pool",
+        fwd_flops_per_sample=pool_flops(64, hw, hw, 3),
+        activation_bytes_per_sample=64 * hw * hw * FLOAT32_BYTES,
+    ))
+
+    cin = 64
+    for stage_idx, num_blocks in enumerate(STAGE_BLOCKS[depth]):
+        width = 64 * (2 ** stage_idx)
+        for block_idx in range(num_blocks):
+            stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+            block, cin, hw = _bottleneck(
+                f"layer{stage_idx + 1}.{block_idx}", cin, width, stride, hw)
+            layers.extend(block)
+
+    layers.append(LayerSpec(
+        name="avgpool", kind="pool",
+        fwd_flops_per_sample=pool_flops(cin, 1, 1, hw),
+        activation_bytes_per_sample=cin * FLOAT32_BYTES,
+    ))
+    layers.append(LayerSpec(
+        name="fc", kind="linear",
+        param_shape=(num_classes, cin),
+        matrix_shape=(num_classes, cin),
+        extra_params=num_classes,
+        fwd_flops_per_sample=linear_flops(cin, num_classes),
+        activation_bytes_per_sample=num_classes * FLOAT32_BYTES,
+    ))
+
+    return ModelSpec(
+        name=f"resnet{depth}",
+        layers=tuple(layers),
+        default_batch_size=64,
+        sample_description=f"{input_hw}x{input_hw} RGB image (ImageNet)",
+        # Calibrated against the paper's V100 measurements: ResNet-50
+        # backward at per-GPU batch 64 is ~122 ms (Table 2 discussion).
+        compute_efficiency=1.0,
+        batch_half_saturation=16.0,
+        gather_granularity="layer",
+    )
+
+
+def resnet50(**kwargs) -> ModelSpec:
+    """ResNet-50: 25.6 M parameters, 97 MB fp32 gradient."""
+    return build_resnet(50, **kwargs)
+
+
+def resnet101(**kwargs) -> ModelSpec:
+    """ResNet-101: 44.5 M parameters, 170 MB fp32 gradient."""
+    return build_resnet(101, **kwargs)
+
+
+def resnet152(**kwargs) -> ModelSpec:
+    """ResNet-152: 60.2 M parameters, 230 MB fp32 gradient."""
+    return build_resnet(152, **kwargs)

@@ -1,0 +1,199 @@
+"""Transformer model specs: BERT (encoder) and GPT-2 (decoder) families.
+
+Like the ResNet builders, these produce metadata-only :class:`ModelSpec`
+objects: exact parameter shapes per layer, forward FLOPs per sample (one
+sequence) and activation footprints.  BERT_BASE comes out at ~110 M
+parameters / ~438 MB fp32 — the paper rounds this to 418 MB; the ~5%
+difference is whether the pooler and token-type embeddings are counted
+and does not affect any trend we reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+from ..units import FLOAT32_BYTES
+from .flops import attention_flops, linear_flops, norm_flops
+from .layers import LayerSpec, ModelSpec
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Hyper-parameters shared by the BERT/GPT builders."""
+
+    name: str
+    vocab_size: int
+    hidden: int
+    num_layers: int
+    num_heads: int
+    intermediate: int
+    seq_len: int
+    max_positions: int
+    num_token_types: int = 0
+    num_classes: int = 0  # classification head width; 0 = LM head (tied)
+    default_batch_size: int = 12
+
+    def __post_init__(self) -> None:
+        for attr in ("vocab_size", "hidden", "num_layers", "num_heads",
+                     "intermediate", "seq_len", "max_positions"):
+            if getattr(self, attr) <= 0:
+                raise ConfigurationError(f"{self.name}: {attr} must be > 0")
+        if self.hidden % self.num_heads:
+            raise ConfigurationError(
+                f"{self.name}: hidden={self.hidden} not divisible by "
+                f"num_heads={self.num_heads}")
+        if self.seq_len > self.max_positions:
+            raise ConfigurationError(
+                f"{self.name}: seq_len={self.seq_len} exceeds "
+                f"max_positions={self.max_positions}")
+
+
+def _linear(name: str, cin: int, cout: int, tokens: int) -> LayerSpec:
+    return LayerSpec(
+        name=name, kind="linear",
+        param_shape=(cout, cin), matrix_shape=(cout, cin),
+        extra_params=cout,
+        fwd_flops_per_sample=linear_flops(cin, cout, tokens),
+        activation_bytes_per_sample=cout * tokens * FLOAT32_BYTES,
+    )
+
+
+def _layernorm(name: str, hidden: int, tokens: int) -> LayerSpec:
+    return LayerSpec(
+        name=name, kind="norm",
+        extra_params=2 * hidden,
+        fwd_flops_per_sample=norm_flops(hidden, tokens),
+        activation_bytes_per_sample=hidden * tokens * FLOAT32_BYTES,
+    )
+
+
+def _encoder_layer(prefix: str, cfg: TransformerConfig) -> List[LayerSpec]:
+    """One pre-/post-norm transformer block: QKV + attention + output
+    projection + 2-layer FFN + two layer norms."""
+    h, L = cfg.hidden, cfg.seq_len
+    layers = [
+        _linear(f"{prefix}.attn.q", h, h, L),
+        _linear(f"{prefix}.attn.k", h, h, L),
+        _linear(f"{prefix}.attn.v", h, h, L),
+        LayerSpec(
+            name=f"{prefix}.attn.scores", kind="attention",
+            fwd_flops_per_sample=attention_flops(L, h, cfg.num_heads),
+            activation_bytes_per_sample=(
+                cfg.num_heads * L * L * FLOAT32_BYTES),
+        ),
+        _linear(f"{prefix}.attn.out", h, h, L),
+        _layernorm(f"{prefix}.ln1", h, L),
+        _linear(f"{prefix}.ffn.in", h, cfg.intermediate, L),
+        _linear(f"{prefix}.ffn.out", cfg.intermediate, h, L),
+        _layernorm(f"{prefix}.ln2", h, L),
+    ]
+    return layers
+
+
+def build_transformer(cfg: TransformerConfig) -> ModelSpec:
+    """Build a transformer spec from a :class:`TransformerConfig`."""
+    h, L = cfg.hidden, cfg.seq_len
+    layers: List[LayerSpec] = [
+        LayerSpec(
+            name="embeddings.word", kind="embedding",
+            param_shape=(cfg.vocab_size, h),
+            matrix_shape=(cfg.vocab_size, h),
+            # Lookup is a gather; negligible FLOPs.
+            activation_bytes_per_sample=h * L * FLOAT32_BYTES,
+        ),
+        LayerSpec(
+            name="embeddings.position", kind="embedding",
+            param_shape=(cfg.max_positions, h),
+            matrix_shape=(cfg.max_positions, h),
+            activation_bytes_per_sample=h * L * FLOAT32_BYTES,
+        ),
+    ]
+    if cfg.num_token_types:
+        layers.append(LayerSpec(
+            name="embeddings.token_type", kind="embedding",
+            param_shape=(cfg.num_token_types, h),
+            matrix_shape=(cfg.num_token_types, h),
+            activation_bytes_per_sample=h * L * FLOAT32_BYTES,
+        ))
+    layers.append(_layernorm("embeddings.ln", h, L))
+
+    for i in range(cfg.num_layers):
+        layers.extend(_encoder_layer(f"encoder.{i}", cfg))
+
+    if cfg.num_classes:
+        # Fine-tuning head (the paper fine-tunes BERT on Sogou News):
+        # a pooler over [CLS] plus a small classifier.
+        layers.append(_linear("pooler", h, h, 1))
+        layers.append(LayerSpec(
+            name="classifier", kind="linear",
+            param_shape=(cfg.num_classes, h),
+            matrix_shape=(cfg.num_classes, h),
+            extra_params=cfg.num_classes,
+            fwd_flops_per_sample=linear_flops(h, cfg.num_classes),
+            activation_bytes_per_sample=cfg.num_classes * FLOAT32_BYTES,
+        ))
+    else:
+        # LM head tied to the word embedding: no extra parameters, but the
+        # vocabulary projection is real compute.
+        layers.append(LayerSpec(
+            name="lm_head", kind="linear",
+            fwd_flops_per_sample=linear_flops(h, cfg.vocab_size, L),
+            activation_bytes_per_sample=0.0,
+        ))
+
+    return ModelSpec(
+        name=cfg.name,
+        layers=tuple(layers),
+        default_batch_size=cfg.default_batch_size,
+        sample_description=f"sequence of {L} tokens",
+        # fp32 transformer kernels on V100 sustain a much smaller fraction
+        # of peak than cuDNN convolutions (no tensor cores used by the
+        # paper's fp32 baseline); calibrated so BERT_BASE backward at the
+        # paper's batch sizes lands where its reported speedups require.
+        compute_efficiency=0.4,
+        # A batch is already seq_len tokens wide, so the GPU saturates at
+        # batch size 1.
+        batch_half_saturation=0.0,
+    )
+
+
+#: BERT_BASE fine-tuned for 5-way classification (Sogou News, as in the
+#: paper's timing runs; long news documents -> full 512-token sequences,
+#: which is also what the paper's small BERT batch sizes of 10-12 imply).
+#: ~110 M params, ~438 MB fp32 gradient.
+BERT_BASE_CONFIG = TransformerConfig(
+    name="bert-base", vocab_size=30522, hidden=768, num_layers=12,
+    num_heads=12, intermediate=3072, seq_len=512, max_positions=512,
+    num_token_types=2, num_classes=5, default_batch_size=12,
+)
+
+#: BERT_LARGE with the same head. ~335 M params, ~1.3 GB fp32 gradient.
+BERT_LARGE_CONFIG = TransformerConfig(
+    name="bert-large", vocab_size=30522, hidden=1024, num_layers=24,
+    num_heads=16, intermediate=4096, seq_len=512, max_positions=512,
+    num_token_types=2, num_classes=5, default_batch_size=6,
+)
+
+#: GPT-2 small as a causal-LM workload (~124 M params).
+GPT2_SMALL_CONFIG = TransformerConfig(
+    name="gpt2-small", vocab_size=50257, hidden=768, num_layers=12,
+    num_heads=12, intermediate=3072, seq_len=1024, max_positions=1024,
+    num_token_types=0, num_classes=0, default_batch_size=4,
+)
+
+
+def bert_base() -> ModelSpec:
+    """BERT_BASE classification spec (the paper's language workload)."""
+    return build_transformer(BERT_BASE_CONFIG)
+
+
+def bert_large() -> ModelSpec:
+    """BERT_LARGE classification spec."""
+    return build_transformer(BERT_LARGE_CONFIG)
+
+
+def gpt2_small() -> ModelSpec:
+    """GPT-2-small causal LM spec (extension workload)."""
+    return build_transformer(GPT2_SMALL_CONFIG)

@@ -1,0 +1,73 @@
+"""VGG-16 spec: a low-compute-density, parameter-heavy workload.
+
+VGG-16 (138 M parameters, 528 MB fp32) is the canonical example of a
+model whose communication-to-computation ratio is much worse than the
+ResNets' — the regime the paper's §7 "workload trends" discussion says
+gradient compression could help.  We include it as an extension workload
+for the what-if analyses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+from ..units import FLOAT32_BYTES
+from .flops import conv2d_flops, linear_flops, pool_flops
+from .layers import LayerSpec, ModelSpec
+
+#: VGG-16 configuration "D": conv widths per stage, 'M' = 2x2 max-pool.
+_VGG16_CFG: Tuple = (64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+                     512, 512, 512, "M", 512, 512, 512, "M")
+
+
+def vgg16(num_classes: int = 1000, input_hw: int = 224) -> ModelSpec:
+    """Build the VGG-16 spec for ``input_hw`` x ``input_hw`` inputs."""
+    if input_hw % 32 != 0 or input_hw <= 0:
+        raise ConfigurationError(
+            f"input_hw must be a positive multiple of 32, got {input_hw}")
+    layers: List[LayerSpec] = []
+    cin, hw, conv_idx, pool_idx = 3, input_hw, 0, 0
+    for item in _VGG16_CFG:
+        if item == "M":
+            hw //= 2
+            layers.append(LayerSpec(
+                name=f"pool{pool_idx}", kind="pool",
+                fwd_flops_per_sample=pool_flops(cin, hw, hw, 2),
+                activation_bytes_per_sample=cin * hw * hw * FLOAT32_BYTES,
+            ))
+            pool_idx += 1
+            continue
+        cout = int(item)
+        layers.append(LayerSpec(
+            name=f"conv{conv_idx}", kind="conv",
+            param_shape=(cout, cin, 3, 3),
+            matrix_shape=(cout, cin * 9),
+            extra_params=cout,
+            fwd_flops_per_sample=conv2d_flops(cin, cout, 3, hw, hw),
+            activation_bytes_per_sample=cout * hw * hw * FLOAT32_BYTES,
+        ))
+        conv_idx += 1
+        cin = cout
+
+    flat = cin * hw * hw  # 512 * 7 * 7 for 224x224 inputs
+    for i, (fin, fout) in enumerate(
+            ((flat, 4096), (4096, 4096), (4096, num_classes))):
+        layers.append(LayerSpec(
+            name=f"fc{i}", kind="linear",
+            param_shape=(fout, fin),
+            matrix_shape=(fout, fin),
+            extra_params=fout,
+            fwd_flops_per_sample=linear_flops(fin, fout),
+            activation_bytes_per_sample=fout * FLOAT32_BYTES,
+        ))
+
+    return ModelSpec(
+        name="vgg16",
+        layers=tuple(layers),
+        default_batch_size=64,
+        sample_description=f"{input_hw}x{input_hw} RGB image (ImageNet)",
+        compute_efficiency=0.9,
+        batch_half_saturation=8.0,
+        gather_granularity="layer",
+    )

@@ -1,0 +1,72 @@
+"""Model registry.
+
+Central lookup used by experiments, examples and the CLI-ish helpers so a
+model can be named by string (``"resnet50"``) everywhere.  Builders are
+lazy: a spec is constructed on first request and cached, since specs are
+immutable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from .layers import ModelSpec
+from .resnet import resnet50, resnet101, resnet152
+from .transformer import bert_base, bert_large, gpt2_small
+from .vgg import vgg16
+
+_BUILDERS: Dict[str, Callable[[], ModelSpec]] = {
+    "resnet50": resnet50,
+    "resnet101": resnet101,
+    "resnet152": resnet152,
+    "bert-base": bert_base,
+    "bert-large": bert_large,
+    "gpt2-small": gpt2_small,
+    "vgg16": vgg16,
+}
+
+_CACHE: Dict[str, ModelSpec] = {}
+
+#: The three models the paper's evaluation section uses throughout.
+PAPER_MODELS = ("resnet50", "resnet101", "bert-base")
+
+
+def get_model(name: str) -> ModelSpec:
+    """Return the spec registered under ``name``.
+
+    Raises:
+        ConfigurationError: for unknown names, listing what is available.
+    """
+    if name not in _BUILDERS:
+        raise ConfigurationError(
+            f"unknown model {name!r}; available: {available_models()}")
+    if name not in _CACHE:
+        _CACHE[name] = _BUILDERS[name]()
+    return _CACHE[name]
+
+
+def available_models() -> List[str]:
+    """Sorted names of all registered models."""
+    return sorted(_BUILDERS)
+
+
+def register_model(name: str, builder: Callable[[], ModelSpec],
+                   overwrite: bool = False) -> None:
+    """Register a custom model builder under ``name``.
+
+    Args:
+        name: Registry key.
+        builder: Zero-argument callable returning a :class:`ModelSpec`.
+        overwrite: Allow replacing an existing entry.
+
+    Raises:
+        ConfigurationError: if the name is taken and ``overwrite`` is
+            False.
+    """
+    if name in _BUILDERS and not overwrite:
+        raise ConfigurationError(
+            f"model {name!r} already registered; pass overwrite=True to "
+            f"replace it")
+    _BUILDERS[name] = builder
+    _CACHE.pop(name, None)

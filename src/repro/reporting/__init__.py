@@ -1,0 +1,9 @@
+"""Terminal and markdown rendering of experiment outputs."""
+
+from .charts import bar_chart, line_chart, scaling_chart
+from .markdown import comparison_table, to_markdown
+
+__all__ = [
+    "line_chart", "bar_chart", "scaling_chart",
+    "to_markdown", "comparison_table",
+]

@@ -1,0 +1,115 @@
+"""ASCII charts for terminal-first reporting.
+
+The experiments produce tables; for the figures (scaling curves, sweeps)
+a picture helps even in a terminal.  These renderers are intentionally
+dependency-free and deterministic so examples and docs can embed their
+output verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: Marks assigned to series, in order.
+SERIES_MARKS = "ox+*#@%&"
+
+
+def _finite(values: Sequence[float]) -> List[float]:
+    return [v for v in values if math.isfinite(v)]
+
+
+def line_chart(series: Dict[str, Sequence[Tuple[float, float]]],
+               width: int = 60, height: int = 16,
+               x_label: str = "x", y_label: str = "y",
+               title: str = "") -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart.
+
+    Non-finite y values (OOM points) are skipped.  Series are drawn in
+    insertion order with marks from :data:`SERIES_MARKS`; collisions
+    render as ``'?'``.
+    """
+    if not series:
+        raise ConfigurationError("line_chart requires at least one series")
+    if width < 10 or height < 4:
+        raise ConfigurationError(
+            f"chart too small ({width}x{height}); min 10x4")
+    if len(series) > len(SERIES_MARKS):
+        raise ConfigurationError(
+            f"too many series ({len(series)}); max {len(SERIES_MARKS)}")
+
+    all_x = _finite([x for pts in series.values() for x, _ in pts])
+    all_y = _finite([y for pts in series.values() for _, y in pts
+                     if math.isfinite(y)])
+    if not all_x or not all_y:
+        raise ConfigurationError("no finite points to plot")
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (name, pts) in zip(SERIES_MARKS, series.items()):
+        for x, y in pts:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark if grid[row][col] in (" ", mark) else "?"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_val = y_hi - i / (height - 1) * y_span
+        prefix = f"{y_val:10.3g} |" if i % 4 == 0 or i == height - 1 \
+            else f"{'':>10} |"
+        lines.append(prefix + "".join(row))
+    lines.append(f"{'':>10} +" + "-" * width)
+    lines.append(f"{'':>12}{x_lo:<10.3g}{x_label:^{max(0, width - 20)}}"
+                 f"{x_hi:>10.3g}")
+    legend = "  ".join(f"{mark}={name}"
+                       for mark, name in zip(SERIES_MARKS, series))
+    lines.append(f"{'':>12}{legend}  ({y_label})")
+    return "\n".join(lines)
+
+
+def bar_chart(values: Dict[str, float], width: int = 50,
+              title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart of named values (NaN rendered as 'n/a')."""
+    if not values:
+        raise ConfigurationError("bar_chart requires at least one value")
+    finite = _finite(list(values.values()))
+    if not finite:
+        raise ConfigurationError("no finite values to plot")
+    v_max = max(finite)
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        if not math.isfinite(value):
+            lines.append(f"  {name:<{label_w}} | n/a")
+            continue
+        bar = "#" * max(1, int(value / v_max * width)) if v_max > 0 else ""
+        lines.append(f"  {name:<{label_w}} |{bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def scaling_chart(result, model: str, y_column: str = "mean_ms",
+                  x_column: str = "gpus", width: int = 60,
+                  height: int = 14) -> str:
+    """Chart one model's scaling curves from an
+    :class:`~repro.experiments.ExperimentResult` (fig 4/5/6 shapes)."""
+    schemes: Dict[str, List[Tuple[float, float]]] = {}
+    for row in result.rows:
+        if row.get("model") != model:
+            continue
+        schemes.setdefault(row["scheme"], []).append(
+            (float(row[x_column]), float(row[y_column])))
+    if not schemes:
+        raise ConfigurationError(
+            f"{result.experiment_id}: no rows for model {model!r}")
+    return line_chart(schemes, width=width, height=height,
+                      x_label=x_column, y_label=y_column,
+                      title=f"{result.experiment_id}: {model}")

@@ -1,0 +1,73 @@
+"""Markdown export for experiment results.
+
+``render_table`` (on :class:`~repro.experiments.ExperimentResult`)
+targets terminals; this module renders the same rows as GitHub-flavoured
+markdown so regenerated exhibits can be pasted into EXPERIMENTS.md or a
+report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..errors import ConfigurationError
+
+
+def _fmt(value: Any, float_format: str) -> str:
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def to_markdown(result, float_format: str = "{:.1f}",
+                columns: Sequence[str] = ()) -> str:
+    """Render an ExperimentResult as a markdown table.
+
+    Args:
+        result: Any object with ``columns``, ``rows``, ``title``,
+            ``experiment_id`` and ``notes`` (duck-typed so reporting does
+            not import experiments).
+        float_format: Format spec applied to floats.
+        columns: Subset/order of columns; defaults to all.
+    """
+    cols = list(columns) if columns else list(result.columns)
+    missing = [c for c in cols if c not in result.columns]
+    if missing:
+        raise ConfigurationError(
+            f"{result.experiment_id}: unknown columns {missing}")
+    lines = [
+        f"### {result.experiment_id}: {result.title}",
+        "",
+        "| " + " | ".join(cols) + " |",
+        "|" + "|".join("---" for _ in cols) + "|",
+    ]
+    for row in result.rows:
+        lines.append(
+            "| " + " | ".join(_fmt(row[c], float_format) for c in cols)
+            + " |")
+    for note in result.notes:
+        lines.append(f"\n*{note}*")
+    return "\n".join(lines)
+
+
+def comparison_table(rows: Sequence[dict], baseline_key: str,
+                     candidate_key: str, label_key: str,
+                     float_format: str = "{:.1f}") -> str:
+    """Markdown table of candidate-vs-baseline with a speedup column."""
+    if not rows:
+        raise ConfigurationError("comparison_table requires rows")
+    lines = [
+        f"| {label_key} | {baseline_key} | {candidate_key} | speedup |",
+        "|---|---|---|---|",
+    ]
+    for row in rows:
+        base = float(row[baseline_key])
+        cand = float(row[candidate_key])
+        if base <= 0:
+            raise ConfigurationError(
+                f"baseline must be > 0, got {base} for {row[label_key]}")
+        speedup = (base - cand) / base
+        lines.append(
+            f"| {row[label_key]} | {_fmt(base, float_format)} | "
+            f"{_fmt(cand, float_format)} | {speedup:+.1%} |")
+    return "\n".join(lines)

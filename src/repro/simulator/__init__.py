@@ -1,0 +1,19 @@
+"""Discrete-event cluster training simulator (the paper's testbed stand-in)."""
+
+from .ddp import DDPConfig, DDPSimulator, TimingResult
+from .events import EventQueue
+from .export import trace_to_chrome_json, trace_to_events, write_chrome_trace
+from .trace import (
+    COMM_STREAM,
+    COMPUTE_STREAM,
+    IterationTrace,
+    Span,
+    estimate_gamma,
+)
+
+__all__ = [
+    "EventQueue", "Span", "IterationTrace", "estimate_gamma",
+    "COMPUTE_STREAM", "COMM_STREAM",
+    "DDPConfig", "DDPSimulator", "TimingResult",
+    "trace_to_events", "trace_to_chrome_json", "write_chrome_trace",
+]

@@ -1,0 +1,475 @@
+"""Discrete-event simulation of one data-parallel training iteration.
+
+Implements the mechanisms PyTorch DDP / Horovod use and the paper's §2.2
+describes:
+
+* **gradient bucketing** — gradients are grouped into ~25 MB buckets in
+  backward order; all-reduce launches per bucket;
+* **communication/computation overlap** — bucket all-reduces run on a
+  separate stream while the backward pass continues; the backward is
+  stretched by the contention factor γ (> 1) while overlap is active;
+* **the un-overlappable last bucket** — the final bucket only becomes
+  ready when the backward pass ends, the ``T_comm(b̂)`` term;
+* **compression execution** — per the paper's §3.1 finding, compression
+  runs *sequentially after* the backward pass by default (encode →
+  collective(s) → decode); the overlapped mode of Figure 3, where encode
+  work interleaves with the backward under a compute-contention penalty,
+  is available via :attr:`DDPConfig.overlap_compression`;
+* **all-gather fallback** — non-all-reducible schemes pay the
+  linear-in-p all-gather, including the fabric's incast degradation
+  (which the analytic model deliberately omits);
+* **memory accounting** — gather-based schemes stack decoded payloads;
+  when ``stack_bytes * p`` plus the training footprint exceeds GPU
+  memory, the simulated run raises :class:`~repro.errors.OutOfMemoryError`
+  exactly where the paper's BERT runs died beyond 32 GPUs.
+
+Every iteration yields an :class:`~repro.simulator.trace.IterationTrace`
+whose ``sync_time()`` is the paper's reported per-iteration metric
+("time for gradient computation and synchronization").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..collectives import (
+    allgather_time,
+    double_tree_allreduce_time,
+    hierarchical_allreduce_time,
+    parameter_server_time,
+    ring_allreduce_time,
+)
+from ..compute import ComputeModel
+from ..errors import ConfigurationError, OutOfMemoryError, SimulationError
+from ..hardware import ClusterConfig
+from ..models import ModelSpec
+from ..network import Fabric
+from ..compression.kernel_cost import KernelProfile, v100_kernel_profile
+from ..compression.schemes import Scheme, SchemeCost, SyncSGDScheme
+from ..units import MIB
+from .events import EventQueue
+from .trace import COMM_STREAM, COMPUTE_STREAM, IterationTrace, Span
+
+
+@dataclass(frozen=True)
+class DDPConfig:
+    """Knobs of the simulated DDP engine.
+
+    Attributes:
+        bucket_cap_bytes: Gradient bucket capacity (PyTorch default 25 MB).
+        overlap_communication: Launch bucket all-reduces during backward
+            (the DDP optimization; disable for the no-overlap ablation).
+        gamma: Backward-pass stretch factor while communication overlaps
+            (> 1; the paper measures it from Nsight traces).
+        overlap_compression: Run compression concurrently with backward
+            (Figure 3's losing strategy) instead of sequentially after it.
+        contention_penalty: Combined-stream stretch when compression and
+            backward share the GPU (> 1; §3.1's resource contention).
+            Calibrated to 1.4 so that all three of the paper's Figure 3
+            methods — including signSGD, whose encode is nearly free —
+            come out slower overlapped than sequential, as measured.
+        allreduce_algorithm: ``"ring"`` (the paper forces this via
+            NCCL_TREE_THRESHOLD=0), ``"double_tree"``, ``"hierarchical"``
+            (NVLink reduce within the node, ring across nodes — NCCL's
+            multi-GPU-node strategy), or ``"parameter_server"`` (the
+            central topology all-reduce displaced, §2.2 — incl. the
+            server NIC's incast).
+        hook_overhead_per_layer_s: Framework integration cost per
+            trainable layer when a compression hook runs: extracting the
+            gradient, reshaping, copying the decompressed result back.
+            The paper's Table 2 explicitly *excludes* this ("we disregard
+            the time for extracting gradients, or copying back"), but the
+            measured end-to-end runs pay it — the simulator charges it on
+            the compressed execution paths only.
+        compute_jitter: Lognormal sigma on compute spans.
+        comm_jitter: Lognormal sigma on communication spans (networks are
+            noisier than GPUs; the paper's error bars are wide).
+        check_memory: Enforce the GPU memory budget.
+    """
+
+    bucket_cap_bytes: float = 25 * MIB
+    overlap_communication: bool = True
+    gamma: float = 1.10
+    overlap_compression: bool = False
+    contention_penalty: float = 1.4
+    allreduce_algorithm: str = "ring"
+    hook_overhead_per_layer_s: float = 6e-5
+    compute_jitter: float = 0.015
+    comm_jitter: float = 0.05
+    check_memory: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bucket_cap_bytes <= 0:
+            raise ConfigurationError("bucket_cap_bytes must be > 0")
+        if self.gamma < 1.0:
+            raise ConfigurationError(
+                f"gamma must be >= 1 (it is a slowdown), got {self.gamma}")
+        if self.contention_penalty < 1.0:
+            raise ConfigurationError(
+                f"contention_penalty must be >= 1, got {self.contention_penalty}")
+        if self.allreduce_algorithm not in ("ring", "double_tree",
+                                            "hierarchical",
+                                            "parameter_server"):
+            raise ConfigurationError(
+                f"unknown allreduce algorithm {self.allreduce_algorithm!r}")
+        if self.hook_overhead_per_layer_s < 0:
+            raise ConfigurationError(
+                "hook_overhead_per_layer_s must be >= 0")
+        if self.compute_jitter < 0 or self.comm_jitter < 0:
+            raise ConfigurationError("jitter sigmas must be >= 0")
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Statistics over simulated iterations (after warm-up discard).
+
+    ``sync_times`` holds the paper's metric per iteration; ``mean``/
+    ``std`` summarize it, matching the paper's 110-iterations-drop-10
+    methodology.
+    """
+
+    model: str
+    scheme: str
+    world_size: int
+    batch_size: int
+    sync_times: Tuple[float, ...]
+    iteration_times: Tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.sync_times))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.sync_times))
+
+    @property
+    def mean_iteration(self) -> float:
+        return float(np.mean(self.iteration_times))
+
+
+class DDPSimulator:
+    """Simulates data-parallel training of one model on one cluster."""
+
+    def __init__(self, model: ModelSpec, cluster: ClusterConfig,
+                 scheme: Optional[Scheme] = None,
+                 fabric: Optional[Fabric] = None,
+                 config: Optional[DDPConfig] = None,
+                 kernel_profile: Optional[KernelProfile] = None):
+        self.model = model
+        self.cluster = cluster
+        self.scheme: Scheme = scheme if scheme is not None else SyncSGDScheme()
+        self.fabric = fabric if fabric is not None else Fabric(cluster)
+        if self.fabric.cluster is not cluster and (
+                self.fabric.cluster.num_nodes != cluster.num_nodes
+                or self.fabric.cluster.instance.name != cluster.instance.name):
+            raise ConfigurationError(
+                "fabric was built for a different cluster")
+        self.config = config if config is not None else DDPConfig()
+        self.profile = (kernel_profile if kernel_profile is not None
+                        else v100_kernel_profile())
+        self.compute = ComputeModel(model, cluster.gpu)
+        self._is_baseline = isinstance(self.scheme, SyncSGDScheme)
+
+    # ----- memory ------------------------------------------------------------
+
+    def check_memory(self, batch_size: int) -> float:
+        """Validate the per-GPU memory budget; returns required bytes.
+
+        Raises:
+            OutOfMemoryError: when training state + activations + the
+                scheme's aggregation working set exceed GPU memory.
+        """
+        p = self.cluster.world_size
+        cost = self.scheme.cost(self.model, p, self.profile)
+        working = cost.aggregation_working_set(p)
+        fits, required = self.compute.fits_in_memory(batch_size, working)
+        if not fits:
+            raise OutOfMemoryError(
+                f"{self.model.name} with {self.scheme.label} at "
+                f"{p} GPUs needs {required / 1e9:.1f} GB "
+                f"(aggregation working set {working / 1e9:.1f} GB) but the "
+                f"{self.cluster.gpu.name} has "
+                f"{self.cluster.gpu.memory_bytes / 1e9:.1f} GB",
+                required_bytes=required,
+                budget_bytes=self.cluster.gpu.memory_bytes)
+        return required
+
+    # ----- communication pricing ----------------------------------------------
+
+    def _allreduce_time(self, num_bytes: float) -> float:
+        p = self.cluster.world_size
+        bw = self.fabric.min_bandwidth()
+        alpha = self.fabric.alpha_s
+        if self.config.allreduce_algorithm == "double_tree":
+            return double_tree_allreduce_time(num_bytes, p, bw, alpha)
+        if self.config.allreduce_algorithm == "hierarchical":
+            return hierarchical_allreduce_time(
+                num_bytes, self.cluster.num_nodes,
+                self.cluster.instance.gpus_per_node, bw,
+                self.cluster.instance.intra_node_bytes_per_s, alpha)
+        if self.config.allreduce_algorithm == "parameter_server":
+            return parameter_server_time(
+                num_bytes, p, bw, alpha,
+                incast_factor=self.fabric.incast_factor(max(1, p - 1)))
+        return ring_allreduce_time(num_bytes, p, bw, alpha)
+
+    def _allgather_time(self, num_bytes: float) -> float:
+        p = self.cluster.world_size
+        return allgather_time(
+            num_bytes, p, self.fabric.min_bandwidth(), self.fabric.alpha_s,
+            incast_factor=self.fabric.incast_factor(max(1, p - 1)))
+
+    def _collective_time(self, cost: SchemeCost) -> float:
+        """Total communication seconds for a compressed gradient: one
+        collective per message over an even share of the payload."""
+        per_message = cost.wire_bytes / cost.messages
+        if cost.all_reducible:
+            single = self._allreduce_time(per_message)
+        else:
+            single = self._allgather_time(per_message)
+        return single * cost.messages
+
+    # ----- iteration simulation -----------------------------------------------
+
+    def simulate_iteration(self, batch_size: Optional[int] = None,
+                           rng: Optional[np.random.Generator] = None,
+                           ) -> IterationTrace:
+        """Simulate one iteration; returns its timeline trace."""
+        bs = batch_size if batch_size is not None else self.model.default_batch_size
+        if self.config.check_memory:
+            self.check_memory(bs)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if self._is_baseline or self.scheme.ddp_overlap:
+            # ddp_overlap schemes (fp16) compress inside the bucket hook:
+            # same event structure as syncSGD with scaled payloads.
+            return self._simulate_baseline(bs, rng)
+        if self.config.overlap_compression:
+            return self._simulate_compressed_overlapped(bs, rng)
+        return self._simulate_compressed_sequential(bs, rng)
+
+    # -- helpers
+
+    def _jitter(self, rng: np.random.Generator, sigma: float) -> float:
+        return float(rng.lognormal(mean=0.0, sigma=sigma)) if sigma > 0 else 1.0
+
+    def _hook_overhead(self) -> float:
+        """Per-iteration framework cost of running a compression hook over
+        every trainable layer (gradient extraction + copy-back)."""
+        return (self.config.hook_overhead_per_layer_s
+                * len(self.model.trainable_layers))
+
+    def _backward_layer_times(self, bs: int, stretch: float,
+                              rng: np.random.Generator) -> List[float]:
+        sigma = self.config.compute_jitter
+        return [
+            self.compute.layer_backward_time(layer, bs) * stretch
+            * self._jitter(rng, sigma)
+            for layer in self.model.backward_layers()
+        ]
+
+    def _simulate_baseline(self, bs: int,
+                           rng: np.random.Generator) -> IterationTrace:
+        """syncSGD (or a ddp_overlap scheme like fp16): bucketed,
+        overlapped all-reduce — the paper's §4.1 structure."""
+        p = self.cluster.world_size
+        cfg = self.config
+        trace = IterationTrace()
+        queue = EventQueue()
+
+        if self._is_baseline:
+            wire_scale, hook_cost = 1.0, 0.0
+        else:
+            cost = self.scheme.cost(self.model, p, self.profile)
+            wire_scale = cost.wire_bytes / self.model.grad_bytes
+            hook_cost = cost.encode_decode_s
+
+        overlap = cfg.overlap_communication and p > 1
+        stretch = cfg.gamma if overlap else 1.0
+
+        t_fwd = (self.compute.forward_time(bs)
+                 * self._jitter(rng, cfg.compute_jitter))
+        trace.add(Span(COMPUTE_STREAM, "forward", 0.0, t_fwd))
+        trace.forward_end = t_fwd
+
+        # Map each bucket to the index (in backward order) of the layer
+        # that completes it.
+        buckets = self.model.gradient_buckets(cfg.bucket_cap_bytes)
+        bucket_sizes = [sum(l.grad_bytes for l in b) for b in buckets]
+        backward_layers = self.model.backward_layers()
+        name_to_idx = {l.name: i for i, l in enumerate(backward_layers)}
+        bucket_close_idx = [
+            max(name_to_idx[l.name] for l in bucket) for bucket in buckets]
+
+        layer_times = self._backward_layer_times(bs, stretch, rng)
+        # Cumulative completion time of each backward layer.
+        completion = np.cumsum(layer_times) + t_fwd
+        trace.backward_end = float(completion[-1])
+        trace.add(Span(COMPUTE_STREAM, "backward", t_fwd, trace.backward_end))
+
+        comm_free = [t_fwd]  # comm stream availability
+
+        def make_comm_event(bucket_id: int, size: float):
+            def fire(q: EventQueue) -> None:
+                start = max(q.now, comm_free[0])
+                duration = (self._allreduce_time(size * wire_scale)
+                            if p > 1 else 0.0)
+                duration *= self._jitter(rng, cfg.comm_jitter)
+                end = start + duration
+                comm_free[0] = end
+                trace.add(Span(COMM_STREAM, f"bucket{bucket_id}", start, end))
+                trace.sync_end = max(trace.sync_end, end)
+            return fire
+
+        for bucket_id, (size, close_idx) in enumerate(
+                zip(bucket_sizes, bucket_close_idx)):
+            if overlap:
+                ready = float(completion[close_idx])
+            else:
+                ready = trace.backward_end
+            queue.schedule(ready, make_comm_event(bucket_id, size))
+
+        queue.run()
+        trace.sync_end = max(trace.sync_end, trace.backward_end)
+        if hook_cost > 0:
+            # Per-bucket cast cost (fp16): small and on the critical path.
+            end = trace.sync_end + hook_cost * self._jitter(
+                rng, cfg.compute_jitter)
+            trace.add(Span(COMPUTE_STREAM, "bucket-cast", trace.sync_end,
+                           end))
+            trace.sync_end = end
+        self._finish_optimizer(trace, rng)
+        return trace
+
+    def _simulate_compressed_sequential(self, bs: int,
+                                        rng: np.random.Generator,
+                                        ) -> IterationTrace:
+        """Compression after backward: encode -> collective(s) -> decode.
+
+        This is the execution the paper settles on after §3.1 and models
+        in §4.2: no overlap, so no γ, but the full encode/decode cost on
+        the critical path.
+        """
+        p = self.cluster.world_size
+        cfg = self.config
+        cost = self.scheme.cost(self.model, p, self.profile)
+        trace = IterationTrace()
+
+        t_fwd = (self.compute.forward_time(bs)
+                 * self._jitter(rng, cfg.compute_jitter))
+        trace.add(Span(COMPUTE_STREAM, "forward", 0.0, t_fwd))
+        trace.forward_end = t_fwd
+
+        t_bwd = (self.compute.backward_time(bs)
+                 * self._jitter(rng, cfg.compute_jitter))
+        trace.backward_end = t_fwd + t_bwd
+        trace.add(Span(COMPUTE_STREAM, "backward", t_fwd, trace.backward_end))
+
+        enc_dec = ((cost.encode_decode_s + self._hook_overhead())
+                   * self._jitter(rng, cfg.compute_jitter))
+        encode_end = trace.backward_end + enc_dec / 2.0
+        trace.add(Span(COMPUTE_STREAM, "encode", trace.backward_end, encode_end))
+
+        comm = 0.0 if p == 1 else (
+            self._collective_time(cost) * self._jitter(rng, cfg.comm_jitter))
+        comm_end = encode_end + comm
+        if comm > 0:
+            trace.add(Span(COMM_STREAM, "aggregate", encode_end, comm_end))
+
+        decode_end = comm_end + enc_dec / 2.0
+        trace.add(Span(COMPUTE_STREAM, "decode", comm_end, decode_end))
+        trace.sync_end = decode_end
+        self._finish_optimizer(trace, rng)
+        return trace
+
+    def _simulate_compressed_overlapped(self, bs: int,
+                                        rng: np.random.Generator,
+                                        ) -> IterationTrace:
+        """Figure 3's strategy: encode interleaves with backward.
+
+        Backward and compression contend for SMs, stretching their
+        *combined* work by ``contention_penalty``; compressed chunks
+        become ready progressively through the stretched phase and their
+        collectives overlap.  The paper shows this loses to sequential
+        execution; this mode exists to reproduce that comparison.
+        """
+        p = self.cluster.world_size
+        cfg = self.config
+        cost = self.scheme.cost(self.model, p, self.profile)
+        trace = IterationTrace()
+
+        t_fwd = (self.compute.forward_time(bs)
+                 * self._jitter(rng, cfg.compute_jitter))
+        trace.add(Span(COMPUTE_STREAM, "forward", 0.0, t_fwd))
+        trace.forward_end = t_fwd
+
+        t_bwd = (self.compute.backward_time(bs)
+                 * self._jitter(rng, cfg.compute_jitter))
+        enc_dec = ((cost.encode_decode_s + self._hook_overhead())
+                   * self._jitter(rng, cfg.compute_jitter))
+        encode_part = enc_dec / 2.0
+        stretched = (t_bwd + encode_part) * cfg.contention_penalty
+        compute_end = t_fwd + stretched
+        trace.backward_end = compute_end
+        trace.add(Span(
+            COMPUTE_STREAM, "backward+encode", t_fwd, compute_end))
+
+        # Compressed chunks stream out in four waves through the phase;
+        # the final wave only after the stretched phase completes.
+        comm_total = 0.0 if p == 1 else self._collective_time(cost)
+        comm_total *= self._jitter(rng, cfg.comm_jitter)
+        waves = 4
+        comm_free = t_fwd
+        sync_end = compute_end
+        for wave in range(waves):
+            ready = t_fwd + stretched * (wave + 1) / waves
+            start = max(ready, comm_free)
+            end = start + comm_total / waves
+            trace.add(Span(COMM_STREAM, f"wave{wave}", start, end))
+            comm_free = end
+            sync_end = end
+
+        decode_end = max(sync_end, compute_end) + enc_dec / 2.0
+        trace.add(Span(COMPUTE_STREAM, "decode",
+                       max(sync_end, compute_end), decode_end))
+        trace.sync_end = decode_end
+        self._finish_optimizer(trace, rng)
+        return trace
+
+    def _finish_optimizer(self, trace: IterationTrace,
+                          rng: np.random.Generator) -> None:
+        start = max(trace.sync_end, trace.backward_end)
+        t_opt = (self.compute.optimizer_time()
+                 * self._jitter(rng, self.config.compute_jitter))
+        trace.add(Span(COMPUTE_STREAM, "optimizer", start, start + t_opt))
+        trace.iteration_end = start + t_opt
+
+    # ----- multi-iteration runs -------------------------------------------------
+
+    def run(self, batch_size: Optional[int] = None, iterations: int = 110,
+            warmup: int = 10, seed: int = 0) -> TimingResult:
+        """Run the paper's measurement protocol: ``iterations`` simulated
+        iterations, discard the first ``warmup``, report the rest."""
+        if iterations <= warmup:
+            raise ConfigurationError(
+                f"iterations ({iterations}) must exceed warmup ({warmup})")
+        bs = batch_size if batch_size is not None else self.model.default_batch_size
+        rng = np.random.default_rng(seed)
+        sync_times: List[float] = []
+        iter_times: List[float] = []
+        for i in range(iterations):
+            trace = self.simulate_iteration(bs, rng)
+            if i >= warmup:
+                sync_times.append(trace.sync_time())
+                iter_times.append(trace.iteration_end)
+        return TimingResult(
+            model=self.model.name,
+            scheme=self.scheme.label,
+            world_size=self.cluster.world_size,
+            batch_size=bs,
+            sync_times=tuple(sync_times),
+            iteration_times=tuple(iter_times),
+        )

@@ -1,0 +1,79 @@
+"""Minimal discrete-event engine.
+
+The DDP simulator schedules compute-stream and communication-stream spans
+as events on a shared virtual clock.  The engine is deliberately small: a
+priority queue of timestamped callbacks with deterministic tie-breaking
+(insertion order), which is all the timeline construction needs while
+staying genuinely event-driven (bucket-ready events fire mid-backward and
+enqueue communication work).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+#: An event callback receives the engine so it can schedule follow-ups.
+Callback = Callable[["EventQueue"], None]
+
+
+class EventQueue:
+    """Priority queue of timestamped events with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callback]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, time: float, callback: Callback) -> None:
+        """Enqueue ``callback`` to fire at absolute virtual ``time``.
+
+        Scheduling into the past is an inconsistency, not a rounding
+        issue, so it raises.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at {time:.9f}s; clock is already "
+                f"at {self._now:.9f}s")
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def schedule_after(self, delay: float, callback: Callback) -> None:
+        """Enqueue ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        self.schedule(self._now + delay, callback)
+
+    def run(self, max_events: int = 1_000_000) -> float:
+        """Drain the queue; returns the final clock value.
+
+        ``max_events`` guards against accidental infinite event loops —
+        a healthy iteration simulation is a few hundred events.
+        """
+        while self._heap:
+            if self._processed >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {max_events} events — "
+                    f"likely a self-rescheduling loop")
+            time, _, callback = heapq.heappop(self._heap)
+            self._now = time
+            self._processed += 1
+            callback(self)
+        return self._now
+
+    def empty(self) -> bool:
+        """Whether any events remain."""
+        return not self._heap

@@ -1,0 +1,70 @@
+"""Export simulated traces to the Chrome trace-event format.
+
+``chrome://tracing`` (or Perfetto) renders the JSON produced here as the
+same two-lane timeline Nsight shows for real runs — compute stream on
+one track, communication on the other — which makes simulated iterations
+directly comparable with the paper's Figure 2.
+
+Format reference: the Trace Event Format's "complete" (``ph: "X"``)
+events with microsecond timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigurationError
+from .trace import COMM_STREAM, COMPUTE_STREAM, IterationTrace
+
+#: Track ids (thread ids in the trace-event model).
+_TRACK_IDS = {COMPUTE_STREAM: 1, COMM_STREAM: 2}
+
+#: Category per stream, for Perfetto filtering/coloring.
+_CATEGORIES = {COMPUTE_STREAM: "compute", COMM_STREAM: "network"}
+
+
+def trace_to_events(trace: IterationTrace,
+                    process_name: str = "worker0") -> List[Dict[str, Any]]:
+    """Convert a trace to a list of trace-event dicts."""
+    if not trace.spans:
+        raise ConfigurationError("trace has no spans to export")
+    events: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": 0,
+         "args": {"name": process_name}},
+    ]
+    for stream, tid in _TRACK_IDS.items():
+        events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                       "tid": tid, "args": {"name": stream}})
+    for span in sorted(trace.spans, key=lambda s: s.start):
+        tid = _TRACK_IDS.get(span.stream)
+        if tid is None:
+            raise ConfigurationError(
+                f"span on unknown stream {span.stream!r}")
+        events.append({
+            "name": span.label,
+            "cat": _CATEGORIES[span.stream],
+            "ph": "X",
+            "pid": 0,
+            "tid": tid,
+            "ts": span.start * 1e6,       # microseconds
+            "dur": span.duration * 1e6,
+        })
+    return events
+
+
+def trace_to_chrome_json(trace: IterationTrace,
+                         process_name: str = "worker0") -> str:
+    """Serialize a trace as a chrome://tracing-loadable JSON string."""
+    return json.dumps({
+        "traceEvents": trace_to_events(trace, process_name),
+        "displayTimeUnit": "ms",
+    }, indent=1)
+
+
+def write_chrome_trace(trace: IterationTrace, path: str,
+                       process_name: str = "worker0") -> None:
+    """Write the trace JSON to ``path``."""
+    payload = trace_to_chrome_json(trace, process_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)

@@ -1,0 +1,123 @@
+"""Timeline traces: the simulator's equivalent of an Nsight profile.
+
+Every simulated iteration produces a list of :class:`Span` records —
+(stream, label, start, end) — from which the experiments derive the
+quantities the paper measures from real Nsight traces: the stretched
+backward duration (for γ), per-bucket communication occupancy, and the
+Figure-2-style visualization in the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SimulationError
+
+#: Stream names used by the DDP simulator.
+COMPUTE_STREAM = "compute"
+COMM_STREAM = "comm"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One contiguous occupancy interval on a stream."""
+
+    stream: str
+    label: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"span {self.label!r} ends before it starts "
+                f"({self.start} -> {self.end})")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class IterationTrace:
+    """All spans of one simulated training iteration, plus key instants.
+
+    Attributes:
+        spans: Every stream occupancy interval.
+        forward_end: When the forward pass finished.
+        backward_end: When the last backward kernel finished.
+        sync_end: When the last gradient byte was aggregated — the end of
+            the paper's "gradient computation and synchronization" window.
+        iteration_end: After the optimizer step.
+    """
+
+    spans: List[Span] = field(default_factory=list)
+    forward_end: float = 0.0
+    backward_end: float = 0.0
+    sync_end: float = 0.0
+    iteration_end: float = 0.0
+
+    def add(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def stream_spans(self, stream: str) -> List[Span]:
+        """Spans of one stream in start order."""
+        return sorted((s for s in self.spans if s.stream == stream),
+                      key=lambda s: s.start)
+
+    def stream_busy_time(self, stream: str) -> float:
+        """Total occupied seconds on a stream (spans never overlap within
+        one stream by construction)."""
+        return sum(s.duration for s in self.stream_spans(stream))
+
+    def compute_comm_overlap(self) -> float:
+        """Seconds during which compute and comm streams are both busy —
+        the overlap DDP exists to create."""
+        compute = self.stream_spans(COMPUTE_STREAM)
+        comm = self.stream_spans(COMM_STREAM)
+        overlap = 0.0
+        for c in compute:
+            for m in comm:
+                overlap += max(
+                    0.0, min(c.end, m.end) - max(c.start, m.start))
+        return overlap
+
+    def sync_time(self) -> float:
+        """The paper's per-iteration measurement: backward start (==
+        forward end) to the end of gradient aggregation."""
+        return self.sync_end - self.forward_end
+
+    def render_ascii(self, width: int = 78) -> str:
+        """Render the two streams as an ASCII Gantt chart (Figure 2
+        style).  For humans; experiments never parse this."""
+        if not self.spans:
+            return "(empty trace)"
+        t_max = max(s.end for s in self.spans)
+        if t_max <= 0:
+            return "(zero-length trace)"
+        lines = []
+        for stream in (COMPUTE_STREAM, COMM_STREAM):
+            row = [" "] * width
+            for span in self.stream_spans(stream):
+                lo = int(span.start / t_max * (width - 1))
+                hi = max(lo + 1, int(span.end / t_max * (width - 1)))
+                mark = "#" if stream == COMPUTE_STREAM else "="
+                for i in range(lo, min(hi, width)):
+                    row[i] = mark
+            lines.append(f"{stream:>8s} |{''.join(row)}|")
+        lines.append(f"{'':>8s}  0.0{'':>{max(1, width - 16)}}{t_max * 1e3:8.1f} ms")
+        return "\n".join(lines)
+
+
+def estimate_gamma(distributed: IterationTrace,
+                   standalone_backward_s: float) -> float:
+    """The paper's §4.3 γ methodology: the ratio of the backward-pass
+    duration seen in a distributed trace to the standalone backward time
+    measured on one machine."""
+    if standalone_backward_s <= 0:
+        raise SimulationError(
+            f"standalone backward time must be > 0, "
+            f"got {standalone_backward_s}")
+    stretched = distributed.backward_end - distributed.forward_end
+    return stretched / standalone_backward_s

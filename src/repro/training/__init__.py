@@ -1,0 +1,22 @@
+"""Numeric training substrate: numpy NN + distributed compressed training."""
+
+from .data import Dataset, concentric_rings, gaussian_blobs, sparse_logits
+from .distributed import DistributedTrainer, TrainHistory, train_with_method
+from .nn import MLP, MLPConfig, cross_entropy, softmax
+from .optim import (
+    SGD,
+    Adam,
+    ConstantLR,
+    LRSchedule,
+    Optimizer,
+    StepDecayLR,
+    WarmupCosineLR,
+)
+
+__all__ = [
+    "MLP", "MLPConfig", "softmax", "cross_entropy",
+    "Dataset", "gaussian_blobs", "concentric_rings", "sparse_logits",
+    "DistributedTrainer", "TrainHistory", "train_with_method",
+    "Optimizer", "SGD", "Adam",
+    "LRSchedule", "ConstantLR", "StepDecayLR", "WarmupCosineLR",
+]

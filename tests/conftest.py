@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import ClusterConfig, cluster_for_gpus
+from repro.models import LayerSpec, ModelSpec, get_model
+from repro.network import Fabric
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for numeric tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def resnet50():
+    return get_model("resnet50")
+
+
+@pytest.fixture(scope="session")
+def resnet101():
+    return get_model("resnet101")
+
+
+@pytest.fixture(scope="session")
+def bert_base():
+    return get_model("bert-base")
+
+
+@pytest.fixture
+def tiny_model():
+    """A hand-built 3-layer model small enough to reason about exactly."""
+    layers = (
+        LayerSpec(name="fc1", kind="linear", param_shape=(8, 4),
+                  matrix_shape=(8, 4), extra_params=8,
+                  fwd_flops_per_sample=2.0 * 8 * 4,
+                  activation_bytes_per_sample=8 * 4),
+        LayerSpec(name="act", kind="pool",
+                  fwd_flops_per_sample=8.0,
+                  activation_bytes_per_sample=8 * 4),
+        LayerSpec(name="fc2", kind="linear", param_shape=(2, 8),
+                  matrix_shape=(2, 8), extra_params=2,
+                  fwd_flops_per_sample=2.0 * 2 * 8,
+                  activation_bytes_per_sample=2 * 4),
+    )
+    return ModelSpec(name="tiny", layers=layers, default_batch_size=4)
+
+
+@pytest.fixture
+def small_cluster():
+    """Two p3.8xlarge nodes = 8 GPUs."""
+    return cluster_for_gpus(8)
+
+
+@pytest.fixture
+def small_fabric(small_cluster):
+    return Fabric(small_cluster)

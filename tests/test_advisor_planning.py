@@ -1,0 +1,203 @@
+"""Advisor (§7 what-if for users) and planning extensions."""
+
+import math
+
+import pytest
+
+from repro.compression import (
+    PowerSGDScheme,
+    SignSGDScheme,
+    SyncSGDScheme,
+    TopKScheme,
+)
+from repro.core import (
+    PerfModelInputs,
+    batch_size_plan,
+    default_candidates,
+    epoch_time,
+    recommend,
+    recommend_for_inputs,
+    strong_scaling_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.hardware import cluster_for_gpus
+from repro.models import get_model
+from repro.units import gbps_to_bytes_per_s
+
+BW10 = gbps_to_bytes_per_s(10)
+
+
+def inputs(p=64, bw=BW10, bs=None):
+    return PerfModelInputs(world_size=p, bandwidth_bytes_per_s=bw,
+                           batch_size=bs)
+
+
+class TestAdvisor:
+    def test_bert_recommendation_is_powersgd(self):
+        rec = recommend(get_model("bert-base"), cluster_for_gpus(64),
+                        batch_size=12)
+        assert rec.best.scheme_label == "powersgd(rank=4)"
+        assert rec.best.speedup_vs_syncsgd > 0.10
+
+    def test_resnet_recommendation_is_not_aggressive_compression(self):
+        rec = recommend(get_model("resnet50"), cluster_for_gpus(32),
+                        batch_size=64)
+        assert rec.best.scheme_label in ("syncsgd", "fp16")
+
+    def test_gather_methods_flagged_infeasible_for_bert_at_scale(self):
+        rec = recommend(get_model("bert-base"), cluster_for_gpus(64),
+                        batch_size=12)
+        by_label = {v.scheme_label: v for v in rec.verdicts}
+        assert not by_label["signsgd"].feasible
+        assert not by_label["topk(1%)"].feasible
+        assert "GB" in by_label["signsgd"].note
+
+    def test_low_bandwidth_flips_the_answer(self):
+        slow = recommend_for_inputs(
+            get_model("resnet50"), inputs(bw=gbps_to_bytes_per_s(1),
+                                          bs=64))
+        assert slow.best.scheme_label.startswith("powersgd")
+
+    def test_syncsgd_always_present_and_feasible(self):
+        rec = recommend_for_inputs(get_model("resnet101"), inputs(bs=64))
+        sync = [v for v in rec.verdicts if v.scheme_label == "syncsgd"]
+        assert len(sync) == 1 and sync[0].feasible
+        assert sync[0].note == "baseline"
+
+    def test_custom_candidates(self):
+        rec = recommend_for_inputs(
+            get_model("resnet50"), inputs(bs=64),
+            candidates=[SyncSGDScheme(), TopKScheme(0.01)])
+        assert len(rec.verdicts) == 2
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            recommend_for_inputs(get_model("resnet50"), inputs(),
+                                 candidates=[])
+
+    def test_render_marks_best(self):
+        rec = recommend_for_inputs(get_model("bert-base"),
+                                   inputs(bs=12))
+        text = rec.render()
+        assert "->" in text and "baseline" in text
+
+    def test_default_candidates_cover_paper_methods(self):
+        labels = {c.name for c in default_candidates()}
+        assert {"syncsgd", "fp16", "powersgd", "topk", "signsgd"} <= labels
+
+
+class TestEpochPlanning:
+    def test_imagenet_epoch_magnitude(self):
+        est = epoch_time(get_model("resnet50"), SyncSGDScheme(),
+                         inputs(bs=64), dataset_samples=1_281_167)
+        assert est.iterations == math.ceil(1_281_167 / (64 * 64))
+        assert 30 < est.epoch_s < 300
+
+    def test_epoch_shrinks_with_more_workers(self):
+        small = epoch_time(get_model("resnet50"), SyncSGDScheme(),
+                           inputs(p=16, bs=64), dataset_samples=100_000)
+        large = epoch_time(get_model("resnet50"), SyncSGDScheme(),
+                           inputs(p=96, bs=64), dataset_samples=100_000)
+        assert large.epoch_s < small.epoch_s
+
+    def test_batch_plan_prefers_large_batches_per_epoch(self):
+        plan = batch_size_plan(get_model("resnet101"), SyncSGDScheme(),
+                               inputs(bs=64), dataset_samples=100_000,
+                               batch_sizes=(16, 32, 64))
+        epochs = [e.epoch_s for e in plan]
+        assert epochs == sorted(epochs, reverse=True)
+
+    def test_samples_per_s(self):
+        est = epoch_time(get_model("resnet50"), SyncSGDScheme(),
+                         inputs(p=32, bs=64), dataset_samples=10_000)
+        assert est.samples_per_s == pytest.approx(
+            32 * 64 / est.iteration_s)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            epoch_time(get_model("resnet50"), SyncSGDScheme(),
+                       inputs(), dataset_samples=0)
+        with pytest.raises(ConfigurationError):
+            batch_size_plan(get_model("resnet50"), SyncSGDScheme(),
+                            inputs(), 100, batch_sizes=())
+
+
+class TestStrongScaling:
+    def test_syncsgd_strong_scaling_saturates(self):
+        pts = strong_scaling_sweep(
+            get_model("resnet101"), SyncSGDScheme(), inputs(),
+            global_batch=2048, world_sizes=[16, 32, 64, 128])
+        speedups = [p.speedup_vs_min_world for p in pts]
+        # Far sub-linear (8x workers nowhere near 8x), and past the
+        # comm-bound knee adding workers stops helping at all.
+        assert max(speedups) < 3.0
+        assert speedups[-1] <= max(speedups)
+        assert pts[-1].per_gpu_batch == 16
+
+    def test_compression_helps_more_under_strong_scaling(self):
+        # §7 workload trends: shrinking per-GPU compute leaves comm
+        # exposed — compression's relative win grows with scale.
+        base = strong_scaling_sweep(
+            get_model("resnet101"), SyncSGDScheme(), inputs(),
+            global_batch=2048, world_sizes=[16, 128])
+        comp = strong_scaling_sweep(
+            get_model("resnet101"), PowerSGDScheme(4), inputs(),
+            global_batch=2048, world_sizes=[16, 128])
+        speedup_small = (base[0].iteration_s - comp[0].iteration_s) \
+            / base[0].iteration_s
+        speedup_large = (base[1].iteration_s - comp[1].iteration_s) \
+            / base[1].iteration_s
+        assert speedup_large > speedup_small
+
+    def test_world_must_divide_global_batch(self):
+        with pytest.raises(ConfigurationError):
+            strong_scaling_sweep(get_model("resnet50"), SyncSGDScheme(),
+                                 inputs(), global_batch=100,
+                                 world_sizes=[3])
+
+
+class TestTrainingCost:
+    def test_cost_math(self):
+        from repro.core import epoch_time, training_cost
+        from repro.compression import SyncSGDScheme
+        cluster = cluster_for_gpus(64)
+        est = epoch_time(get_model("resnet50"), SyncSGDScheme(),
+                         inputs(p=64, bs=64), dataset_samples=1_281_167)
+        cost = training_cost(est, cluster, epochs=90)
+        assert cost.epochs == 90
+        assert cost.wall_clock_s == pytest.approx(90 * est.epoch_s)
+        assert cost.node_hours == pytest.approx(
+            cost.wall_clock_s / 3600 * 16)
+        assert cost.total_usd == pytest.approx(
+            cost.node_hours * 12.24)
+        assert "node-hours" in cost.render()
+
+    def test_slower_scheme_costs_more(self):
+        from repro.core import epoch_time, training_cost
+        from repro.compression import SyncSGDScheme, TopKScheme
+        cluster = cluster_for_gpus(32)
+        base = training_cost(
+            epoch_time(get_model("resnet50"), SyncSGDScheme(),
+                       inputs(p=32, bs=64), dataset_samples=100_000),
+            cluster, epochs=10)
+        topk = training_cost(
+            epoch_time(get_model("resnet50"), TopKScheme(0.01),
+                       inputs(p=32, bs=64), dataset_samples=100_000),
+            cluster, epochs=10)
+        assert topk.total_usd > base.total_usd
+
+    def test_world_size_mismatch_rejected(self):
+        from repro.core import epoch_time, training_cost
+        from repro.compression import SyncSGDScheme
+        est = epoch_time(get_model("resnet50"), SyncSGDScheme(),
+                         inputs(p=64, bs=64), dataset_samples=1000)
+        with pytest.raises(ConfigurationError):
+            training_cost(est, cluster_for_gpus(32), epochs=1)
+
+    def test_zero_epochs_rejected(self):
+        from repro.core import epoch_time, training_cost
+        from repro.compression import SyncSGDScheme
+        est = epoch_time(get_model("resnet50"), SyncSGDScheme(),
+                         inputs(p=32, bs=64), dataset_samples=1000)
+        with pytest.raises(ConfigurationError):
+            training_cost(est, cluster_for_gpus(32), epochs=0)

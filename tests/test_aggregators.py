@@ -1,0 +1,243 @@
+"""Distributed aggregators: semantics, traffic accounting, state."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    ErrorFeedback,
+    FP16Compressor,
+    FP32Compressor,
+    GatherDecodeAggregator,
+    MajorityVoteAggregator,
+    MeanAllReduceAggregator,
+    PowerSGDAggregator,
+    SparseGatherAggregator,
+    TopKCompressor,
+    majority_vote,
+    make_aggregator,
+)
+from repro.errors import CompressionError, ConfigurationError
+
+
+def grads_for(rng, p, shape=(10, 6)):
+    return [rng.normal(size=shape) for _ in range(p)]
+
+
+class TestMeanAllReduce:
+    def test_fp32_is_exact_mean(self, rng):
+        grads = grads_for(rng, 4)
+        result = MeanAllReduceAggregator(4, FP32Compressor()).step(grads)
+        np.testing.assert_allclose(result.update, np.mean(grads, axis=0),
+                                   rtol=1e-10)
+
+    def test_bytes_constant_in_p(self, rng):
+        for p in (2, 8):
+            result = MeanAllReduceAggregator(p, FP32Compressor()).step(
+                grads_for(rng, p))
+            assert result.bytes_received_per_worker == (
+                result.bytes_sent_per_worker)
+
+    def test_collective_is_allreduce(self, rng):
+        result = MeanAllReduceAggregator(2, FP16Compressor()).step(
+            grads_for(rng, 2))
+        assert result.collective == "ring_allreduce"
+
+    def test_rejects_non_allreducible_codec(self):
+        with pytest.raises(CompressionError, match="not all-reducible"):
+            MeanAllReduceAggregator(2, TopKCompressor(0.1))
+
+    def test_wrong_worker_count_rejected(self, rng):
+        agg = MeanAllReduceAggregator(3, FP32Compressor())
+        with pytest.raises(CompressionError, match="expected 3"):
+            agg.step(grads_for(rng, 2))
+
+    def test_mismatched_shapes_rejected(self, rng):
+        agg = MeanAllReduceAggregator(2, FP32Compressor())
+        with pytest.raises(CompressionError, match="shape"):
+            agg.step([rng.normal(size=(3,)), rng.normal(size=(4,))])
+
+
+class TestMajorityVote:
+    def test_vote_semantics(self):
+        tensors = [np.array([-0.5, 2.0]), np.array([-0.1, -1.0]),
+                   np.array([-1.7, 3.0])]
+        # Paper's example: coords -0.5,-0.1,-1.7 vote to -1.
+        np.testing.assert_array_equal(
+            majority_vote([np.sign(t) for t in tensors]),
+            np.array([-1.0, 1.0]))
+
+    def test_aggregator_votes_signs(self, rng):
+        grads = grads_for(rng, 5)
+        result = MajorityVoteAggregator(5).step(grads)
+        expected = np.where(
+            np.sum([np.where(g >= 0, 1.0, -1.0) for g in grads],
+                   axis=0) >= 0, 1.0, -1.0)
+        np.testing.assert_array_equal(result.update, expected)
+
+    def test_received_bytes_linear_in_p(self, rng):
+        shapes = {}
+        for p in (2, 8):
+            result = MajorityVoteAggregator(p).step(grads_for(rng, p))
+            shapes[p] = result.bytes_received_per_worker
+        assert shapes[8] == pytest.approx(7 * shapes[2])
+
+    def test_collective_is_allgather(self, rng):
+        result = MajorityVoteAggregator(3).step(grads_for(rng, 3))
+        assert result.collective == "allgather"
+
+    def test_empty_vote_rejected(self):
+        with pytest.raises(CompressionError):
+            majority_vote([])
+
+
+class TestSparseGather:
+    def test_topk_with_ef_transmits_everything_eventually(self, rng):
+        # A constant gradient: error feedback must eventually push every
+        # coordinate through the top-k filter, so the *sum* of updates
+        # approaches steps * gradient.
+        agg = SparseGatherAggregator(2, TopKCompressor(0.25),
+                                     use_error_feedback=True)
+        target = rng.normal(size=(4, 4))
+        total = np.zeros_like(target)
+        steps = 200
+        for _ in range(steps):
+            total += agg.step([target, target]).update
+        np.testing.assert_allclose(total / steps, target, rtol=0.15,
+                                   atol=0.05)
+
+    def test_without_ef_small_coords_never_sent(self, rng):
+        agg = SparseGatherAggregator(2, TopKCompressor(0.25),
+                                     use_error_feedback=False)
+        target = np.arange(1.0, 17.0).reshape(4, 4)
+        update = agg.step([target, target]).update
+        # smallest 75% dropped forever
+        assert update[0, 0] == 0.0
+
+    def test_rejects_allreducible_codec(self):
+        with pytest.raises(CompressionError, match="all-reducible"):
+            SparseGatherAggregator(2, FP32Compressor())
+
+
+class TestPowerSGDAggregator:
+    def test_update_identical_across_calls_given_same_input(self, rng):
+        a1 = PowerSGDAggregator(3, rank=2, seed=5)
+        a2 = PowerSGDAggregator(3, rank=2, seed=5)
+        grads = grads_for(rng, 3)
+        np.testing.assert_allclose(a1.step(grads).update,
+                                   a2.step(grads).update)
+
+    def test_low_rank_mean_recovered_exactly(self, rng):
+        # If all workers hold the same rank-1 matrix, one power iteration
+        # reconstructs it exactly.
+        u, v = rng.normal(size=(8, 1)), rng.normal(size=(6, 1))
+        g = u @ v.T
+        agg = PowerSGDAggregator(4, rank=2, seed=0)
+        result = agg.step([g, g, g, g])
+        np.testing.assert_allclose(result.update, g, atol=1e-8)
+
+    def test_two_messages_and_allreduce(self, rng):
+        result = PowerSGDAggregator(2, rank=2).step(grads_for(rng, 2))
+        assert result.messages == 2
+        assert result.collective == "ring_allreduce"
+
+    def test_cumulative_updates_track_mean_gradient(self, rng):
+        # EF property: sum of applied updates ~ sum of true mean grads.
+        agg = PowerSGDAggregator(2, rank=1, seed=0)
+        target = rng.normal(size=(6, 5))
+        total = np.zeros_like(target)
+        steps = 60
+        for _ in range(steps):
+            total += agg.step([target, target]).update
+        np.testing.assert_allclose(total / steps, target, rtol=0.25,
+                                   atol=0.1)
+
+    def test_warm_start_state_reused(self, rng):
+        agg = PowerSGDAggregator(2, rank=2, seed=0)
+        grads = grads_for(rng, 2)
+        agg.step(grads)
+        q_after_first = agg._q.copy()
+        agg.step(grads)
+        assert agg._q.shape == q_after_first.shape
+        assert not np.allclose(agg._q, 0)
+
+    def test_wire_bytes_match_factors(self, rng):
+        result = PowerSGDAggregator(2, rank=3).step(
+            grads_for(rng, 2, shape=(10, 8)))
+        assert result.bytes_sent_per_worker == (10 * 3 + 8 * 3) * 4
+
+
+class TestGatherDecode:
+    def test_unbiased_codec_approximates_mean(self, rng):
+        agg = make_aggregator("qsgd", 4, levels=256)
+        grads = grads_for(rng, 4)
+        update = agg.step(grads).update
+        np.testing.assert_allclose(update, np.mean(grads, axis=0),
+                                   atol=0.2)
+
+    def test_received_linear_in_p(self, rng):
+        r2 = make_aggregator("terngrad", 2).step(grads_for(rng, 2))
+        r8 = make_aggregator("terngrad", 8).step(grads_for(rng, 8))
+        assert r8.bytes_received_per_worker == pytest.approx(
+            7 * r2.bytes_received_per_worker)
+
+    def test_rejects_allreducible(self):
+        with pytest.raises(CompressionError):
+            GatherDecodeAggregator(2, FP32Compressor())
+
+
+class TestErrorFeedback:
+    def test_first_round_has_no_residual(self, rng):
+        ef = ErrorFeedback(2)
+        g = rng.normal(size=5)
+        np.testing.assert_array_equal(ef.corrected(0, g), g)
+        assert ef.residual_norm(0) == 0.0
+
+    def test_residual_added_next_round(self, rng):
+        ef = ErrorFeedback(1)
+        g = rng.normal(size=5)
+        residual = rng.normal(size=5)
+        ef.store(0, residual)
+        np.testing.assert_allclose(ef.corrected(0, g), g + residual)
+        assert ef.residual_norm(0) == pytest.approx(
+            np.linalg.norm(residual))
+
+    def test_per_worker_isolation(self, rng):
+        ef = ErrorFeedback(2)
+        ef.store(0, np.ones(3))
+        np.testing.assert_array_equal(ef.corrected(1, np.zeros(3)),
+                                      np.zeros(3))
+
+    def test_reset(self, rng):
+        ef = ErrorFeedback(1)
+        ef.store(0, np.ones(3))
+        ef.reset()
+        assert ef.residual_norm(0) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        ef = ErrorFeedback(1)
+        ef.store(0, np.ones(3))
+        with pytest.raises(CompressionError, match="shape"):
+            ef.corrected(0, np.ones(4))
+
+    def test_bad_rank_rejected(self):
+        ef = ErrorFeedback(2)
+        with pytest.raises(CompressionError):
+            ef.corrected(5, np.ones(2))
+
+
+class TestRegistry:
+    def test_all_methods_construct_aggregators(self, rng):
+        from repro.compression import available_methods
+        grads = grads_for(rng, 3)
+        for name in available_methods():
+            agg = make_aggregator(name, 3)
+            result = agg.step(grads)
+            assert result.update.shape == grads[0].shape
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            make_aggregator("zipml", 2)
+
+    def test_signsgd_rejects_params(self):
+        with pytest.raises(ConfigurationError):
+            make_aggregator("signsgd", 2, rank=4)

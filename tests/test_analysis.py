@@ -1,0 +1,133 @@
+"""Blocked-time analysis and model sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    blocked_time_analysis,
+    model_sensitivities,
+    time_breakdown,
+)
+from repro.compression import PowerSGDScheme, SignSGDScheme, SyncSGDScheme
+from repro.core import PerfModelInputs
+from repro.errors import ConfigurationError
+from repro.hardware import cluster_for_gpus
+from repro.models import get_model
+from repro.simulator import DDPConfig, DDPSimulator
+from repro.units import gbps_to_bytes_per_s
+
+QUIET = DDPConfig(compute_jitter=0.0, comm_jitter=0.0)
+
+
+def quiet_trace(model_name, gpus, scheme=None, bs=None):
+    model = get_model(model_name)
+    sim = DDPSimulator(model, cluster_for_gpus(gpus), scheme=scheme,
+                       config=QUIET)
+    return sim.simulate_iteration(bs or model.default_batch_size,
+                                  np.random.default_rng(0))
+
+
+class TestTimeBreakdown:
+    def test_components_cover_compute_phases(self):
+        bd = time_breakdown(quiet_trace("resnet50", 32))
+        assert bd.forward > 0 and bd.backward > 0 and bd.optimizer > 0
+        assert bd.encode_decode == 0.0  # syncSGD does not encode
+
+    def test_hidden_plus_exposed_is_total_comm(self):
+        trace = quiet_trace("bert-base", 64, bs=12)
+        bd = time_breakdown(trace)
+        from repro.simulator import COMM_STREAM
+        assert bd.comm_hidden + bd.comm_exposed == pytest.approx(
+            trace.stream_busy_time(COMM_STREAM))
+
+    def test_compressed_run_shows_encode(self):
+        bd = time_breakdown(
+            quiet_trace("resnet50", 32, scheme=PowerSGDScheme(4)))
+        assert bd.encode_decode > 0.04  # >= Table 2's 45 ms
+
+    def test_render(self):
+        text = time_breakdown(quiet_trace("resnet50", 8)).render()
+        assert "backward" in text and "%" in text
+
+    def test_empty_trace_rejected(self):
+        from repro.simulator.trace import IterationTrace
+        with pytest.raises(ConfigurationError):
+            time_breakdown(IterationTrace())
+
+
+class TestBlockedTime:
+    def test_bert_syncsgd_network_matters(self):
+        report = blocked_time_analysis(
+            get_model("bert-base"), cluster_for_gpus(64))
+        assert report.speedup_if("network") > 0.10
+        assert report.speedup_if("encode") == pytest.approx(0.0, abs=0.01)
+
+    def test_powersgd_encode_matters_network_does_not(self):
+        report = blocked_time_analysis(
+            get_model("bert-base"), cluster_for_gpus(64),
+            scheme=PowerSGDScheme(4))
+        assert report.speedup_if("encode") > report.speedup_if("network")
+
+    def test_signsgd_network_bound_at_scale(self):
+        report = blocked_time_analysis(
+            get_model("resnet101"), cluster_for_gpus(96),
+            scheme=SignSGDScheme())
+        assert report.speedup_if("network") > 0.3
+
+    def test_counterfactuals_never_slower(self):
+        report = blocked_time_analysis(
+            get_model("resnet50"), cluster_for_gpus(32))
+        for what in ("network", "encode", "compute"):
+            assert report.speedup_if(what) >= -0.01, what
+
+    def test_unknown_counterfactual_rejected(self):
+        report = blocked_time_analysis(
+            get_model("resnet50"), cluster_for_gpus(8))
+        with pytest.raises(ConfigurationError):
+            report.speedup_if("luck")
+
+    def test_render(self):
+        report = blocked_time_analysis(
+            get_model("resnet50"), cluster_for_gpus(8))
+        assert "dominant bottleneck" in report.render()
+
+
+class TestSensitivities:
+    def inputs(self, bs):
+        return PerfModelInputs(world_size=64,
+                               bandwidth_bytes_per_s=gbps_to_bytes_per_s(10),
+                               batch_size=bs)
+
+    def test_comm_bound_syncsgd_sensitive_to_bandwidth(self):
+        sens = model_sensitivities(get_model("bert-base"),
+                                   SyncSGDScheme(), self.inputs(12))
+        assert sens.bandwidth < -0.1  # more bandwidth -> less time
+
+    def test_powersgd_sensitive_to_compute_not_bandwidth(self):
+        sens = model_sensitivities(get_model("bert-base"),
+                                   PowerSGDScheme(4), self.inputs(12))
+        assert abs(sens.compute) > 5 * abs(sens.bandwidth)
+        assert sens.most_sensitive() == "compute"
+
+    def test_syncsgd_has_zero_encode_sensitivity(self):
+        sens = model_sensitivities(get_model("resnet50"),
+                                   SyncSGDScheme(), self.inputs(64))
+        assert sens.encode == 0.0
+
+    def test_elasticities_bounded(self):
+        for scheme in (SyncSGDScheme(), PowerSGDScheme(4),
+                       SignSGDScheme()):
+            sens = model_sensitivities(get_model("resnet50"), scheme,
+                                       self.inputs(64))
+            for value in sens.as_dict().values():
+                assert abs(value) < 1.5
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            model_sensitivities(get_model("resnet50"), SyncSGDScheme(),
+                                self.inputs(64), epsilon=0.9)
+
+    def test_render(self):
+        sens = model_sensitivities(get_model("resnet50"),
+                                   SyncSGDScheme(), self.inputs(64))
+        assert "elasticities" in sens.render()

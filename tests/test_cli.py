@@ -1,0 +1,86 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_scheme, build_parser, main
+
+
+class TestSchemeParsing:
+    def test_bare_name(self):
+        assert _parse_scheme("signsgd").name == "signsgd"
+
+    def test_int_param(self):
+        scheme = _parse_scheme("powersgd:rank=8")
+        assert scheme.rank == 8
+
+    def test_float_param(self):
+        scheme = _parse_scheme("topk:fraction=0.05")
+        assert scheme.fraction == pytest.approx(0.05)
+
+    def test_multiple_params(self):
+        scheme = _parse_scheme("gradiveq:block=128,dims=16")
+        assert scheme.block == 128 and scheme.dims == 16
+
+    def test_bad_param_rejected(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            _parse_scheme("powersgd:rank")
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("experiment", "recommend", "whatif", "simulate"):
+            args = parser.parse_args(
+                [cmd] + (["table1"] if cmd == "experiment" else []))
+            assert args.command == cmd
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "powersgd" in out and "all_reduce" in out
+
+    def test_experiment_markdown(self, capsys):
+        assert main(["experiment", "table2", "--markdown"]) == 0
+        assert "| method |" in capsys.readouterr().out
+
+    def test_recommend(self, capsys):
+        assert main(["recommend", "--model", "resnet50", "--gpus", "16",
+                     "--batch", "64"]) == 0
+        assert "recommendation" in capsys.readouterr().out
+
+    def test_recommend_custom_bandwidth(self, capsys):
+        assert main(["recommend", "--model", "resnet50", "--gpus", "16",
+                     "--batch", "64", "--bandwidth", "1"]) == 0
+        out = capsys.readouterr().out
+        # at 1 Gbit/s compression wins
+        assert "powersgd" in out
+
+    def test_whatif(self, capsys):
+        assert main(["whatif", "--model", "resnet50", "--gpus", "32",
+                     "--batch", "64", "--scheme", "powersgd:rank=4"]) == 0
+        out = capsys.readouterr().out
+        assert "bandwidth sweep" in out and "compute sweep" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--model", "resnet50", "--gpus", "8",
+                     "--batch", "64", "--iterations", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "sync time" in out and "compute" in out
+
+    def test_simulate_with_scheme(self, capsys):
+        assert main(["simulate", "--model", "resnet50", "--gpus", "8",
+                     "--batch", "64", "--scheme", "signsgd",
+                     "--iterations", "15"]) == 0
+        assert "signsgd" in capsys.readouterr().out
+
+    def test_error_exit_code(self, capsys):
+        assert main(["whatif", "--model", "resnet50",
+                     "--scheme", "nosuch"]) == 2
+        assert "error:" in capsys.readouterr().err

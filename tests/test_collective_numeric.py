@@ -1,0 +1,147 @@
+"""Numeric collectives: step-level correctness."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    allgather,
+    broadcast,
+    is_allreduce_safe,
+    parameter_server_reduce,
+    reduce_scatter,
+    ring_allreduce,
+    tree_allreduce,
+)
+from repro.errors import CollectiveError
+
+
+def worker_arrays(rng, p, shape=(37,)):
+    return [rng.normal(size=shape) for _ in range(p)]
+
+
+class TestRingAllreduce:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 7, 8, 16])
+    def test_sum_for_any_world_size(self, rng, p):
+        arrays = worker_arrays(rng, p)
+        expected = np.sum(arrays, axis=0)
+        for out in ring_allreduce(arrays):
+            np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    def test_preserves_shape(self, rng):
+        arrays = worker_arrays(rng, 4, shape=(3, 5, 2))
+        for out in ring_allreduce(arrays):
+            assert out.shape == (3, 5, 2)
+
+    def test_inputs_not_mutated(self, rng):
+        arrays = worker_arrays(rng, 4)
+        copies = [a.copy() for a in arrays]
+        ring_allreduce(arrays)
+        for a, c in zip(arrays, copies):
+            np.testing.assert_array_equal(a, c)
+
+    def test_small_array_fewer_elements_than_workers(self, rng):
+        arrays = [rng.normal(size=3) for _ in range(8)]
+        expected = np.sum(arrays, axis=0)
+        for out in ring_allreduce(arrays):
+            np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    def test_custom_associative_op(self, rng):
+        arrays = [np.abs(a) for a in worker_arrays(rng, 5)]
+        out = ring_allreduce(arrays, op=np.maximum)
+        np.testing.assert_allclose(out[0], np.max(arrays, axis=0))
+
+    def test_mismatched_shapes_rejected(self, rng):
+        with pytest.raises(CollectiveError, match="shape"):
+            ring_allreduce([np.zeros(3), np.zeros(4)])
+
+    def test_mismatched_dtypes_rejected(self):
+        with pytest.raises(CollectiveError, match="dtype"):
+            ring_allreduce([np.zeros(3, dtype=np.float64),
+                            np.zeros(3, dtype=np.float32)])
+
+    def test_empty_world_rejected(self):
+        with pytest.raises(CollectiveError):
+            ring_allreduce([])
+
+
+class TestTreeAllreduce:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8, 13])
+    def test_sum_for_any_world_size(self, rng, p):
+        arrays = worker_arrays(rng, p)
+        expected = np.sum(arrays, axis=0)
+        for out in tree_allreduce(arrays):
+            np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    def test_agrees_with_ring(self, rng):
+        arrays = worker_arrays(rng, 6)
+        np.testing.assert_allclose(
+            tree_allreduce(arrays)[0], ring_allreduce(arrays)[0],
+            rtol=1e-10)
+
+
+class TestAllgather:
+    def test_everyone_gets_everything_in_rank_order(self, rng):
+        arrays = worker_arrays(rng, 4)
+        gathered = allgather(arrays)
+        assert len(gathered) == 4
+        for per_rank in gathered:
+            for rank, buf in enumerate(per_rank):
+                np.testing.assert_array_equal(buf, arrays[rank])
+
+    def test_heterogeneous_shapes_allowed(self, rng):
+        # Top-K payloads differ per worker; allgather must carry them.
+        arrays = [rng.normal(size=k) for k in (3, 7, 1)]
+        gathered = allgather(arrays)
+        assert [b.size for b in gathered[0]] == [3, 7, 1]
+
+    def test_received_volume_linear_in_p(self, rng):
+        for p in (2, 8):
+            gathered = allgather(worker_arrays(rng, p, shape=(10,)))
+            received = sum(b.size for b in gathered[0])
+            assert received == 10 * p
+
+
+class TestReduceScatterAndBroadcast:
+    def test_reduce_scatter_chunks(self, rng):
+        arrays = worker_arrays(rng, 4, shape=(20,))
+        total = np.sum(arrays, axis=0)
+        chunks = reduce_scatter(arrays)
+        np.testing.assert_allclose(np.concatenate(chunks), total,
+                                   rtol=1e-10)
+
+    def test_broadcast_from_root(self, rng):
+        arrays = worker_arrays(rng, 4)
+        out = broadcast(arrays, root=2)
+        for buf in out:
+            np.testing.assert_array_equal(buf, arrays[2])
+
+    def test_broadcast_bad_root(self, rng):
+        with pytest.raises(CollectiveError):
+            broadcast(worker_arrays(rng, 3), root=5)
+
+    def test_parameter_server_equals_sum(self, rng):
+        arrays = worker_arrays(rng, 5)
+        out = parameter_server_reduce(arrays)
+        np.testing.assert_allclose(out[0], np.sum(arrays, axis=0),
+                                   rtol=1e-10)
+
+
+class TestAllreduceSafety:
+    def test_addition_is_safe(self, rng):
+        assert is_allreduce_safe(lambda a, b: a + b,
+                                 worker_arrays(rng, 5))
+
+    def test_max_is_safe(self, rng):
+        assert is_allreduce_safe(np.maximum, worker_arrays(rng, 5))
+
+    def test_majority_vote_style_op_is_unsafe(self, rng):
+        # sign(sign(a)+sign(b)) depends on grouping: Table 1's reason
+        # signSGD cannot all-reduce.
+        def vote(a, b):
+            return np.sign(a + b)
+        assert not is_allreduce_safe(vote, worker_arrays(rng, 5))
+
+    def test_clipping_op_is_unsafe(self, rng):
+        def clipped_sum(a, b):
+            return np.clip(a + b, -0.5, 0.5)
+        assert not is_allreduce_safe(clipped_sum, worker_arrays(rng, 5))

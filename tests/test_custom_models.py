@@ -1,0 +1,122 @@
+"""Custom model builders and fabric degradation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import ClusterConfig
+from repro.models import get_model, mlp_model, scaled_model, simple_cnn
+from repro.network import Fabric
+
+
+class TestMLPModel:
+    def test_param_count(self):
+        model = mlp_model("rec", input_dim=100, hidden_dims=(50,),
+                          num_classes=10)
+        # 100*50+50 + 50*10+10
+        assert model.num_params == 5050 + 510
+
+    def test_usable_by_compute_model(self):
+        from repro.compute import ComputeModel
+        from repro.hardware import V100
+        model = mlp_model("rec", 512, (1024, 1024), 100)
+        cm = ComputeModel(model, V100)
+        assert cm.backward_time(256) > 0
+
+    def test_buckets_work(self):
+        model = mlp_model("big", 4096, (4096,) * 4, 1000)
+        assert len(model.gradient_buckets()) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mlp_model("bad", 0, (10,), 2)
+        with pytest.raises(ConfigurationError):
+            mlp_model("bad", 10, (0,), 2)
+
+
+class TestSimpleCNN:
+    def test_structure(self):
+        model = simple_cnn("cnn", input_hw=32, channels=(16, 32),
+                           num_classes=10)
+        assert model.layer_named("conv0").param_shape == (16, 3, 3, 3)
+        assert model.layer_named("head").param_shape == (10, 32)
+
+    def test_resolution_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simple_cnn("bad", input_hw=4, channels=(8, 8, 8, 8),
+                       num_classes=2)
+
+    def test_works_in_simulator(self):
+        from repro.hardware import cluster_for_gpus
+        from repro.simulator import DDPSimulator
+        model = simple_cnn("cnn", 64, (32, 64, 128), 10)
+        result = DDPSimulator(model, cluster_for_gpus(8)).run(
+            64, iterations=6, warmup=1)
+        assert result.mean > 0
+
+
+class TestScaledModel:
+    def test_params_scale_quadratically(self):
+        base = mlp_model("base", 128, (128,), 10)
+        wide = scaled_model(base, 2.0)
+        # fan-in and fan-out both double -> ~4x weights.
+        assert wide.num_params == pytest.approx(4 * base.num_params,
+                                                rel=0.1)
+
+    def test_flops_scale_quadratically(self):
+        base = get_model("resnet50")
+        wide = scaled_model(base, 2.0)
+        assert wide.fwd_flops(1) == pytest.approx(4 * base.fwd_flops(1))
+
+    def test_name_and_shape_consistency(self):
+        wide = scaled_model(get_model("resnet50"), 1.5)
+        assert wide.name == "resnet50-x1.5"
+        for layer in wide.matrix_layers:
+            m, n = layer.matrix_shape
+            assert m * n == layer.num_params - layer.extra_params
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            scaled_model(get_model("resnet50"), 0.0)
+
+
+class TestFabricDegradation:
+    def test_degrade_link_lowers_minimum(self):
+        fabric = Fabric(ClusterConfig(num_nodes=4), bandwidth_jitter=0.0)
+        before = fabric.min_bandwidth()
+        fabric.degrade_link(0, 2, 0.5)
+        assert fabric.min_bandwidth() == pytest.approx(before * 0.5)
+        assert fabric.pair_bandwidth(2, 0) == pytest.approx(before * 0.5)
+
+    def test_degrade_node_hits_all_links(self):
+        fabric = Fabric(ClusterConfig(num_nodes=4), bandwidth_jitter=0.0)
+        nominal = fabric.nominal_bandwidth()
+        fabric.degrade_node(1, 0.25)
+        for other in (0, 2, 3):
+            assert fabric.pair_bandwidth(1, other) == pytest.approx(
+                nominal * 0.25)
+        assert fabric.pair_bandwidth(0, 2) == pytest.approx(nominal)
+
+    def test_straggler_slows_simulated_training(self):
+        from repro.hardware import cluster_for_gpus
+        from repro.models import get_model
+        from repro.simulator import DDPConfig, DDPSimulator
+        cluster = cluster_for_gpus(32)
+        quiet = DDPConfig(compute_jitter=0.0, comm_jitter=0.0)
+        healthy = DDPSimulator(get_model("bert-base"), cluster,
+                               config=quiet).run(12, iterations=6,
+                                                 warmup=1).mean
+        bad_fabric = Fabric(cluster)
+        bad_fabric.degrade_node(3, 0.3)
+        degraded = DDPSimulator(get_model("bert-base"), cluster,
+                                fabric=bad_fabric, config=quiet).run(
+            12, iterations=6, warmup=1).mean
+        assert degraded > 1.5 * healthy
+
+    def test_validation(self):
+        fabric = Fabric(ClusterConfig(num_nodes=3))
+        with pytest.raises(ConfigurationError):
+            fabric.degrade_link(0, 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            fabric.degrade_link(0, 1, 0.0)
+        with pytest.raises(ConfigurationError):
+            fabric.degrade_node(9, 0.5)

@@ -1,0 +1,76 @@
+"""FLOP accounting helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import (
+    attention_flops,
+    conv2d_flops,
+    linear_flops,
+    norm_flops,
+    pool_flops,
+)
+
+
+class TestConv2dFlops:
+    def test_known_value(self):
+        # 3x3 conv, 64->64 channels, 56x56 output:
+        # 2 * 9 * 64 * 64 * 56 * 56
+        assert conv2d_flops(64, 64, 3, 56, 56) == pytest.approx(
+            2 * 9 * 64 * 64 * 56 * 56)
+
+    def test_grouped_conv_divides_input_channels(self):
+        full = conv2d_flops(64, 64, 3, 8, 8)
+        grouped = conv2d_flops(64, 64, 3, 8, 8, groups=4)
+        assert grouped == pytest.approx(full / 4)
+
+    def test_groups_must_divide_channels(self):
+        with pytest.raises(ConfigurationError):
+            conv2d_flops(10, 10, 3, 4, 4, groups=3)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            conv2d_flops(0, 64, 3, 8, 8)
+        with pytest.raises(ConfigurationError):
+            conv2d_flops(64, 64, 3, 0, 8)
+
+
+class TestLinearFlops:
+    def test_known_value(self):
+        assert linear_flops(2048, 1000) == pytest.approx(2 * 2048 * 1000)
+
+    def test_tokens_multiply(self):
+        assert linear_flops(768, 768, tokens=128) == pytest.approx(
+            128 * linear_flops(768, 768))
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            linear_flops(0, 10)
+
+
+class TestAttentionFlops:
+    def test_quadratic_in_sequence(self):
+        short = attention_flops(128, 768, 12)
+        long = attention_flops(256, 768, 12)
+        assert long == pytest.approx(4 * short)
+
+    def test_heads_do_not_change_total(self):
+        assert attention_flops(128, 768, 12) == attention_flops(128, 768, 4)
+
+    def test_hidden_must_divide_heads(self):
+        with pytest.raises(ConfigurationError):
+            attention_flops(128, 700, 12)
+
+
+class TestNormAndPool:
+    def test_norm_scales_with_positions(self):
+        assert norm_flops(64, 100) == pytest.approx(100 * norm_flops(64, 1))
+
+    def test_pool_counts_window(self):
+        assert pool_flops(64, 8, 8, 3) == pytest.approx(64 * 8 * 8 * 9)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            norm_flops(0)
+        with pytest.raises(ConfigurationError):
+            pool_flops(8, 8, 8, 0)

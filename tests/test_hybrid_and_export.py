@@ -1,0 +1,129 @@
+"""Hybrid compression policy and Chrome trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    HybridPowerSGDScheme,
+    PowerSGDScheme,
+    make_scheme,
+)
+from repro.errors import ConfigurationError
+from repro.hardware import cluster_for_gpus
+from repro.models import get_model
+from repro.simulator import (
+    DDPConfig,
+    DDPSimulator,
+    trace_to_chrome_json,
+    trace_to_events,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def rn50():
+    return get_model("resnet50")
+
+
+class TestHybridScheme:
+    def test_threshold_zero_covers_almost_everything(self, rn50):
+        hybrid = HybridPowerSGDScheme(4, min_layer_params=0)
+        # Only non-matrix tensors (BN) stay dense.
+        assert hybrid.coverage(rn50) > 0.99
+
+    def test_partition_respects_threshold(self, rn50):
+        hybrid = HybridPowerSGDScheme(4, min_layer_params=100_000)
+        compressed, dense = hybrid.partition(rn50)
+        assert all(l.num_params >= 100_000 for l in compressed)
+        assert all(not l.has_matrix or l.num_params < 100_000
+                   for l in dense)
+        assert len(compressed) + len(dense) == len(rn50.trainable_layers)
+
+    def test_encode_cheaper_than_full_powersgd(self, rn50):
+        full = PowerSGDScheme(4).cost(rn50, 96)
+        hybrid = HybridPowerSGDScheme(4, 100_000).cost(rn50, 96)
+        assert hybrid.encode_decode_s < 0.8 * full.encode_decode_s
+
+    def test_wire_larger_than_full_powersgd(self, rn50):
+        full = PowerSGDScheme(4).cost(rn50, 96)
+        hybrid = HybridPowerSGDScheme(4, 100_000).cost(rn50, 96)
+        assert hybrid.wire_bytes > full.wire_bytes
+        # ...but still a large compression overall.
+        assert hybrid.compression_ratio(rn50) > 10
+
+    def test_hybrid_beats_full_on_resnet(self, rn50):
+        """The Figure-13 lesson made concrete: trading ratio for encode
+        speed wins on many-small-layer models."""
+        from repro.core import PerfModelInputs, predict
+        inputs = PerfModelInputs(world_size=96,
+                                 bandwidth_bytes_per_s=1.25e9,
+                                 batch_size=64)
+        full = predict(rn50, PowerSGDScheme(4), inputs).total
+        hybrid = predict(rn50, HybridPowerSGDScheme(4, 100_000),
+                         inputs).total
+        assert hybrid < full
+
+    def test_huge_threshold_degenerates_to_dense(self, rn50):
+        hybrid = HybridPowerSGDScheme(4, min_layer_params=10**9)
+        cost = hybrid.cost(rn50, 8)
+        assert cost.wire_bytes == pytest.approx(rn50.grad_bytes)
+        assert cost.messages == 1
+
+    def test_registered(self):
+        scheme = make_scheme("hybrid-powersgd", rank=8,
+                             min_layer_params=50_000)
+        assert scheme.rank == 8
+
+    def test_simulator_accepts_hybrid(self, rn50):
+        sim = DDPSimulator(rn50, cluster_for_gpus(16),
+                           scheme=HybridPowerSGDScheme(4, 100_000))
+        assert sim.run(64, iterations=6, warmup=1).mean > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HybridPowerSGDScheme(0)
+        with pytest.raises(ConfigurationError):
+            HybridPowerSGDScheme(4, min_layer_params=-1)
+
+
+class TestChromeTraceExport:
+    @pytest.fixture
+    def trace(self, rn50):
+        sim = DDPSimulator(rn50, cluster_for_gpus(8),
+                           config=DDPConfig(compute_jitter=0.0,
+                                            comm_jitter=0.0))
+        return sim.simulate_iteration(64, np.random.default_rng(0))
+
+    def test_events_cover_all_spans(self, trace):
+        events = trace_to_events(trace)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(trace.spans)
+
+    def test_metadata_names_tracks(self, trace):
+        events = trace_to_events(trace)
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert {"compute", "comm", "worker0"} <= names
+
+    def test_timestamps_in_microseconds(self, trace):
+        events = trace_to_events(trace)
+        fwd = next(e for e in events if e.get("name") == "forward")
+        span = next(s for s in trace.spans if s.label == "forward")
+        assert fwd["ts"] == pytest.approx(span.start * 1e6)
+        assert fwd["dur"] == pytest.approx(span.duration * 1e6)
+
+    def test_json_round_trips(self, trace):
+        payload = json.loads(trace_to_chrome_json(trace))
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["traceEvents"]
+
+    def test_write_to_file(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(trace, str(path))
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_empty_trace_rejected(self):
+        from repro.simulator.trace import IterationTrace
+        with pytest.raises(ConfigurationError):
+            trace_to_events(IterationTrace())

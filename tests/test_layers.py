@@ -1,0 +1,125 @@
+"""LayerSpec / ModelSpec descriptors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import LayerSpec, ModelSpec
+from repro.units import MIB
+
+
+class TestLayerSpec:
+    def test_num_params_includes_extras(self):
+        layer = LayerSpec(name="l", kind="linear", param_shape=(10, 4),
+                          matrix_shape=(10, 4), extra_params=10)
+        assert layer.num_params == 50
+
+    def test_grad_bytes_is_fp32(self):
+        layer = LayerSpec(name="l", kind="linear", param_shape=(3, 3),
+                          matrix_shape=(3, 3))
+        assert layer.grad_bytes == 36
+
+    def test_compute_only_layer_has_no_matrix(self):
+        layer = LayerSpec(name="pool", kind="pool")
+        assert not layer.has_matrix
+        assert layer.num_params == 0
+
+    def test_matrix_shape_must_cover_params(self):
+        with pytest.raises(ConfigurationError, match="does not cover"):
+            LayerSpec(name="bad", kind="conv", param_shape=(4, 4, 3, 3),
+                      matrix_shape=(4, 4))
+
+    def test_conv_reshape_is_valid(self):
+        layer = LayerSpec(name="c", kind="conv", param_shape=(64, 3, 7, 7),
+                          matrix_shape=(64, 147))
+        assert layer.has_matrix
+
+    def test_backward_flops_double_forward(self):
+        layer = LayerSpec(name="l", kind="linear", param_shape=(2, 2),
+                          matrix_shape=(2, 2), fwd_flops_per_sample=100.0)
+        assert layer.bwd_flops_per_sample() == pytest.approx(200.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LayerSpec(name="", kind="linear")
+
+
+class TestModelSpec:
+    def test_aggregates(self, tiny_model):
+        # fc1: 32+8, act: 0, fc2: 16+2
+        assert tiny_model.num_params == 58
+        assert tiny_model.grad_bytes == 58 * 4
+        assert len(tiny_model.trainable_layers) == 2
+        assert len(tiny_model.matrix_layers) == 2
+
+    def test_flops_scale_with_batch(self, tiny_model):
+        assert tiny_model.fwd_flops(4) == pytest.approx(
+            4 * tiny_model.fwd_flops(1))
+        assert tiny_model.bwd_flops(2) == pytest.approx(
+            2 * tiny_model.fwd_flops(2))
+
+    def test_backward_layers_reversed(self, tiny_model):
+        names = [l.name for l in tiny_model.backward_layers()]
+        assert names == ["fc2", "act", "fc1"]
+
+    def test_duplicate_layer_names_rejected(self):
+        layer = LayerSpec(name="same", kind="linear", param_shape=(2, 2),
+                          matrix_shape=(2, 2))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ModelSpec(name="dup", layers=(layer, layer))
+
+    def test_layer_named(self, tiny_model):
+        assert tiny_model.layer_named("fc2").param_shape == (2, 8)
+        with pytest.raises(ConfigurationError):
+            tiny_model.layer_named("missing")
+
+    def test_invalid_batch_rejected(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            tiny_model.fwd_flops(0)
+
+    def test_invalid_gather_granularity(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            ModelSpec(name="bad", layers=tiny_model.layers,
+                      gather_granularity="tensor")
+
+    def test_largest_layer_grad_bytes(self, tiny_model):
+        assert tiny_model.largest_layer_grad_bytes == 40 * 4
+
+    def test_summary_mentions_name(self, tiny_model):
+        assert "tiny" in tiny_model.summary()
+
+    def test_iteration_and_len(self, tiny_model):
+        assert len(tiny_model) == 3
+        assert [l.name for l in tiny_model] == ["fc1", "act", "fc2"]
+
+
+class TestGradientBuckets:
+    def test_buckets_fill_in_backward_order(self, tiny_model):
+        buckets = tiny_model.gradient_buckets(bucket_cap_bytes=1e9)
+        assert len(buckets) == 1
+        assert [l.name for l in buckets[0]] == ["fc2", "fc1"]
+
+    def test_small_cap_splits(self, tiny_model):
+        buckets = tiny_model.gradient_buckets(bucket_cap_bytes=100)
+        assert len(buckets) == 2
+        assert [l.name for l in buckets[0]] == ["fc2"]
+        assert [l.name for l in buckets[1]] == ["fc1"]
+
+    def test_oversized_gradient_gets_own_bucket(self, bert_base):
+        # The 93 MB word-embedding tensor exceeds the 25 MiB cap.
+        sizes = bert_base.bucket_sizes_bytes(25 * MIB)
+        assert max(sizes) > 25 * MIB
+
+    def test_bucket_sizes_sum_to_grad_bytes(self, resnet50):
+        assert sum(resnet50.bucket_sizes_bytes()) == pytest.approx(
+            resnet50.grad_bytes)
+
+    def test_no_bucket_except_singletons_exceeds_cap(self, resnet50):
+        cap = 25 * MIB
+        for bucket in resnet50.gradient_buckets(cap):
+            size = sum(l.grad_bytes for l in bucket)
+            if len(bucket) > 1:
+                assert size <= cap
+
+    def test_invalid_cap_rejected(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            tiny_model.gradient_buckets(0)

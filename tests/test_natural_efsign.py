@@ -1,0 +1,110 @@
+"""Natural compression and EF-signSGD."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    EFSignCompressor,
+    EFSignScheme,
+    NaturalCompressor,
+    NaturalScheme,
+    make_aggregator,
+)
+from repro.models import get_model
+
+
+class TestNaturalCompression:
+    def test_decoded_values_are_signed_powers_of_two(self, rng):
+        codec = NaturalCompressor(seed=0)
+        g = rng.normal(size=200)
+        decoded = codec.decode(codec.encode(g))
+        nonzero = decoded[decoded != 0]
+        exponents = np.log2(np.abs(nonzero))
+        np.testing.assert_allclose(exponents, np.round(exponents),
+                                   atol=1e-12)
+
+    def test_unbiased(self, rng):
+        codec = NaturalCompressor(seed=0)
+        g = rng.normal(size=64)
+        mean = np.mean([codec.decode(codec.encode(g))
+                        for _ in range(500)], axis=0)
+        np.testing.assert_allclose(mean, g, atol=0.2)
+
+    def test_within_factor_two(self, rng):
+        # Rounding to a neighbouring power of two never changes the
+        # magnitude by more than 2x.
+        codec = NaturalCompressor(seed=0)
+        g = rng.normal(size=500)
+        decoded = codec.decode(codec.encode(g))
+        nz = g != 0
+        ratio = np.abs(decoded[nz]) / np.abs(g[nz])
+        assert np.all(ratio <= 2.0 + 1e-9)
+        assert np.all(ratio >= 0.5 - 1e-9)
+
+    def test_zeros_preserved(self):
+        codec = NaturalCompressor()
+        g = np.array([0.0, 1.0, 0.0, -2.0])
+        decoded = codec.decode(codec.encode(g))
+        assert decoded[0] == 0.0 and decoded[2] == 0.0
+
+    def test_sign_preserved(self, rng):
+        codec = NaturalCompressor(seed=0)
+        g = rng.normal(size=100)
+        decoded = codec.decode(codec.encode(g))
+        nz = g != 0
+        np.testing.assert_array_equal(np.sign(decoded[nz]), np.sign(g[nz]))
+
+    def test_ratio_about_3_5x(self, rng):
+        ratio = NaturalCompressor().compression_ratio(rng.normal(size=800))
+        assert ratio == pytest.approx(32 / 9, rel=0.01)
+
+    def test_scheme_cost(self):
+        rn50 = get_model("resnet50")
+        cost = NaturalScheme().cost(rn50, 16)
+        assert cost.compression_ratio(rn50) == pytest.approx(32 / 9,
+                                                             rel=0.01)
+        assert not cost.all_reducible
+
+
+class TestEFSign:
+    def test_decode_is_scaled_signs(self, rng):
+        codec = EFSignCompressor()
+        g = rng.normal(size=300)
+        decoded = codec.decode(codec.encode(g))
+        scale = np.abs(g).mean()
+        assert set(np.round(np.unique(np.abs(decoded)) / scale, 9)) == {1.0}
+        np.testing.assert_array_equal(np.sign(decoded),
+                                      np.where(g >= 0, 1.0, -1.0))
+
+    def test_aggregator_has_error_feedback(self, rng):
+        agg = make_aggregator("efsignsgd", 3)
+        assert agg.error_feedback is not None
+        grads = [rng.normal(size=(6, 6)) for _ in range(3)]
+        result = agg.step(grads)
+        assert result.collective == "allgather"
+
+    def test_ef_recovers_mean_over_time(self, rng):
+        # Scaled signs + EF: cumulative updates track the true gradient
+        # (the EF-signSGD convergence mechanism), unlike raw signSGD.
+        agg = make_aggregator("efsignsgd", 2)
+        target = rng.normal(size=(5, 5))
+        total = np.zeros_like(target)
+        steps = 300
+        for _ in range(steps):
+            total += agg.step([target, target]).update
+        np.testing.assert_allclose(total / steps, target, rtol=0.25,
+                                   atol=0.15)
+
+    def test_trains(self):
+        from repro.training import gaussian_blobs, train_with_method
+        ds = gaussian_blobs(256, 8, 3, seed=6)
+        history = train_with_method(ds, "efsignsgd", num_workers=4,
+                                    steps=120, lr=0.1, seed=6)
+        assert history.final_accuracy > 0.9
+
+    def test_scheme_wire_matches_signsgd_plus_scale(self):
+        rn50 = get_model("resnet50")
+        from repro.compression import SignSGDScheme
+        ef = EFSignScheme().cost(rn50, 16).wire_bytes
+        sign = SignSGDScheme().cost(rn50, 16).wire_bytes
+        assert ef == pytest.approx(sign + 4)

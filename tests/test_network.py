@@ -1,0 +1,128 @@
+"""Network fabric and iperf-style probing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import ClusterConfig
+from repro.network import (
+    BandwidthReport,
+    Fabric,
+    estimate_alpha,
+    measure_cluster,
+    measure_pair,
+)
+
+
+@pytest.fixture
+def fabric():
+    return Fabric(ClusterConfig(num_nodes=4, seed=7))
+
+
+class TestFabricBandwidth:
+    def test_pairwise_at_most_nominal(self, fabric):
+        nominal = fabric.nominal_bandwidth()
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert fabric.pair_bandwidth(a, b) <= nominal
+
+    def test_symmetric(self, fabric):
+        assert fabric.pair_bandwidth(1, 3) == fabric.pair_bandwidth(3, 1)
+
+    def test_intra_node_uses_nvlink(self, fabric):
+        assert fabric.pair_bandwidth(2, 2) > fabric.nominal_bandwidth()
+
+    def test_min_bandwidth_is_pairwise_min(self, fabric):
+        pairs = [fabric.pair_bandwidth(a, b)
+                 for a in range(4) for b in range(4) if a != b]
+        assert fabric.min_bandwidth() == pytest.approx(min(pairs))
+
+    def test_deterministic_per_seed(self):
+        f1 = Fabric(ClusterConfig(num_nodes=4, seed=3))
+        f2 = Fabric(ClusterConfig(num_nodes=4, seed=3))
+        assert f1.min_bandwidth() == f2.min_bandwidth()
+
+    def test_different_seeds_differ(self):
+        f1 = Fabric(ClusterConfig(num_nodes=6, seed=0))
+        f2 = Fabric(ClusterConfig(num_nodes=6, seed=1))
+        assert f1.min_bandwidth() != f2.min_bandwidth()
+
+    def test_zero_jitter_means_nominal(self):
+        fabric = Fabric(ClusterConfig(num_nodes=4), bandwidth_jitter=0.0)
+        assert fabric.min_bandwidth() == fabric.nominal_bandwidth()
+
+    def test_single_node_min_is_nvlink(self):
+        fabric = Fabric(ClusterConfig(num_nodes=1))
+        assert fabric.min_bandwidth() == (
+            fabric.cluster.instance.intra_node_bytes_per_s)
+
+    def test_node_out_of_range(self, fabric):
+        with pytest.raises(ConfigurationError):
+            fabric.pair_bandwidth(0, 9)
+
+
+class TestTransferPricing:
+    def test_alpha_plus_beta(self, fabric):
+        t = fabric.transfer_time(1e6, 0, 1)
+        assert t == pytest.approx(
+            fabric.alpha_s + 1e6 / fabric.pair_bandwidth(0, 1))
+
+    def test_intra_node_has_no_alpha(self, fabric):
+        t = fabric.transfer_time(0.0, 1, 1)
+        assert t == 0.0
+
+    def test_negative_bytes_rejected(self, fabric):
+        with pytest.raises(ConfigurationError):
+            fabric.transfer_time(-1, 0, 1)
+
+    def test_incast_grows_with_fanin(self, fabric):
+        assert fabric.incast_factor(1) == 1.0
+        assert fabric.incast_factor(95) > fabric.incast_factor(15) > 1.0
+
+    def test_incast_fanin_validated(self, fabric):
+        with pytest.raises(ConfigurationError):
+            fabric.incast_factor(0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Fabric(ClusterConfig(num_nodes=2), alpha_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            Fabric(ClusterConfig(num_nodes=2), incast_per_sender=-0.1)
+
+
+class TestIperfProbe:
+    def test_measured_below_link_rate(self, fabric):
+        # The alpha term biases a finite probe slightly low.
+        measured = measure_pair(fabric, 0, 1)
+        assert measured < fabric.pair_bandwidth(0, 1)
+        assert measured == pytest.approx(fabric.pair_bandwidth(0, 1),
+                                         rel=0.01)
+
+    def test_self_probe_rejected(self, fabric):
+        with pytest.raises(ConfigurationError):
+            measure_pair(fabric, 2, 2)
+
+    def test_cluster_report_shape(self, fabric):
+        report = measure_cluster(fabric)
+        assert isinstance(report, BandwidthReport)
+        assert report.matrix.shape == (4, 4)
+        assert np.isnan(report.matrix[0, 0])
+        assert report.num_nodes == 4
+
+    def test_report_min_matches_matrix(self, fabric):
+        report = measure_cluster(fabric)
+        assert report.min_bandwidth == pytest.approx(
+            np.nanmin(report.matrix))
+
+    def test_single_node_report(self):
+        report = measure_cluster(Fabric(ClusterConfig(num_nodes=1)))
+        assert report.min_bandwidth > 0
+
+    def test_alpha_estimate_close_to_true(self, fabric):
+        est = estimate_alpha(fabric)
+        assert est == pytest.approx(fabric.alpha_s, rel=0.05)
+
+    def test_alpha_single_worker(self):
+        fabric = Fabric(ClusterConfig(num_nodes=1))
+        assert estimate_alpha(fabric, num_gpus=1) == fabric.alpha_s

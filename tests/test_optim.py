@@ -1,0 +1,144 @@
+"""Optimizers and LR schedules for the training substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.training import (
+    SGD,
+    Adam,
+    ConstantLR,
+    StepDecayLR,
+    WarmupCosineLR,
+)
+
+
+def quadratic_grad(params):
+    """Gradient of 0.5 * ||w||^2: the identity — minimizer at 0."""
+    return {"w": params["w"].copy()}
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantLR(0.3)
+        assert sched.lr_at(0) == sched.lr_at(1000) == 0.3
+
+    def test_step_decay(self):
+        sched = StepDecayLR(1.0, every=10, factor=0.1)
+        assert sched.lr_at(9) == pytest.approx(1.0)
+        assert sched.lr_at(10) == pytest.approx(0.1)
+        assert sched.lr_at(25) == pytest.approx(0.01)
+
+    def test_warmup_cosine(self):
+        sched = WarmupCosineLR(1.0, warmup_steps=10, total_steps=110)
+        assert sched.lr_at(0) == pytest.approx(0.1)
+        assert sched.lr_at(9) == pytest.approx(1.0)
+        assert sched.lr_at(10) == pytest.approx(1.0)
+        assert sched.lr_at(110) == pytest.approx(0.0, abs=1e-9)
+        # Monotone decreasing after warm-up.
+        values = [sched.lr_at(s) for s in range(10, 111, 10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLR(0.0)
+        with pytest.raises(ConfigurationError):
+            StepDecayLR(1.0, every=0)
+        with pytest.raises(ConfigurationError):
+            WarmupCosineLR(1.0, warmup_steps=10, total_steps=5)
+        with pytest.raises(ConfigurationError):
+            ConstantLR(0.1).lr_at(-1)
+
+
+class TestSGD:
+    def test_plain_sgd_descends_quadratic(self):
+        params = {"w": np.array([10.0, -4.0])}
+        opt = SGD(lr=0.1)
+        for _ in range(100):
+            opt.step(params, quadratic_grad(params))
+        assert np.abs(params["w"]).max() < 1e-3
+
+    def test_momentum_accelerates(self):
+        slow = {"w": np.array([10.0])}
+        fast = {"w": np.array([10.0])}
+        opt_plain = SGD(lr=0.01)
+        opt_momentum = SGD(lr=0.01, momentum=0.9)
+        for _ in range(30):
+            opt_plain.step(slow, quadratic_grad(slow))
+            opt_momentum.step(fast, quadratic_grad(fast))
+        assert abs(fast["w"][0]) < abs(slow["w"][0])
+
+    def test_weight_decay_pulls_toward_zero(self):
+        params = {"w": np.array([5.0])}
+        opt = SGD(lr=0.1, weight_decay=0.5)
+        opt.step(params, {"w": np.zeros(1)})  # zero gradient
+        assert params["w"][0] < 5.0
+
+    def test_schedule_integration(self):
+        params = {"w": np.array([1.0])}
+        opt = SGD(schedule=StepDecayLR(1.0, every=1, factor=0.5))
+        opt.step(params, {"w": np.array([1.0])})   # lr 1.0
+        assert params["w"][0] == pytest.approx(0.0)
+        opt.step(params, {"w": np.array([1.0])})   # lr 0.5
+        assert params["w"][0] == pytest.approx(-0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SGD(momentum=1.0)
+        with pytest.raises(ConfigurationError):
+            SGD(weight_decay=-1)
+        opt = SGD()
+        with pytest.raises(ConfigurationError):
+            opt.step({"w": np.zeros(2)}, {"v": np.zeros(2)})
+        with pytest.raises(ConfigurationError):
+            opt.step({"w": np.zeros(2)}, {"w": np.zeros(3)})
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        params = {"w": np.array([10.0, -4.0])}
+        opt = Adam(lr=0.5)
+        for _ in range(200):
+            opt.step(params, quadratic_grad(params))
+        assert np.abs(params["w"]).max() < 1e-2
+
+    def test_per_coordinate_scaling(self):
+        # Adam normalizes per coordinate: both coordinates move at ~lr
+        # despite 100x gradient magnitude difference.
+        params = {"w": np.array([100.0, 1.0])}
+        opt = Adam(lr=0.1)
+        before = params["w"].copy()
+        opt.step(params, quadratic_grad(params))
+        deltas = before - params["w"]
+        assert deltas[0] == pytest.approx(deltas[1], rel=0.05)
+
+    def test_steps_counted(self):
+        opt = Adam()
+        params = {"w": np.zeros(2)}
+        for _ in range(3):
+            opt.step(params, {"w": np.ones(2)})
+        assert opt.steps_taken == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Adam(beta1=1.0)
+        with pytest.raises(ConfigurationError):
+            Adam(eps=0)
+
+
+class TestTrainerIntegration:
+    def test_momentum_trainer_converges(self):
+        from repro.training import gaussian_blobs, train_with_method
+        ds = gaussian_blobs(256, 8, 3, seed=5)
+        history = train_with_method(
+            ds, "fp32", steps=80, seed=5,
+            optimizer=SGD(lr=0.05, momentum=0.9))
+        assert history.final_accuracy > 0.9
+
+    def test_adam_with_compression(self):
+        from repro.training import gaussian_blobs, train_with_method
+        ds = gaussian_blobs(256, 8, 3, seed=5)
+        history = train_with_method(
+            ds, "powersgd", {"rank": 2}, steps=80, seed=5,
+            optimizer=Adam(lr=0.02))
+        assert history.final_accuracy > 0.9

@@ -1,0 +1,69 @@
+"""Property-based tests for the numeric collectives (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.collectives import (
+    parameter_server_reduce,
+    reduce_scatter,
+    ring_allreduce,
+    tree_allreduce,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False, width=64)
+
+
+@st.composite
+def worker_buffers(draw, max_workers=8, max_size=64):
+    p = draw(st.integers(min_value=1, max_value=max_workers))
+    n = draw(st.integers(min_value=1, max_value=max_size))
+    return [draw(arrays(np.float64, (n,), elements=finite_floats))
+            for _ in range(p)]
+
+
+@given(worker_buffers())
+@settings(max_examples=60, deadline=None)
+def test_ring_allreduce_equals_sum(buffers):
+    expected = np.sum(buffers, axis=0)
+    for out in ring_allreduce(buffers):
+        np.testing.assert_allclose(out, expected, rtol=1e-9, atol=1e-9)
+
+
+@given(worker_buffers())
+@settings(max_examples=60, deadline=None)
+def test_ring_tree_and_sequential_agree(buffers):
+    ring = ring_allreduce(buffers)[0]
+    tree = tree_allreduce(buffers)[0]
+    seq = parameter_server_reduce(buffers)[0]
+    np.testing.assert_allclose(ring, tree, rtol=1e-9, atol=1e-9)
+    np.testing.assert_allclose(ring, seq, rtol=1e-9, atol=1e-9)
+
+
+@given(worker_buffers())
+@settings(max_examples=60, deadline=None)
+def test_all_ranks_receive_identical_results(buffers):
+    outputs = ring_allreduce(buffers)
+    for out in outputs[1:]:
+        np.testing.assert_allclose(out, outputs[0], rtol=1e-12, atol=1e-12)
+
+
+@given(worker_buffers())
+@settings(max_examples=60, deadline=None)
+def test_reduce_scatter_concatenates_to_sum(buffers):
+    expected = np.sum(buffers, axis=0)
+    chunks = reduce_scatter(buffers)
+    np.testing.assert_allclose(np.concatenate(chunks), expected,
+                               rtol=1e-9, atol=1e-9)
+
+
+@given(worker_buffers(), st.floats(min_value=0.1, max_value=10.0,
+                                   allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_ring_allreduce_is_linear(buffers, scale):
+    scaled = [scale * b for b in buffers]
+    base = ring_allreduce(buffers)[0]
+    np.testing.assert_allclose(ring_allreduce(scaled)[0], scale * base,
+                               rtol=1e-9, atol=1e-7)

@@ -1,0 +1,132 @@
+"""Property-based tests for compression codecs (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression import (
+    FP16Compressor,
+    PowerSGDCompressor,
+    RandomKCompressor,
+    SignSGDCompressor,
+    TernGradCompressor,
+    TopKCompressor,
+    orthonormalize,
+)
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False,
+                   allow_infinity=False, width=64)
+nonzero_vectors = arrays(
+    np.float64, st.integers(min_value=1, max_value=256), elements=finite,
+).filter(lambda a: np.abs(a).max() > 1e-9)
+
+
+@given(nonzero_vectors)
+@settings(max_examples=80, deadline=None)
+def test_signsgd_decode_magnitudes_are_unit(g):
+    codec = SignSGDCompressor()
+    decoded = codec.decode(codec.encode(g))
+    assert np.all(np.abs(decoded) == 1.0)
+    assert decoded.shape == g.shape
+
+
+@given(nonzero_vectors)
+@settings(max_examples=80, deadline=None)
+def test_signsgd_agrees_with_input_signs(g):
+    codec = SignSGDCompressor()
+    decoded = codec.decode(codec.encode(g))
+    np.testing.assert_array_equal(decoded, np.where(g >= 0, 1.0, -1.0))
+
+
+@given(nonzero_vectors, st.floats(min_value=0.01, max_value=1.0,
+                                  allow_nan=False))
+@settings(max_examples=80, deadline=None)
+def test_topk_kept_values_are_exact_and_maximal(g, fraction):
+    codec = TopKCompressor(fraction=fraction)
+    decoded = codec.decode(codec.encode(g))
+    kept = decoded != 0
+    # Kept values are copied exactly.
+    np.testing.assert_array_equal(decoded[kept], g[kept])
+    # No dropped value exceeds the smallest kept magnitude.
+    if kept.any() and (~kept).any():
+        assert np.abs(g[~kept]).max() <= np.abs(g[kept]).min() + 1e-12
+
+
+@given(nonzero_vectors)
+@settings(max_examples=60, deadline=None)
+def test_topk_wire_bytes_never_exceed_dense(g):
+    codec = TopKCompressor(fraction=0.5)
+    payload = codec.encode(g)
+    # 50% density, 8 bytes/kept entry: k = round(n/2) <= n/2 + 0.5.
+    assert payload.wire_bytes <= (g.size * 0.5 + 0.5) * 8.0
+
+
+@given(nonzero_vectors)
+@settings(max_examples=60, deadline=None)
+def test_fp16_round_trip_relative_error_bounded(g):
+    codec = FP16Compressor()
+    decoded = codec.decode(codec.encode(g))
+    # fp16: ~1e-3 relative precision, values below the smallest
+    # subnormal (~6e-8) flush to zero.
+    bound = np.maximum(np.abs(g) * 1e-3, 6.0e-8)
+    assert np.all(np.abs(decoded - g) <= bound)
+
+
+@given(st.integers(min_value=1, max_value=40),
+       st.integers(min_value=1, max_value=40),
+       st.integers(min_value=1, max_value=8),
+       st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=60, deadline=None)
+def test_powersgd_payload_shapes(m, n, rank, seed):
+    rng = np.random.default_rng(seed)
+    g = rng.normal(size=(m, n))
+    codec = PowerSGDCompressor(rank=rank, seed=seed)
+    payload = codec.encode(g)
+    p_hat, q = payload.arrays
+    r = min(rank, m, n)
+    assert p_hat.shape == (m, r)
+    assert q.shape == (n, r)
+    assert codec.decode(payload).shape == (m, n)
+
+
+@given(st.integers(min_value=2, max_value=30),
+       st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=60, deadline=None)
+def test_orthonormalize_produces_orthonormal_columns(n, r, seed):
+    rng = np.random.default_rng(seed)
+    r = min(r, n)
+    q = orthonormalize(rng.normal(size=(n, r)))
+    gram = q.T @ q
+    np.testing.assert_allclose(gram, np.eye(r), atol=1e-8)
+
+
+@given(nonzero_vectors, st.integers(min_value=0, max_value=1000))
+@settings(max_examples=60, deadline=None)
+def test_randomk_shared_seed_reproducible(g, round_count):
+    a = RandomKCompressor(fraction=0.3, seed=99)
+    b = RandomKCompressor(fraction=0.3, seed=99)
+    for _ in range(round_count % 5):
+        a.advance_round()
+        b.advance_round()
+    da = a.decode(a.encode(g))
+    db = b.decode(b.encode(g))
+    np.testing.assert_array_equal(da != 0, db != 0)
+
+
+@given(nonzero_vectors)
+@settings(max_examples=60, deadline=None)
+def test_terngrad_decoded_bounded_by_scale(g):
+    codec = TernGradCompressor(seed=0)
+    decoded = codec.decode(codec.encode(g))
+    assert np.abs(decoded).max() <= np.abs(g).max() + 1e-12
+
+
+@given(nonzero_vectors)
+@settings(max_examples=40, deadline=None)
+def test_compression_ratio_positive_for_all(g):
+    for codec in (SignSGDCompressor(), FP16Compressor(),
+                  TopKCompressor(0.25)):
+        assert codec.compression_ratio(g) > 0

@@ -1,0 +1,95 @@
+"""Property-based tests for simulator trace invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import make_scheme
+from repro.hardware import cluster_for_gpus
+from repro.models import get_model, mlp_model
+from repro.simulator import (
+    COMM_STREAM,
+    COMPUTE_STREAM,
+    DDPConfig,
+    DDPSimulator,
+)
+
+scheme_specs = st.sampled_from([
+    None,
+    ("powersgd", {"rank": 4}),
+    ("topk", {"fraction": 0.01}),
+    ("signsgd", {}),
+    ("fp16", {}),
+    ("qsgd", {}),
+])
+gpu_counts = st.sampled_from([4, 8, 16, 32])
+batches = st.sampled_from([8, 32, 64])
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+def simulate(scheme_spec, gpus, batch, seed, **cfg):
+    scheme = (make_scheme(scheme_spec[0], **scheme_spec[1])
+              if scheme_spec else None)
+    sim = DDPSimulator(
+        get_model("resnet50"), cluster_for_gpus(gpus), scheme=scheme,
+        config=DDPConfig(check_memory=False, **cfg))
+    return sim.simulate_iteration(batch, np.random.default_rng(seed))
+
+
+@given(scheme_specs, gpu_counts, batches, seeds)
+@settings(max_examples=40, deadline=None)
+def test_trace_instants_are_ordered(scheme_spec, gpus, batch, seed):
+    trace = simulate(scheme_spec, gpus, batch, seed)
+    assert 0.0 < trace.forward_end <= trace.backward_end
+    assert trace.backward_end <= trace.sync_end + 1e-12
+    assert trace.sync_end <= trace.iteration_end
+
+
+@given(scheme_specs, gpu_counts, batches, seeds)
+@settings(max_examples=40, deadline=None)
+def test_streams_never_self_overlap(scheme_spec, gpus, batch, seed):
+    trace = simulate(scheme_spec, gpus, batch, seed)
+    for stream in (COMPUTE_STREAM, COMM_STREAM):
+        spans = trace.stream_spans(stream)
+        for a, b in zip(spans, spans[1:]):
+            assert a.end <= b.start + 1e-12, (stream, a, b)
+
+
+@given(scheme_specs, gpu_counts, batches, seeds)
+@settings(max_examples=40, deadline=None)
+def test_spans_cover_sync_window(scheme_spec, gpus, batch, seed):
+    trace = simulate(scheme_spec, gpus, batch, seed)
+    last_end = max(s.end for s in trace.spans)
+    assert last_end == pytest.approx(trace.iteration_end)
+    assert min(s.start for s in trace.spans) == pytest.approx(0.0)
+
+
+@given(gpu_counts, batches, seeds)
+@settings(max_examples=30, deadline=None)
+def test_same_seed_same_trace(gpus, batch, seed):
+    a = simulate(None, gpus, batch, seed)
+    b = simulate(None, gpus, batch, seed)
+    assert a.sync_end == b.sync_end
+    assert len(a.spans) == len(b.spans)
+
+
+@given(scheme_specs, st.sampled_from([8, 16]), batches, seeds)
+@settings(max_examples=30, deadline=None)
+def test_zero_jitter_sync_time_deterministic(scheme_spec, gpus, batch,
+                                             seed):
+    a = simulate(scheme_spec, gpus, batch, seed,
+                 compute_jitter=0.0, comm_jitter=0.0)
+    b = simulate(scheme_spec, gpus, batch, seed + 1,
+                 compute_jitter=0.0, comm_jitter=0.0)
+    assert a.sync_time() == pytest.approx(b.sync_time())
+
+
+@given(st.sampled_from([4, 16, 32]), batches, seeds)
+@settings(max_examples=30, deadline=None)
+def test_custom_models_simulate_cleanly(gpus, batch, seed):
+    model = mlp_model("prop-mlp", 256, (512, 512), 16)
+    sim = DDPSimulator(model, cluster_for_gpus(gpus),
+                       config=DDPConfig(check_memory=False))
+    trace = sim.simulate_iteration(batch, np.random.default_rng(seed))
+    assert trace.iteration_end > 0

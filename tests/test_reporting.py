@@ -1,0 +1,116 @@
+"""Reporting: ASCII charts and markdown export."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ExperimentResult
+from repro.reporting import (
+    bar_chart,
+    comparison_table,
+    line_chart,
+    scaling_chart,
+    to_markdown,
+)
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="demo",
+        title="demo table",
+        columns=("model", "scheme", "gpus", "mean_ms"),
+        rows=(
+            {"model": "m", "scheme": "syncsgd", "gpus": 8, "mean_ms": 10.0},
+            {"model": "m", "scheme": "syncsgd", "gpus": 32, "mean_ms": 12.0},
+            {"model": "m", "scheme": "powersgd", "gpus": 8, "mean_ms": 15.0},
+            {"model": "m", "scheme": "powersgd", "gpus": 32, "mean_ms": 15.5},
+        ),
+        notes=("a note",),
+    )
+
+
+class TestLineChart:
+    def test_renders_all_series(self):
+        chart = line_chart({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_skips_nan_points(self):
+        chart = line_chart({"a": [(0, 1), (1, float("nan")), (2, 2)]})
+        assert chart  # renders without error
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({})
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [(0, float("nan"))]})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({"a": [(0, 1)]}, width=5)
+
+    def test_constant_series_ok(self):
+        assert line_chart({"a": [(0, 5), (1, 5)]})
+
+    def test_title_and_labels_present(self):
+        chart = line_chart({"a": [(0, 1), (10, 2)]}, title="T",
+                           x_label="gpus", y_label="ms")
+        assert chart.startswith("T")
+        assert "gpus" in chart and "(ms)" in chart
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        chart = bar_chart({"big": 100.0, "small": 10.0}, width=20)
+        big_row = [l for l in chart.splitlines() if "big" in l][0]
+        small_row = [l for l in chart.splitlines() if "small" in l][0]
+        assert big_row.count("#") > small_row.count("#")
+
+    def test_nan_rendered(self):
+        chart = bar_chart({"oom": float("nan"), "ok": 1.0})
+        assert "n/a" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({})
+
+
+class TestScalingChart:
+    def test_plots_experiment_result(self, result):
+        chart = scaling_chart(result, "m")
+        assert "syncsgd" in chart and "powersgd" in chart
+
+    def test_unknown_model_rejected(self, result):
+        with pytest.raises(ConfigurationError):
+            scaling_chart(result, "nope")
+
+
+class TestMarkdown:
+    def test_table_structure(self, result):
+        md = to_markdown(result, "{:.1f}")
+        lines = md.splitlines()
+        assert lines[0].startswith("### demo")
+        assert "| model | scheme | gpus | mean_ms |" in md
+        assert "| m | syncsgd | 8 | 10.0 |" in md
+        assert "*a note*" in md
+
+    def test_column_subset(self, result):
+        md = to_markdown(result, columns=("scheme", "mean_ms"))
+        assert "model" not in md.splitlines()[2]
+
+    def test_unknown_column_rejected(self, result):
+        with pytest.raises(ConfigurationError):
+            to_markdown(result, columns=("nope",))
+
+    def test_comparison_table(self):
+        rows = [{"name": "a", "base": 10.0, "cand": 8.0}]
+        md = comparison_table(rows, "base", "cand", "name")
+        assert "+20.0%" in md
+
+    def test_comparison_validates(self):
+        with pytest.raises(ConfigurationError):
+            comparison_table([], "b", "c", "n")
+        with pytest.raises(ConfigurationError):
+            comparison_table([{"n": "x", "b": 0.0, "c": 1.0}],
+                             "b", "c", "n")

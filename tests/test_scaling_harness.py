@@ -1,0 +1,61 @@
+"""The shared scaling-sweep harness behind Figures 4-6."""
+
+import math
+
+import pytest
+
+from repro.compression import PowerSGDScheme, SignSGDScheme
+from repro.experiments import run_scaling_sweep
+from repro.reporting import scaling_chart
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_scaling_sweep(
+        experiment_id="mini",
+        title="mini sweep",
+        schemes=[PowerSGDScheme(4), SignSGDScheme()],
+        workloads=(("resnet50", 64), ("bert-base", 12)),
+        gpu_counts=(8, 64),
+        iterations=8, warmup=2)
+
+
+class TestScalingSweep:
+    def test_baseline_always_included(self, sweep):
+        schemes = set(sweep.column("scheme"))
+        assert "syncsgd" in schemes
+        assert len(schemes) == 3
+
+    def test_row_count(self, sweep):
+        # 2 workloads x 2 gpu counts x 3 schemes.
+        assert len(sweep.rows) == 12
+
+    def test_oom_rows_marked_with_nan(self, sweep):
+        oom = sweep.single(model="bert-base", scheme="signsgd", gpus=64)
+        assert oom["oom"] is True
+        assert math.isnan(oom["mean_ms"])
+
+    def test_oom_notes_explain(self, sweep):
+        assert any("OOM at 64 GPUs" in note for note in sweep.notes)
+
+    def test_non_oom_rows_have_times(self, sweep):
+        for row in sweep.rows:
+            if not row["oom"]:
+                assert row["mean_ms"] > 0
+                assert row["std_ms"] >= 0
+
+    def test_chartable_with_oom_points(self, sweep):
+        # NaN rows must not break the ASCII chart.
+        chart = scaling_chart(sweep, "bert-base")
+        assert "signsgd" in chart
+
+    def test_render_table_handles_nan(self, sweep):
+        text = sweep.render_table()
+        assert "nan" in text
+
+    def test_json_round_trip_with_oom(self, sweep):
+        from repro.experiments import ExperimentResult
+        restored = ExperimentResult.from_json(sweep.to_json())
+        oom = restored.single(model="bert-base", scheme="signsgd",
+                              gpus=64)
+        assert math.isnan(oom["mean_ms"])

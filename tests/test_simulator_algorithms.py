@@ -1,0 +1,119 @@
+"""Simulator algorithm variants: parameter server, fp16 hook, results."""
+
+import numpy as np
+import pytest
+
+from repro.compression import FP16Scheme, PowerSGDScheme, SyncSGDScheme
+from repro.errors import ConfigurationError
+from repro.hardware import cluster_for_gpus
+from repro.models import get_model
+from repro.simulator import COMM_STREAM, DDPConfig, DDPSimulator
+
+
+def quiet(**kw):
+    return DDPConfig(compute_jitter=0.0, comm_jitter=0.0, **kw)
+
+
+@pytest.fixture(scope="module")
+def rn50():
+    return get_model("resnet50")
+
+
+class TestParameterServerAlgorithm:
+    def test_ps_much_slower_at_scale(self, rn50):
+        cluster = cluster_for_gpus(64)
+        ring = DDPSimulator(rn50, cluster, config=quiet()).run(
+            64, iterations=8, warmup=2).mean
+        ps = DDPSimulator(
+            rn50, cluster,
+            config=quiet(allreduce_algorithm="parameter_server")).run(
+            64, iterations=8, warmup=2).mean
+        assert ps > 5 * ring
+
+    def test_ps_includes_incast(self, rn50):
+        from repro.network import Fabric
+        cluster = cluster_for_gpus(32)
+        no_incast = Fabric(cluster, incast_per_sender=0.0)
+        with_incast = Fabric(cluster, incast_per_sender=0.02)
+        cfg = quiet(allreduce_algorithm="parameter_server")
+        fast = DDPSimulator(rn50, cluster, fabric=no_incast,
+                            config=cfg).run(64, iterations=6,
+                                            warmup=1).mean
+        slow = DDPSimulator(rn50, cluster, fabric=with_incast,
+                            config=cfg).run(64, iterations=6,
+                                            warmup=1).mean
+        assert slow > fast
+
+
+class TestFP16HookPath:
+    def test_fp16_runs_through_baseline_structure(self, rn50):
+        """fp16 keeps the bucketed-overlap event structure."""
+        sim = DDPSimulator(rn50, cluster_for_gpus(16),
+                           scheme=FP16Scheme(), config=quiet())
+        trace = sim.simulate_iteration(64, np.random.default_rng(0))
+        comm = trace.stream_spans(COMM_STREAM)
+        assert len(comm) == len(rn50.bucket_sizes_bytes())
+        # the cast cost appears as a compute span
+        labels = {s.label for s in trace.spans}
+        assert "bucket-cast" in labels
+
+    def test_fp16_halves_comm_time(self, rn50):
+        cluster = cluster_for_gpus(64)
+        dense = DDPSimulator(rn50, cluster, config=quiet())
+        half = DDPSimulator(rn50, cluster, scheme=FP16Scheme(),
+                            config=quiet())
+        rng = np.random.default_rng(0)
+        t_dense = dense.simulate_iteration(64, rng).stream_busy_time(
+            COMM_STREAM)
+        t_half = half.simulate_iteration(
+            64, np.random.default_rng(0)).stream_busy_time(COMM_STREAM)
+        assert t_half == pytest.approx(t_dense / 2, rel=0.1)
+
+    def test_fp16_beats_dense_when_comm_bound(self):
+        bert = get_model("bert-base")
+        cluster = cluster_for_gpus(64)
+        dense = DDPSimulator(bert, cluster, config=quiet()).run(
+            12, iterations=8, warmup=2).mean
+        half = DDPSimulator(bert, cluster, scheme=FP16Scheme(),
+                            config=quiet()).run(12, iterations=8,
+                                                warmup=2).mean
+        assert half < dense
+
+
+class TestTimingResult:
+    def test_statistics(self, rn50):
+        result = DDPSimulator(rn50, cluster_for_gpus(8)).run(
+            64, iterations=30, warmup=5, seed=7)
+        assert len(result.sync_times) == 25
+        assert result.mean == pytest.approx(np.mean(result.sync_times))
+        assert result.std == pytest.approx(np.std(result.sync_times))
+        assert result.mean_iteration > result.mean
+
+    def test_metadata(self, rn50):
+        result = DDPSimulator(rn50, cluster_for_gpus(8),
+                              scheme=PowerSGDScheme(4)).run(
+            32, iterations=6, warmup=1)
+        assert result.model == "resnet50"
+        assert result.scheme == "powersgd(rank=4)"
+        assert result.world_size == 8
+        assert result.batch_size == 32
+
+    def test_seed_reproducibility(self, rn50):
+        sim = DDPSimulator(rn50, cluster_for_gpus(8))
+        a = sim.run(64, iterations=10, warmup=2, seed=3)
+        b = sim.run(64, iterations=10, warmup=2, seed=3)
+        assert a.sync_times == b.sync_times
+
+    def test_hook_overhead_configurable(self, rn50):
+        cluster = cluster_for_gpus(16)
+        cheap = DDPSimulator(
+            rn50, cluster, scheme=PowerSGDScheme(4),
+            config=quiet(hook_overhead_per_layer_s=0.0)).run(
+            64, iterations=6, warmup=1).mean
+        costly = DDPSimulator(
+            rn50, cluster, scheme=PowerSGDScheme(4),
+            config=quiet(hook_overhead_per_layer_s=2e-4)).run(
+            64, iterations=6, warmup=1).mean
+        assert costly > cheap
+        with pytest.raises(ConfigurationError):
+            DDPConfig(hook_overhead_per_layer_s=-1.0)

@@ -1,0 +1,136 @@
+"""Event queue and trace primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import (
+    COMM_STREAM,
+    COMPUTE_STREAM,
+    EventQueue,
+    IterationTrace,
+    Span,
+    estimate_gamma,
+)
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2.0, lambda q: order.append("b"))
+        queue.schedule(1.0, lambda q: order.append("a"))
+        queue.schedule(3.0, lambda q: order.append("c"))
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda q: order.append("first"))
+        queue.schedule(1.0, lambda q: order.append("second"))
+        queue.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(0.5, lambda q: seen.append(q.now))
+        final = queue.run()
+        assert seen == [0.5]
+        assert final == 0.5
+
+    def test_events_can_schedule_followups(self):
+        queue = EventQueue()
+        seen = []
+
+        def first(q):
+            q.schedule_after(1.0, lambda q2: seen.append(q2.now))
+
+        queue.schedule(1.0, first)
+        queue.run()
+        assert seen == [2.0]
+
+    def test_scheduling_into_past_rejected(self):
+        queue = EventQueue()
+
+        def bad(q):
+            q.schedule(q.now - 1.0, lambda q2: None)
+
+        queue.schedule(5.0, bad)
+        with pytest.raises(SimulationError):
+            queue.run()
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.schedule_after(-1.0, lambda q: None)
+
+    def test_event_budget_guard(self):
+        queue = EventQueue()
+
+        def loop(q):
+            q.schedule_after(0.1, loop)
+
+        queue.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="budget"):
+            queue.run(max_events=100)
+
+    def test_processed_count(self):
+        queue = EventQueue()
+        for t in range(5):
+            queue.schedule(float(t), lambda q: None)
+        queue.run()
+        assert queue.processed == 5
+        assert queue.empty()
+
+
+class TestSpansAndTrace:
+    def test_span_duration(self):
+        span = Span(COMPUTE_STREAM, "fwd", 1.0, 3.5)
+        assert span.duration == pytest.approx(2.5)
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(SimulationError):
+            Span(COMPUTE_STREAM, "bad", 2.0, 1.0)
+
+    def test_stream_busy_time(self):
+        trace = IterationTrace()
+        trace.add(Span(COMPUTE_STREAM, "a", 0.0, 1.0))
+        trace.add(Span(COMPUTE_STREAM, "b", 2.0, 3.0))
+        trace.add(Span(COMM_STREAM, "c", 0.0, 5.0))
+        assert trace.stream_busy_time(COMPUTE_STREAM) == pytest.approx(2.0)
+        assert trace.stream_busy_time(COMM_STREAM) == pytest.approx(5.0)
+
+    def test_overlap_computation(self):
+        trace = IterationTrace()
+        trace.add(Span(COMPUTE_STREAM, "bwd", 0.0, 4.0))
+        trace.add(Span(COMM_STREAM, "bucket", 2.0, 6.0))
+        assert trace.compute_comm_overlap() == pytest.approx(2.0)
+
+    def test_sync_time_window(self):
+        trace = IterationTrace()
+        trace.forward_end = 1.0
+        trace.sync_end = 4.5
+        assert trace.sync_time() == pytest.approx(3.5)
+
+    def test_ascii_render_contains_streams(self):
+        trace = IterationTrace()
+        trace.add(Span(COMPUTE_STREAM, "fwd", 0.0, 1.0))
+        trace.add(Span(COMM_STREAM, "b0", 0.5, 2.0))
+        art = trace.render_ascii()
+        assert "compute" in art and "comm" in art
+
+    def test_empty_trace_renders(self):
+        assert "empty" in IterationTrace().render_ascii()
+
+
+class TestGammaEstimation:
+    def test_gamma_from_stretched_trace(self):
+        trace = IterationTrace()
+        trace.forward_end = 1.0
+        trace.backward_end = 3.2  # 2.2 s stretched backward
+        assert estimate_gamma(trace, 2.0) == pytest.approx(1.1)
+
+    def test_zero_standalone_rejected(self):
+        with pytest.raises(SimulationError):
+            estimate_gamma(IterationTrace(), 0.0)

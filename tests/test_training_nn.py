@@ -1,0 +1,166 @@
+"""Numpy NN: gradients, training dynamics, datasets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.training import (
+    MLP,
+    Dataset,
+    MLPConfig,
+    concentric_rings,
+    cross_entropy,
+    gaussian_blobs,
+    softmax,
+    sparse_logits,
+)
+
+
+@pytest.fixture
+def small_mlp():
+    return MLP(MLPConfig(input_dim=6, hidden_dims=(12,), num_classes=3,
+                         seed=0))
+
+
+class TestSoftmaxAndLoss:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(10, 5)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(10))
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.all(np.isfinite(probs))
+
+    def test_cross_entropy_perfect_prediction(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        labels = np.array([0, 1])
+        assert cross_entropy(probs, labels) == pytest.approx(0.0, abs=1e-9)
+
+    def test_cross_entropy_uniform(self):
+        probs = np.full((4, 4), 0.25)
+        assert cross_entropy(probs, np.zeros(4, dtype=int)) == pytest.approx(
+            np.log(4))
+
+
+class TestGradients:
+    def test_numeric_gradient_check(self, small_mlp, rng):
+        """Analytic gradients match central finite differences."""
+        x = rng.normal(size=(8, 6))
+        y = rng.integers(0, 3, size=8)
+        _, grads = small_mlp.loss_and_grads(x, y)
+        eps = 1e-6
+        for name in ("w0", "b0", "w1", "b1"):
+            param = small_mlp.params[name]
+            flat_idx = np.unravel_index(
+                rng.integers(0, param.size), param.shape)
+            original = param[flat_idx]
+            param[flat_idx] = original + eps
+            loss_plus, _ = small_mlp.loss_and_grads(x, y)
+            param[flat_idx] = original - eps
+            loss_minus, _ = small_mlp.loss_and_grads(x, y)
+            param[flat_idx] = original
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            assert grads[name][flat_idx] == pytest.approx(numeric, abs=1e-5)
+
+    def test_gradient_shapes_match_params(self, small_mlp, rng):
+        x = rng.normal(size=(4, 6))
+        y = rng.integers(0, 3, size=4)
+        _, grads = small_mlp.loss_and_grads(x, y)
+        for name, g in grads.items():
+            assert g.shape == small_mlp.params[name].shape
+
+    def test_mismatched_xy_rejected(self, small_mlp, rng):
+        with pytest.raises(ConfigurationError):
+            small_mlp.loss_and_grads(rng.normal(size=(4, 6)),
+                                     np.zeros(5, dtype=int))
+
+    def test_wrong_input_dim_rejected(self, small_mlp, rng):
+        with pytest.raises(ConfigurationError):
+            small_mlp.forward(rng.normal(size=(4, 7)))
+
+
+class TestTrainingDynamics:
+    def test_gd_reduces_loss(self, small_mlp):
+        ds = gaussian_blobs(num_samples=256, num_features=6,
+                            num_classes=3, seed=1)
+        loss0, grads = small_mlp.loss_and_grads(ds.x, ds.y)
+        for _ in range(50):
+            _, grads = small_mlp.loss_and_grads(ds.x, ds.y)
+            small_mlp.apply_update(grads, lr=0.5)
+        loss1, _ = small_mlp.loss_and_grads(ds.x, ds.y)
+        assert loss1 < loss0 / 2
+
+    def test_apply_update_validates(self, small_mlp):
+        with pytest.raises(ConfigurationError):
+            small_mlp.apply_update({"nope": np.zeros(3)}, lr=0.1)
+        with pytest.raises(ConfigurationError):
+            small_mlp.apply_update({"w0": np.zeros((1, 1))}, lr=0.1)
+        with pytest.raises(ConfigurationError):
+            small_mlp.apply_update({}, lr=0.0)
+
+    def test_clone_and_load_params(self, small_mlp, rng):
+        snapshot = small_mlp.clone_params()
+        small_mlp.apply_update(
+            {"w0": rng.normal(size=small_mlp.params["w0"].shape)}, lr=1.0)
+        small_mlp.load_params(snapshot)
+        np.testing.assert_array_equal(small_mlp.params["w0"],
+                                      snapshot["w0"])
+
+    def test_same_seed_same_init(self):
+        cfg = MLPConfig(input_dim=4, hidden_dims=(8,), num_classes=2,
+                        seed=9)
+        np.testing.assert_array_equal(MLP(cfg).params["w0"],
+                                      MLP(cfg).params["w0"])
+
+
+class TestDatasets:
+    def test_blobs_shapes(self):
+        ds = gaussian_blobs(num_samples=100, num_features=5, num_classes=3)
+        assert ds.x.shape == (100, 5)
+        assert ds.num_classes == 3
+
+    def test_blobs_learnable(self):
+        # Low spread: classes separable, so a linear probe should beat
+        # chance easily.  Checked via per-class center distances instead
+        # of training for speed.
+        ds = gaussian_blobs(num_samples=400, num_features=8,
+                            num_classes=4, spread=0.3, seed=2)
+        centers = np.array([ds.x[ds.y == c].mean(axis=0) for c in range(4)])
+        dists = np.linalg.norm(centers[:, None] - centers[None], axis=-1)
+        assert dists[~np.eye(4, dtype=bool)].min() > 1.0
+
+    def test_rings_radii_ordered(self):
+        ds = concentric_rings(num_samples=600, num_classes=3, seed=0)
+        radii = np.linalg.norm(ds.x, axis=1)
+        assert radii[ds.y == 0].mean() < radii[ds.y == 2].mean()
+
+    def test_sparse_logits_respects_active_features(self):
+        ds = sparse_logits(num_samples=100, num_features=20,
+                           active_features=3, seed=0)
+        assert ds.x.shape == (100, 20)
+
+    def test_shard_partition(self):
+        ds = gaussian_blobs(num_samples=100, num_features=4)
+        shards = [ds.shard(r, 4) for r in range(4)]
+        assert sum(s.num_samples for s in shards) == 100
+        with pytest.raises(ConfigurationError):
+            ds.shard(4, 4)
+
+    def test_batches_cover_epoch(self):
+        ds = gaussian_blobs(num_samples=50, num_features=4)
+        seen = sum(len(xb) for xb, _ in ds.batches(8))
+        assert seen == 50
+
+    def test_dataset_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            Dataset(x=rng.normal(size=(5,)), y=np.zeros(5, dtype=int))
+        with pytest.raises(ConfigurationError):
+            Dataset(x=rng.normal(size=(5, 2)), y=np.zeros(4, dtype=int))
+
+    def test_generator_validation(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_blobs(num_samples=0)
+        with pytest.raises(ConfigurationError):
+            gaussian_blobs(num_classes=1)
+        with pytest.raises(ConfigurationError):
+            sparse_logits(active_features=100, num_features=10)
