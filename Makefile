@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke
+
+## tier-1: the fast unit/behaviour suite (benchmarks/ excluded)
+test:
+	$(PYTHON) -m pytest
+
+## full-fidelity paper-exhibit regeneration (slow, opt-in)
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+## one fast figure through the parallel engine + result cache; a second
+## invocation should report a ~100% cache hit rate
+bench-smoke:
+	$(PYTHON) -m repro experiment fig7 --jobs 2 --cache .sim-cache

@@ -14,6 +14,14 @@ Run with::
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Stamp everything under benchmarks/ with the ``bench`` marker so
+    ``-m "not bench"`` deselects the suite no matter how it was
+    collected."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture
 def run_once(benchmark):
     """Time a callable with a single round (experiments are deterministic

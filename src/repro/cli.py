@@ -16,7 +16,9 @@ paste-ready tables.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
+import time
 from typing import List, Optional
 
 from .compression import make_scheme
@@ -27,6 +29,7 @@ from .core import (
     find_crossover_gbps,
     recommend,
 )
+from .engine import ExperimentEngine, SimulationCache
 from .errors import ReproError
 from .experiments import EXPERIMENTS
 from .hardware import cluster_for_gpus
@@ -61,14 +64,40 @@ def _parse_scheme(spec: str):
     return make_scheme(name, **params)
 
 
+def _accepts_engine(runner) -> bool:
+    """Whether an experiment runner takes the sweep engine.
+
+    Trace- and analytic-model-based exhibits (fig2, fig8, ...) have no
+    simulation grid to fan out; they simply don't declare the parameter.
+    """
+    try:
+        return "engine" in inspect.signature(runner).parameters
+    except (TypeError, ValueError):
+        return False
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
+    cache = SimulationCache(args.cache) if args.cache else None
+    engine = ExperimentEngine(jobs=args.jobs, cache=cache)
     ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
     for exp_id in ids:
-        result = EXPERIMENTS[exp_id]()
+        runner = EXPERIMENTS[exp_id]
+        before = engine.cache_stats.snapshot()
+        started = time.perf_counter()
+        if _accepts_engine(runner):
+            result = runner(engine=engine)
+        else:
+            result = runner()
+        elapsed = time.perf_counter() - started
         if args.markdown:
             print(to_markdown(result, "{:.2f}"))
         else:
             print(result.render_table("{:.2f}"))
+        status = f"[{exp_id}] {elapsed:.1f} s"
+        if cache is not None:
+            status += ", cache: " + engine.cache_stats.since(
+                before).describe()
+        print(status)
         print()
     return 0
 
@@ -144,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="regenerate a paper table/figure")
     p_exp.add_argument("id", choices=[*EXPERIMENTS, "all"])
     p_exp.add_argument("--markdown", action="store_true")
+    p_exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for simulation sweeps "
+                            "(default: 1, serial)")
+    p_exp.add_argument("--cache", default=None, metavar="DIR",
+                       help="directory for the content-addressed "
+                            "simulation result cache (default: off)")
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_rec = sub.add_parser("recommend",

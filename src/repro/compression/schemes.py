@@ -51,10 +51,25 @@ class SchemeCost:
     all_reducible: bool
     gather_stack_bytes: float
 
+    def __post_init__(self) -> None:
+        if self.wire_bytes <= 0:
+            raise ConfigurationError(
+                f"scheme produced non-positive wire bytes "
+                f"({self.wire_bytes})")
+        if not isinstance(self.messages, int) or self.messages < 1:
+            raise ConfigurationError(
+                f"messages must be a positive integer, got "
+                f"{self.messages!r}")
+        if self.encode_decode_s < 0:
+            raise ConfigurationError(
+                f"encode_decode_s must be >= 0, got {self.encode_decode_s}")
+        if self.gather_stack_bytes < 0:
+            raise ConfigurationError(
+                f"gather_stack_bytes must be >= 0, "
+                f"got {self.gather_stack_bytes}")
+
     def compression_ratio(self, model: ModelSpec) -> float:
         """Dense gradient bytes over wire bytes."""
-        if self.wire_bytes <= 0:
-            raise ConfigurationError("scheme produced non-positive wire bytes")
         return model.grad_bytes / self.wire_bytes
 
     def aggregation_working_set(self, world_size: int) -> float:

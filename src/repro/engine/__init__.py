@@ -1,0 +1,27 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+The substrate under ``python -m repro experiment all --jobs N --cache
+DIR`` and the experiment modules' grids: build :class:`SimJob` values,
+hand them to an :class:`ExperimentEngine`, get outcomes back in order.
+"""
+
+from .cache import CacheStats, SimulationCache
+from .engine import ExperimentEngine, JobOutcome, SimJob
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    cluster_fingerprint,
+    config_fingerprint,
+    digest,
+    fabric_fingerprint,
+    model_fingerprint,
+    profile_fingerprint,
+    scheme_fingerprint,
+)
+
+__all__ = [
+    "CacheStats", "SimulationCache",
+    "ExperimentEngine", "JobOutcome", "SimJob",
+    "FINGERPRINT_VERSION", "digest",
+    "model_fingerprint", "scheme_fingerprint", "cluster_fingerprint",
+    "fabric_fingerprint", "config_fingerprint", "profile_fingerprint",
+]

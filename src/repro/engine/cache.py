@@ -1,0 +1,161 @@
+"""Content-addressed on-disk cache of simulation results.
+
+One JSON file per cache key under the cache directory.  An entry stores
+either a full :class:`~repro.simulator.TimingResult` or the
+:class:`~repro.errors.OutOfMemoryError` the simulation deterministically
+raises — OOM is as reproducible as a timing, and re-simulating 110
+iterations just to re-discover it would defeat the cache.
+
+The cache never trusts its files blindly: a payload that fails to parse
+or misses required fields counts as a miss and is overwritten on the
+next store, so a truncated write (killed process) cannot poison later
+sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..errors import ConfigurationError, OutOfMemoryError
+from ..simulator import TimingResult
+
+#: What a cache lookup can yield: a result, or the deterministic OOM.
+CachedOutcome = Union[TimingResult, OutOfMemoryError]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, exposed on the CLI after every sweep."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from disk (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(hits=self.hits, misses=self.misses,
+                          stores=self.stores)
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter deltas relative to an earlier :meth:`snapshot`."""
+        return CacheStats(hits=self.hits - earlier.hits,
+                          misses=self.misses - earlier.misses,
+                          stores=self.stores - earlier.stores)
+
+    def describe(self) -> str:
+        return (f"{self.hits} hits / {self.misses} misses "
+                f"({self.hit_rate:.0%} hit rate)")
+
+
+def result_to_payload(result: TimingResult) -> dict:
+    return {
+        "kind": "result",
+        "model": result.model,
+        "scheme": result.scheme,
+        "world_size": result.world_size,
+        "batch_size": result.batch_size,
+        "sync_times": list(result.sync_times),
+        "iteration_times": list(result.iteration_times),
+    }
+
+
+def payload_to_result(payload: dict) -> TimingResult:
+    return TimingResult(
+        model=payload["model"],
+        scheme=payload["scheme"],
+        world_size=payload["world_size"],
+        batch_size=payload["batch_size"],
+        sync_times=tuple(payload["sync_times"]),
+        iteration_times=tuple(payload["iteration_times"]),
+    )
+
+
+def oom_to_payload(error: OutOfMemoryError) -> dict:
+    return {
+        "kind": "oom",
+        "message": str(error),
+        "required_bytes": error.required_bytes,
+        "budget_bytes": error.budget_bytes,
+    }
+
+
+def payload_to_oom(payload: dict) -> OutOfMemoryError:
+    return OutOfMemoryError(
+        payload["message"],
+        required_bytes=payload["required_bytes"],
+        budget_bytes=payload["budget_bytes"],
+    )
+
+
+class SimulationCache:
+    """Maps fingerprint keys to simulation outcomes, one file per key."""
+
+    def __init__(self, directory: str):
+        if not directory:
+            raise ConfigurationError("cache directory must be non-empty")
+        self.directory = directory
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot use {directory!r} as a cache directory: {exc}")
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[CachedOutcome]:
+        """Look up ``key``; counts a hit or a miss on the stats."""
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("kind") == "result":
+                outcome: CachedOutcome = payload_to_result(payload)
+            elif payload.get("kind") == "oom":
+                outcome = payload_to_oom(payload)
+            else:
+                raise KeyError(payload.get("kind"))
+        except (OSError, ValueError, KeyError, TypeError):
+            # Absent, truncated, or corrupted entries are plain misses.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return outcome
+
+    def put(self, key: str, outcome: CachedOutcome) -> None:
+        """Store ``outcome`` under ``key`` atomically (write + rename),
+        so a killed process can never leave a half-written entry."""
+        if isinstance(outcome, TimingResult):
+            payload = result_to_payload(outcome)
+        else:
+            payload = oom_to_payload(outcome)
+        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, self.path_for(key))
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        self.stats.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        """Membership probe that does not disturb the stats."""
+        return os.path.exists(self.path_for(key))
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory)
+                   if name.endswith(".json"))

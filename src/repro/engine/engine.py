@@ -1,0 +1,237 @@
+"""Sweep execution: fan simulation jobs out over processes, memoize.
+
+The paper's methodology (§6) and every scaling figure reduce to the
+same shape of work: a grid of independent ``DDPSimulator.run`` calls —
+model × scheme × cluster, 110 iterations each.  The grid is
+embarrassingly parallel and heavily redundant across figures (the
+syncSGD baseline of Figure 4 is the same simulation as the baseline of
+Figures 5 and 6), so the engine does two things:
+
+* **fan-out** — cache misses run on a ``concurrent.futures`` process
+  pool (``jobs`` workers); results come back in submission order, so a
+  parallel sweep produces *identical* rows to the serial one (every job
+  carries its own seed and owns its simulator);
+* **memoization** — outcomes (timings *and* deterministic OOMs) are
+  stored in a content-addressed :class:`SimulationCache` keyed by the
+  fingerprint of everything that determines them (see
+  :mod:`repro.engine.fingerprint`).
+
+``ExperimentEngine()`` with no arguments is a serial, cache-less
+drop-in for the old inline loops, which is what experiment runners
+default to when no engine is passed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..compression.kernel_cost import KernelProfile
+from ..compression.schemes import Scheme
+from ..errors import ConfigurationError, OutOfMemoryError
+from ..hardware import ClusterConfig
+from ..models import ModelSpec
+from ..network import Fabric
+from ..simulator import DDPConfig, DDPSimulator, TimingResult
+from .cache import CacheStats, SimulationCache
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    cluster_fingerprint,
+    config_fingerprint,
+    digest,
+    fabric_fingerprint,
+    model_fingerprint,
+    profile_fingerprint,
+    scheme_fingerprint,
+)
+
+
+@dataclass(frozen=True, eq=False)
+class SimJob:
+    """One fully-specified ``DDPSimulator.run`` invocation.
+
+    Attributes mirror the simulator's constructor plus ``run``'s
+    protocol arguments; ``None`` fields mean "the simulator's default"
+    and fingerprint as such.
+    """
+
+    model: ModelSpec
+    cluster: ClusterConfig
+    scheme: Optional[Scheme] = None
+    fabric: Optional[Fabric] = None
+    config: Optional[DDPConfig] = None
+    profile: Optional[KernelProfile] = None
+    batch_size: Optional[int] = None
+    iterations: int = 110
+    warmup: int = 10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.iterations <= self.warmup:
+            raise ConfigurationError(
+                f"iterations ({self.iterations}) must exceed warmup "
+                f"({self.warmup})")
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this job's outcome."""
+        return digest({
+            "version": FINGERPRINT_VERSION,
+            "model": model_fingerprint(self.model),
+            "cluster": cluster_fingerprint(self.cluster),
+            "scheme": scheme_fingerprint(self.scheme),
+            "fabric": fabric_fingerprint(self.fabric),
+            "config": config_fingerprint(self.config),
+            "profile": profile_fingerprint(self.profile),
+            "batch_size": self.batch_size,
+            "iterations": self.iterations,
+            "warmup": self.warmup,
+            "seed": self.seed,
+        })
+
+    def build_simulator(self) -> DDPSimulator:
+        return DDPSimulator(
+            self.model, self.cluster, scheme=self.scheme,
+            fabric=self.fabric, config=self.config,
+            kernel_profile=self.profile)
+
+    def describe(self) -> str:
+        scheme_label = self.scheme.label if self.scheme else "syncsgd"
+        return (f"{self.model.name} x {scheme_label} @ "
+                f"{self.cluster.world_size} GPUs")
+
+
+@dataclass
+class JobOutcome:
+    """What one job produced: a timing result or a deterministic OOM."""
+
+    job: SimJob
+    result: Optional[TimingResult] = None
+    oom: Optional[OutOfMemoryError] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    def unwrap(self) -> TimingResult:
+        """The result, or re-raise the OOM the simulation hit."""
+        if self.oom is not None:
+            raise self.oom
+        assert self.result is not None
+        return self.result
+
+
+def _execute_job(job: SimJob) -> Tuple[str, object]:
+    """Process-pool entry point: run one job, tag the outcome.
+
+    OOM is data (the sweep reports it as a row), so it travels back as a
+    value instead of an exception; anything else propagates and fails
+    the sweep loudly.
+    """
+    sim = job.build_simulator()
+    try:
+        result = sim.run(job.batch_size, iterations=job.iterations,
+                         warmup=job.warmup, seed=job.seed)
+    except OutOfMemoryError as exc:
+        return ("oom", (str(exc), exc.required_bytes, exc.budget_bytes))
+    return ("ok", result)
+
+
+def _outcome_from_tagged(job: SimJob, tagged: Tuple[str, object],
+                         cached: bool = False) -> JobOutcome:
+    kind, payload = tagged
+    if kind == "oom":
+        message, required, budget = payload  # type: ignore[misc]
+        return JobOutcome(job=job, oom=OutOfMemoryError(
+            message, required_bytes=required, budget_bytes=budget),
+            cached=cached)
+    return JobOutcome(job=job, result=payload, cached=cached)  # type: ignore[arg-type]
+
+
+class ExperimentEngine:
+    """Runs batches of :class:`SimJob` with optional parallelism and
+    an optional result cache.
+
+    Attributes:
+        jobs: Worker process count; 1 (the default) runs in-process.
+        cache: A :class:`SimulationCache`, or ``None`` to recompute
+            everything.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: Optional[SimulationCache] = None):
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        #: Simulations actually executed (cache misses) over the
+        #: engine's lifetime.
+        self.executed = 0
+        #: Wall-clock seconds spent inside ``run_outcomes``.
+        self.busy_s = 0.0
+
+    # ----- execution ---------------------------------------------------------
+
+    def run_outcomes(self, batch: Sequence[SimJob]) -> List[JobOutcome]:
+        """Run every job; outcomes come back in input order.
+
+        Cache hits are served without simulating; misses run serially
+        or on the process pool, then populate the cache.
+        """
+        start = time.perf_counter()
+        outcomes: List[Optional[JobOutcome]] = [None] * len(batch)
+        miss_indices: List[int] = []
+        keys: List[Optional[str]] = [None] * len(batch)
+
+        if self.cache is not None:
+            for i, job in enumerate(batch):
+                key = job.fingerprint()
+                keys[i] = key
+                hit = self.cache.get(key)
+                if hit is None:
+                    miss_indices.append(i)
+                elif isinstance(hit, OutOfMemoryError):
+                    outcomes[i] = JobOutcome(job=job, oom=hit, cached=True)
+                else:
+                    outcomes[i] = JobOutcome(job=job, result=hit,
+                                             cached=True)
+        else:
+            miss_indices = list(range(len(batch)))
+
+        miss_jobs = [batch[i] for i in miss_indices]
+        if miss_jobs:
+            if self.jobs > 1 and len(miss_jobs) > 1:
+                workers = min(self.jobs, len(miss_jobs),
+                              (os.cpu_count() or 1))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    tagged_results = list(pool.map(_execute_job, miss_jobs))
+            else:
+                tagged_results = [_execute_job(job) for job in miss_jobs]
+            self.executed += len(miss_jobs)
+            for i, tagged in zip(miss_indices, tagged_results):
+                outcome = _outcome_from_tagged(batch[i], tagged)
+                outcomes[i] = outcome
+                if self.cache is not None:
+                    key = keys[i]
+                    assert key is not None
+                    self.cache.put(
+                        key, outcome.result if outcome.ok
+                        else outcome.oom)  # type: ignore[arg-type]
+
+        self.busy_s += time.perf_counter() - start
+        return [o for o in outcomes if o is not None]
+
+    def run(self, job: SimJob) -> TimingResult:
+        """Run one job; raises the stored OOM like the raw simulator."""
+        return self.run_outcomes([job])[0].unwrap()
+
+    # ----- statistics --------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """The cache's counters (zeros when no cache is attached)."""
+        return (self.cache.stats if self.cache is not None
+                else CacheStats())

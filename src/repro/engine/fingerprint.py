@@ -1,0 +1,150 @@
+"""Stable content fingerprints for simulation configurations.
+
+The result cache is *content-addressed*: a simulation's identity is the
+SHA-256 of a canonical JSON rendering of everything that determines its
+output — the model's exact layer metadata, the scheme (label and
+parameters), the cluster, the :class:`~repro.simulator.DDPConfig`, the
+fabric's pricing parameters *and its current bandwidth matrix* (so a
+``degrade_link`` fault produces a different key), the kernel profile,
+and the run protocol (batch size, iterations, warmup, seed).
+
+Two rules keep keys stable across processes and sessions:
+
+* floats are rendered with ``repr`` (shortest round-trip form), so the
+  same value always serializes to the same text;
+* dict keys are sorted, so insertion order never leaks into the hash.
+
+Anything not captured here MUST NOT influence ``DDPSimulator.run`` —
+that is the cache's correctness contract, and what
+``tests/test_engine_cache.py`` exercises field by field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Any, Dict, Optional
+
+from ..compression.kernel_cost import KernelProfile
+from ..compression.schemes import Scheme
+from ..hardware import ClusterConfig
+from ..models import ModelSpec
+from ..network import Fabric
+from ..simulator import DDPConfig
+
+#: Bump when the simulator's output semantics change incompatibly, so
+#: stale cache directories are never silently reused across versions.
+FINGERPRINT_VERSION = 1
+
+
+def model_fingerprint(model: ModelSpec) -> Dict[str, Any]:
+    """Everything about a model that the simulator's timing depends on."""
+    return {
+        "name": model.name,
+        "default_batch_size": model.default_batch_size,
+        "compute_efficiency": model.compute_efficiency,
+        "batch_half_saturation": model.batch_half_saturation,
+        "gather_granularity": model.gather_granularity,
+        "layers": [
+            {
+                "name": layer.name,
+                "kind": layer.kind,
+                "param_shape": list(layer.param_shape),
+                "matrix_shape": list(layer.matrix_shape),
+                "extra_params": layer.extra_params,
+                "fwd_flops_per_sample": layer.fwd_flops_per_sample,
+                "activation_bytes_per_sample":
+                    layer.activation_bytes_per_sample,
+            }
+            for layer in model.layers
+        ],
+    }
+
+
+def scheme_fingerprint(scheme: Optional[Scheme]) -> Dict[str, Any]:
+    """Scheme identity: class, label, and all constructor parameters.
+
+    ``None`` (the syncSGD default) hashes distinctly from an explicit
+    :class:`~repro.compression.schemes.SyncSGDScheme` label so the key
+    still matches what the simulator actually runs.
+    """
+    if scheme is None:
+        return {"name": "syncsgd", "label": "syncsgd", "params": {}}
+    return {
+        "name": scheme.name,
+        "label": scheme.label,
+        "class": type(scheme).__name__,
+        "all_reducible": scheme.all_reducible,
+        "layerwise": scheme.layerwise,
+        "ddp_overlap": scheme.ddp_overlap,
+        # Built-in schemes keep their parameters (rank, fraction, ...)
+        # as plain instance attributes; custom schemes should too.
+        "params": {k: v for k, v in sorted(vars(scheme).items())
+                   if not k.startswith("_")},
+    }
+
+
+def cluster_fingerprint(cluster: ClusterConfig) -> Dict[str, Any]:
+    instance = cluster.instance
+    gpu = instance.gpu
+    return {
+        "num_nodes": cluster.num_nodes,
+        "seed": cluster.seed,
+        "instance": {
+            "name": instance.name,
+            "gpus_per_node": instance.gpus_per_node,
+            "network_bytes_per_s": instance.network_bytes_per_s,
+            "intra_node_bytes_per_s": instance.intra_node_bytes_per_s,
+        },
+        "gpu": {
+            "name": gpu.name,
+            "peak_fp32_flops": gpu.peak_fp32_flops,
+            "training_efficiency": gpu.training_efficiency,
+            "memcpy_bytes_per_s": gpu.memcpy_bytes_per_s,
+            "memory_bytes": gpu.memory_bytes,
+            "kernel_launch_overhead_s": gpu.kernel_launch_overhead_s,
+        },
+    }
+
+
+def fabric_fingerprint(fabric: Optional[Fabric]) -> Dict[str, Any]:
+    """Fabric pricing parameters plus the live bandwidth matrix.
+
+    The matrix digest is what invalidates cache entries after
+    ``degrade_link``/``degrade_node``: the same cluster with a limping
+    link is a different experiment.
+    """
+    if fabric is None:
+        return {"default": True}
+    return {
+        "default": False,
+        "alpha_s": fabric.alpha_s,
+        "bandwidth_jitter": fabric.bandwidth_jitter,
+        "incast_per_sender": fabric.incast_per_sender,
+        "pair_bw_sha256": hashlib.sha256(
+            fabric._pair_bw.tobytes()).hexdigest(),
+    }
+
+
+def profile_fingerprint(profile: Optional[KernelProfile]) -> Dict[str, Any]:
+    if profile is None:
+        return {"default": True}
+    payload = asdict(profile)
+    payload["default"] = False
+    return payload
+
+
+def config_fingerprint(config: Optional[DDPConfig]) -> Dict[str, Any]:
+    return asdict(config if config is not None else DDPConfig())
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def digest(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

@@ -10,7 +10,7 @@ ResNet-101.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..compression.schemes import (
     PowerSGDScheme,
@@ -18,9 +18,10 @@ from ..compression.schemes import (
     SignSGDScheme,
     TopKScheme,
 )
+from ..engine import ExperimentEngine, SimJob
 from ..hardware import cluster_for_gpus
 from ..models import get_model
-from ..simulator import DDPConfig, DDPSimulator
+from ..simulator import DDPConfig
 from .runner import ExperimentResult
 
 #: The figure's method roster.
@@ -33,20 +34,28 @@ FIG3_SCHEMES: Tuple[Scheme, ...] = (
 
 def run_fig3(model_name: str = "resnet101", batch_size: int = 64,
              num_gpus: int = 16, iterations: int = 40, warmup: int = 5,
-             seed: int = 0) -> ExperimentResult:
+             seed: int = 0,
+             engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """Sequential vs overlapped compression execution."""
+    eng = engine if engine is not None else ExperimentEngine()
     model = get_model(model_name)
     cluster = cluster_for_gpus(num_gpus)
+    jobs = [
+        SimJob(model=model, cluster=cluster, scheme=scheme,
+               config=DDPConfig(overlap_compression=overlapped),
+               batch_size=batch_size, iterations=iterations,
+               warmup=warmup, seed=seed)
+        for scheme in FIG3_SCHEMES
+        for overlapped in (False, True)
+    ]
+    outcomes = eng.run_outcomes(jobs)
     rows: List[Dict[str, Any]] = []
-    for scheme in FIG3_SCHEMES:
-        times = {}
-        for mode, overlapped in (("sequential", False), ("overlapped", True)):
-            sim = DDPSimulator(
-                model, cluster, scheme=scheme,
-                config=DDPConfig(overlap_compression=overlapped))
-            result = sim.run(batch_size, iterations=iterations,
-                             warmup=warmup, seed=seed)
-            times[mode] = result.mean * 1e3
+    for scheme, (seq_out, ovl_out) in zip(
+            FIG3_SCHEMES, zip(outcomes[0::2], outcomes[1::2])):
+        times = {
+            "sequential": seq_out.unwrap().mean * 1e3,
+            "overlapped": ovl_out.unwrap().mean * 1e3,
+        }
         rows.append({
             "scheme": scheme.label,
             "sequential_ms": times["sequential"],

@@ -11,9 +11,10 @@ paper's headline observations, which the benchmark asserts:
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..compression.schemes import PowerSGDScheme
+from ..engine import ExperimentEngine
 from .runner import PAPER_GPU_SWEEP, ExperimentResult
 from .scaling import PAPER_WORKLOADS, run_scaling_sweep
 
@@ -24,7 +25,8 @@ FIG4_RANKS: Tuple[int, ...] = (4, 8, 16)
 def run_fig4(gpu_counts: Sequence[int] = PAPER_GPU_SWEEP,
              workloads=PAPER_WORKLOADS,
              iterations: int = 40, warmup: int = 5,
-             seed: int = 0) -> ExperimentResult:
+             seed: int = 0,
+             engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """Scaling sweep for PowerSGD ranks 4/8/16 vs syncSGD."""
     result = run_scaling_sweep(
         experiment_id="fig4",
@@ -35,5 +37,6 @@ def run_fig4(gpu_counts: Sequence[int] = PAPER_GPU_SWEEP,
         iterations=iterations,
         warmup=warmup,
         seed=seed,
+        engine=engine,
     )
     return result

@@ -11,9 +11,10 @@ observations, which the benchmark asserts:
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..compression.schemes import TopKScheme
+from ..engine import ExperimentEngine
 from .runner import PAPER_GPU_SWEEP, ExperimentResult
 from .scaling import PAPER_WORKLOADS, run_scaling_sweep
 
@@ -24,7 +25,8 @@ FIG5_FRACTIONS: Tuple[float, ...] = (0.01, 0.10, 0.20)
 def run_fig5(gpu_counts: Sequence[int] = PAPER_GPU_SWEEP,
              workloads=PAPER_WORKLOADS,
              iterations: int = 40, warmup: int = 5,
-             seed: int = 0) -> ExperimentResult:
+             seed: int = 0,
+             engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """Scaling sweep for Top-K 1/10/20 % vs syncSGD."""
     return run_scaling_sweep(
         experiment_id="fig5",
@@ -35,4 +37,5 @@ def run_fig5(gpu_counts: Sequence[int] = PAPER_GPU_SWEEP,
         iterations=iterations,
         warmup=warmup,
         seed=seed,
+        engine=engine,
     )

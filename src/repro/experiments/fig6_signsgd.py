@@ -11,9 +11,10 @@ The paper's observations, which the benchmark asserts:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..compression.schemes import SignSGDScheme
+from ..engine import ExperimentEngine
 from .runner import PAPER_GPU_SWEEP, ExperimentResult
 from .scaling import PAPER_WORKLOADS, run_scaling_sweep
 
@@ -21,7 +22,8 @@ from .scaling import PAPER_WORKLOADS, run_scaling_sweep
 def run_fig6(gpu_counts: Sequence[int] = PAPER_GPU_SWEEP,
              workloads=PAPER_WORKLOADS,
              iterations: int = 40, warmup: int = 5,
-             seed: int = 0) -> ExperimentResult:
+             seed: int = 0,
+             engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """Scaling sweep for signSGD vs syncSGD."""
     return run_scaling_sweep(
         experiment_id="fig6",
@@ -32,4 +34,5 @@ def run_fig6(gpu_counts: Sequence[int] = PAPER_GPU_SWEEP,
         iterations=iterations,
         warmup=warmup,
         seed=seed,
+        engine=engine,
     )

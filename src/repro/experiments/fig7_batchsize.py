@@ -12,12 +12,12 @@ which the benchmark asserts as shapes:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..compression.schemes import PowerSGDScheme, SyncSGDScheme
+from ..engine import ExperimentEngine, SimJob
 from ..hardware import cluster_for_gpus
 from ..models import get_model
-from ..simulator import DDPSimulator
 from .runner import ExperimentResult, speedup
 
 #: (model, gpus, batch sizes) the figure and §3.3 text report.
@@ -30,26 +30,36 @@ FIG7_SWEEPS: Tuple[Tuple[str, int, Tuple[int, ...]], ...] = (
 def run_fig7(rank: int = 4,
              sweeps: Sequence[Tuple[str, int, Tuple[int, ...]]] = FIG7_SWEEPS,
              iterations: int = 40, warmup: int = 5,
-             seed: int = 0) -> ExperimentResult:
+             seed: int = 0,
+             engine: Optional[ExperimentEngine] = None) -> ExperimentResult:
     """PowerSGD speedup over syncSGD across batch sizes."""
-    rows: List[Dict[str, Any]] = []
+    eng = engine if engine is not None else ExperimentEngine()
+    jobs: List[SimJob] = []
     for model_name, num_gpus, batch_sizes in sweeps:
         model = get_model(model_name)
         cluster = cluster_for_gpus(num_gpus)
         for batch_size in batch_sizes:
-            base = DDPSimulator(model, cluster, scheme=SyncSGDScheme()).run(
-                batch_size, iterations=iterations, warmup=warmup, seed=seed)
-            comp = DDPSimulator(
-                model, cluster, scheme=PowerSGDScheme(rank=rank)).run(
-                batch_size, iterations=iterations, warmup=warmup, seed=seed)
-            rows.append({
-                "model": model_name,
-                "gpus": num_gpus,
-                "batch_size": batch_size,
-                "syncsgd_ms": base.mean * 1e3,
-                "powersgd_ms": comp.mean * 1e3,
-                "speedup": speedup(base.mean, comp.mean),
-            })
+            for scheme in (SyncSGDScheme(), PowerSGDScheme(rank=rank)):
+                jobs.append(SimJob(
+                    model=model, cluster=cluster, scheme=scheme,
+                    batch_size=batch_size, iterations=iterations,
+                    warmup=warmup, seed=seed))
+
+    outcomes = eng.run_outcomes(jobs)
+    rows: List[Dict[str, Any]] = []
+    # Jobs were appended baseline-then-compressed per batch size.
+    for base_out, comp_out in zip(outcomes[0::2], outcomes[1::2]):
+        base = base_out.unwrap()
+        comp = comp_out.unwrap()
+        job = base_out.job
+        rows.append({
+            "model": job.model.name,
+            "gpus": job.cluster.world_size,
+            "batch_size": job.batch_size,
+            "syncsgd_ms": base.mean * 1e3,
+            "powersgd_ms": comp.mean * 1e3,
+            "speedup": speedup(base.mean, comp.mean),
+        })
     return ExperimentResult(
         experiment_id="fig7",
         title=f"Effect of batch size on PowerSGD rank-{rank} speedup",

@@ -3,8 +3,12 @@
 All three figures have the same shape: per-iteration time (gradient
 computation + synchronization) of one or more compressed variants against
 the syncSGD baseline, for ResNet-50 / ResNet-101 / BERT_BASE, as the GPU
-count grows.  This module runs that sweep through the discrete-event
-simulator, marking OOM configurations the way the paper's plot notes do.
+count grows.  This module builds that grid as a batch of
+:class:`~repro.engine.SimJob` and hands it to an
+:class:`~repro.engine.ExperimentEngine`, which fans it out over worker
+processes and serves repeats from its result cache — the syncSGD
+baseline, identical across the three figures, simulates once.  OOM
+configurations are marked the way the paper's plot notes do.
 """
 
 from __future__ import annotations
@@ -12,9 +16,8 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..compression.schemes import Scheme, SyncSGDScheme
-from ..errors import OutOfMemoryError
+from ..engine import ExperimentEngine, SimJob
 from ..models import get_model
-from ..simulator import DDPSimulator
 from .runner import PAPER_GPU_SWEEP, ExperimentResult, scaling_clusters
 
 #: (model name, per-GPU batch size) triples the paper evaluates.
@@ -30,48 +33,61 @@ def run_scaling_sweep(experiment_id: str, title: str,
                       workloads: Sequence[Tuple[str, int]] = PAPER_WORKLOADS,
                       gpu_counts: Sequence[int] = PAPER_GPU_SWEEP,
                       iterations: int = 40, warmup: int = 5,
-                      seed: int = 0) -> ExperimentResult:
+                      seed: int = 0,
+                      engine: Optional[ExperimentEngine] = None,
+                      ) -> ExperimentResult:
     """Run syncSGD plus each scheme across the sweep.
 
     Rows contain mean/std per-iteration sync time in milliseconds; OOM
     points appear as rows with ``oom=True`` and NaN times, so downstream
-    consumers see exactly where a method stopped scaling.
+    consumers see exactly where a method stopped scaling.  Passing an
+    ``engine`` enables multiprocess fan-out and result caching; the
+    default runs serially in-process, exactly like the historical
+    nested-loop implementation (and produces identical rows either way,
+    since every job carries its own seed).
     """
+    eng = engine if engine is not None else ExperimentEngine()
     all_schemes: List[Scheme] = [SyncSGDScheme(), *schemes]
-    rows: List[Dict[str, Any]] = []
-    notes: List[str] = []
+    jobs: List[SimJob] = []
     for model_name, batch_size in workloads:
         model = get_model(model_name)
         for cluster in scaling_clusters(gpu_counts):
             for scheme in all_schemes:
-                sim = DDPSimulator(model, cluster, scheme=scheme)
-                try:
-                    result = sim.run(batch_size, iterations=iterations,
-                                     warmup=warmup, seed=seed)
-                except OutOfMemoryError as exc:
-                    rows.append({
-                        "model": model_name,
-                        "scheme": scheme.label,
-                        "gpus": cluster.world_size,
-                        "batch_size": batch_size,
-                        "mean_ms": float("nan"),
-                        "std_ms": float("nan"),
-                        "oom": True,
-                    })
-                    notes.append(
-                        f"{model_name}/{scheme.label} OOM at "
-                        f"{cluster.world_size} GPUs "
-                        f"({exc.required_bytes / 1e9:.1f} GB needed)")
-                    continue
-                rows.append({
-                    "model": model_name,
-                    "scheme": scheme.label,
-                    "gpus": cluster.world_size,
-                    "batch_size": batch_size,
-                    "mean_ms": result.mean * 1e3,
-                    "std_ms": result.std * 1e3,
-                    "oom": False,
-                })
+                jobs.append(SimJob(
+                    model=model, cluster=cluster, scheme=scheme,
+                    batch_size=batch_size, iterations=iterations,
+                    warmup=warmup, seed=seed))
+
+    rows: List[Dict[str, Any]] = []
+    notes: List[str] = []
+    for outcome in eng.run_outcomes(jobs):
+        job = outcome.job
+        scheme_label = job.scheme.label if job.scheme else "syncsgd"
+        if outcome.oom is not None:
+            rows.append({
+                "model": job.model.name,
+                "scheme": scheme_label,
+                "gpus": job.cluster.world_size,
+                "batch_size": job.batch_size,
+                "mean_ms": float("nan"),
+                "std_ms": float("nan"),
+                "oom": True,
+            })
+            notes.append(
+                f"{job.model.name}/{scheme_label} OOM at "
+                f"{job.cluster.world_size} GPUs "
+                f"({outcome.oom.required_bytes / 1e9:.1f} GB needed)")
+            continue
+        result = outcome.unwrap()
+        rows.append({
+            "model": job.model.name,
+            "scheme": scheme_label,
+            "gpus": job.cluster.world_size,
+            "batch_size": job.batch_size,
+            "mean_ms": result.mean * 1e3,
+            "std_ms": result.std * 1e3,
+            "oom": False,
+        })
     return ExperimentResult(
         experiment_id=experiment_id,
         title=title,

@@ -63,6 +63,11 @@ class Fabric:
     bandwidth_jitter: float = DEFAULT_BANDWIDTH_JITTER
     incast_per_sender: float = DEFAULT_INCAST_PER_SENDER
     _pair_bw: np.ndarray = field(init=False, repr=False)
+    #: Memoized pairwise minimum; the simulator queries it per bucket per
+    #: iteration, and the O(n^2) matrix scan dominated the hot path.
+    #: Invalidated by ``degrade_link``/``degrade_node``.
+    _min_bw_cache: Optional[float] = field(default=None, init=False,
+                                           repr=False)
 
     def __post_init__(self) -> None:
         if self.alpha_s < 0:
@@ -109,11 +114,15 @@ class Fabric:
         With a single node there is no inter-node link; NVLink speed is
         returned so downstream formulas stay finite.
         """
-        n = self.cluster.num_nodes
-        if n == 1:
-            return self.cluster.instance.intra_node_bytes_per_s
-        off_diag = self._pair_bw[~np.eye(n, dtype=bool)]
-        return float(off_diag.min())
+        if self._min_bw_cache is None:
+            n = self.cluster.num_nodes
+            if n == 1:
+                self._min_bw_cache = (
+                    self.cluster.instance.intra_node_bytes_per_s)
+            else:
+                off_diag = self._pair_bw[~np.eye(n, dtype=bool)]
+                self._min_bw_cache = float(off_diag.min())
+        return self._min_bw_cache
 
     def nominal_bandwidth(self) -> float:
         """The NIC's advertised speed, before jitter."""
@@ -155,6 +164,7 @@ class Fabric:
                 f"factor must be in (0, 1], got {factor}")
         self._pair_bw[node_a, node_b] *= factor
         self._pair_bw[node_b, node_a] *= factor
+        self._min_bw_cache = None
 
     def degrade_node(self, node: int, factor: float) -> None:
         """Degrade every link touching ``node`` (a straggler NIC)."""
@@ -166,6 +176,7 @@ class Fabric:
             if other != node:
                 self._pair_bw[node, other] *= factor
                 self._pair_bw[other, node] *= factor
+        self._min_bw_cache = None
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.cluster.num_nodes:

@@ -173,6 +173,37 @@ class DDPSimulator:
                         else v100_kernel_profile())
         self.compute = ComputeModel(model, cluster.gpu)
         self._is_baseline = isinstance(self.scheme, SyncSGDScheme)
+        # Per-simulator caches for the 110-iteration hot loop: the scheme
+        # cost, the DDP bucket plan and the un-jittered backward layer
+        # times depend only on construction-time state, so they are
+        # computed once instead of once per simulated iteration.
+        self._cost_cache: Optional[SchemeCost] = None
+        self._bucket_plan: Optional[Tuple[List[float], List[int]]] = None
+        self._bwd_base_cache: dict = {}
+
+    def _scheme_cost(self) -> SchemeCost:
+        """The scheme's cost for this simulator's model and world size
+        (memoized; model, scheme, world size and profile are fixed)."""
+        if self._cost_cache is None:
+            self._cost_cache = self.scheme.cost(
+                self.model, self.cluster.world_size, self.profile)
+        return self._cost_cache
+
+    def _baseline_bucket_plan(self) -> Tuple[List[float], List[int]]:
+        """Bucket sizes and the backward-order index of each bucket's
+        closing layer (memoized; depends only on model + bucket cap)."""
+        if self._bucket_plan is None:
+            buckets = self.model.gradient_buckets(
+                self.config.bucket_cap_bytes)
+            bucket_sizes = [
+                float(sum(l.grad_bytes for l in b)) for b in buckets]
+            name_to_idx = {
+                l.name: i for i, l in enumerate(self.model.backward_layers())}
+            bucket_close_idx = [
+                max(name_to_idx[l.name] for l in bucket)
+                for bucket in buckets]
+            self._bucket_plan = (bucket_sizes, bucket_close_idx)
+        return self._bucket_plan
 
     # ----- memory ------------------------------------------------------------
 
@@ -184,7 +215,7 @@ class DDPSimulator:
                 scheme's aggregation working set exceed GPU memory.
         """
         p = self.cluster.world_size
-        cost = self.scheme.cost(self.model, p, self.profile)
+        cost = self._scheme_cost()
         working = cost.aggregation_working_set(p)
         fits, required = self.compute.fits_in_memory(batch_size, working)
         if not fits:
@@ -237,12 +268,22 @@ class DDPSimulator:
 
     def simulate_iteration(self, batch_size: Optional[int] = None,
                            rng: Optional[np.random.Generator] = None,
-                           ) -> IterationTrace:
-        """Simulate one iteration; returns its timeline trace."""
+                           seed: Optional[int] = None) -> IterationTrace:
+        """Simulate one iteration; returns its timeline trace.
+
+        Jitter is drawn from ``rng`` when given (callers running many
+        iterations thread one generator through, as :meth:`run` does).
+        Otherwise a fresh generator is derived from ``seed`` — or from
+        OS entropy when ``seed`` is ``None`` — so that repeated direct
+        calls actually vary.  (A previous revision defaulted to
+        ``default_rng(0)`` on *every* call, which made direct callers
+        draw identical jitter and collapsed their variance to zero.)
+        """
         bs = batch_size if batch_size is not None else self.model.default_batch_size
         if self.config.check_memory:
             self.check_memory(bs)
-        rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is None:
+            rng = np.random.default_rng(seed)
         if self._is_baseline or self.scheme.ddp_overlap:
             # ddp_overlap schemes (fp16) compress inside the bucket hook:
             # same event structure as syncSGD with scaled payloads.
@@ -265,11 +306,14 @@ class DDPSimulator:
     def _backward_layer_times(self, bs: int, stretch: float,
                               rng: np.random.Generator) -> List[float]:
         sigma = self.config.compute_jitter
-        return [
-            self.compute.layer_backward_time(layer, bs) * stretch
-            * self._jitter(rng, sigma)
-            for layer in self.model.backward_layers()
-        ]
+        base = self._bwd_base_cache.get(bs)
+        if base is None:
+            base = [self.compute.layer_backward_time(layer, bs)
+                    for layer in self.model.backward_layers()]
+            self._bwd_base_cache[bs] = base
+        # One scalar jitter draw per layer, in layer order, so the rng
+        # stream is identical to the pre-cache implementation.
+        return [t * stretch * self._jitter(rng, sigma) for t in base]
 
     def _simulate_baseline(self, bs: int,
                            rng: np.random.Generator) -> IterationTrace:
@@ -283,7 +327,7 @@ class DDPSimulator:
         if self._is_baseline:
             wire_scale, hook_cost = 1.0, 0.0
         else:
-            cost = self.scheme.cost(self.model, p, self.profile)
+            cost = self._scheme_cost()
             wire_scale = cost.wire_bytes / self.model.grad_bytes
             hook_cost = cost.encode_decode_s
 
@@ -295,14 +339,9 @@ class DDPSimulator:
         trace.add(Span(COMPUTE_STREAM, "forward", 0.0, t_fwd))
         trace.forward_end = t_fwd
 
-        # Map each bucket to the index (in backward order) of the layer
-        # that completes it.
-        buckets = self.model.gradient_buckets(cfg.bucket_cap_bytes)
-        bucket_sizes = [sum(l.grad_bytes for l in b) for b in buckets]
-        backward_layers = self.model.backward_layers()
-        name_to_idx = {l.name: i for i, l in enumerate(backward_layers)}
-        bucket_close_idx = [
-            max(name_to_idx[l.name] for l in bucket) for bucket in buckets]
+        # Bucket sizes + the backward-order index of each bucket's
+        # closing layer, computed once per simulator (not per iteration).
+        bucket_sizes, bucket_close_idx = self._baseline_bucket_plan()
 
         layer_times = self._backward_layer_times(bs, stretch, rng)
         # Cumulative completion time of each backward layer.
@@ -355,7 +394,7 @@ class DDPSimulator:
         """
         p = self.cluster.world_size
         cfg = self.config
-        cost = self.scheme.cost(self.model, p, self.profile)
+        cost = self._scheme_cost()
         trace = IterationTrace()
 
         t_fwd = (self.compute.forward_time(bs)
@@ -398,7 +437,7 @@ class DDPSimulator:
         """
         p = self.cluster.world_size
         cfg = self.config
-        cost = self.scheme.cost(self.model, p, self.profile)
+        cost = self._scheme_cost()
         trace = IterationTrace()
 
         t_fwd = (self.compute.forward_time(bs)
@@ -418,19 +457,23 @@ class DDPSimulator:
             COMPUTE_STREAM, "backward+encode", t_fwd, compute_end))
 
         # Compressed chunks stream out in four waves through the phase;
-        # the final wave only after the stretched phase completes.
+        # the final wave only after the stretched phase completes.  A
+        # single worker has no collective at all, so it gets no comm
+        # spans — zero-length phantom waves would pollute the trace and
+        # compute_comm_overlap() inputs.
         comm_total = 0.0 if p == 1 else self._collective_time(cost)
         comm_total *= self._jitter(rng, cfg.comm_jitter)
         waves = 4
         comm_free = t_fwd
         sync_end = compute_end
-        for wave in range(waves):
-            ready = t_fwd + stretched * (wave + 1) / waves
-            start = max(ready, comm_free)
-            end = start + comm_total / waves
-            trace.add(Span(COMM_STREAM, f"wave{wave}", start, end))
-            comm_free = end
-            sync_end = end
+        if p > 1:
+            for wave in range(waves):
+                ready = t_fwd + stretched * (wave + 1) / waves
+                start = max(ready, comm_free)
+                end = start + comm_total / waves
+                trace.add(Span(COMM_STREAM, f"wave{wave}", start, end))
+                comm_free = end
+                sync_end = end
 
         decode_end = max(sync_end, compute_end) + enc_dec / 2.0
         trace.add(Span(COMPUTE_STREAM, "decode",

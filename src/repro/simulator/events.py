@@ -61,15 +61,20 @@ class EventQueue:
         """Drain the queue; returns the final clock value.
 
         ``max_events`` guards against accidental infinite event loops —
-        a healthy iteration simulation is a few hundred events.
+        a healthy iteration simulation is a few hundred events.  The
+        budget applies to *this* invocation: a reused queue gets the
+        full allowance on every ``run()``, while the lifetime total
+        stays observable via :attr:`processed`.
         """
+        executed = 0
         while self._heap:
-            if self._processed >= max_events:
+            if executed >= max_events:
                 raise SimulationError(
                     f"event budget exhausted after {max_events} events — "
                     f"likely a self-rescheduling loop")
             time, _, callback = heapq.heappop(self._heap)
             self._now = time
+            executed += 1
             self._processed += 1
             callback(self)
         return self._now

@@ -137,6 +137,70 @@ class TestMemoryWorkingSet:
             12 * cost.aggregation_working_set(8))
 
 
+class TestSchemeCostValidation:
+    """Regression: a malformed custom scheme used to sail through and
+    blow up later as ZeroDivisionError in ``_collective_time``."""
+
+    def _cost(self, **overrides):
+        from repro.compression.schemes import SchemeCost
+        fields = dict(wire_bytes=1024.0, messages=1, encode_decode_s=0.01,
+                      all_reducible=True, gather_stack_bytes=0.0)
+        fields.update(overrides)
+        return SchemeCost(**fields)
+
+    def test_valid_cost_accepted(self):
+        assert self._cost().messages == 1
+
+    def test_zero_messages_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._cost(messages=0)
+
+    def test_negative_messages_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._cost(messages=-2)
+
+    def test_non_integer_messages_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._cost(messages=1.5)
+
+    def test_non_positive_wire_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._cost(wire_bytes=0.0)
+        with pytest.raises(ConfigurationError):
+            self._cost(wire_bytes=-1.0)
+
+    def test_negative_encode_decode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._cost(encode_decode_s=-1e-3)
+
+    def test_negative_gather_stack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._cost(gather_stack_bytes=-8.0)
+
+    def test_malformed_scheme_fails_in_simulator_construction(self, rn50):
+        # A scheme whose cost() builds a zero-message SchemeCost now
+        # raises ConfigurationError the moment the cost is priced,
+        # instead of ZeroDivisionError deep in the collective pricing.
+        from repro.compression.schemes import Scheme, SchemeCost
+        from repro.hardware import cluster_for_gpus
+        from repro.simulator import DDPSimulator
+
+        class BrokenScheme(Scheme):
+            name = "broken"
+            all_reducible = True
+
+            def cost(self, model, world_size, profile=None):
+                return SchemeCost(
+                    wire_bytes=float(model.grad_bytes), messages=0,
+                    encode_decode_s=0.0, all_reducible=True,
+                    gather_stack_bytes=0.0)
+
+        sim = DDPSimulator(rn50, cluster_for_gpus(8),
+                           scheme=BrokenScheme())
+        with pytest.raises(ConfigurationError):
+            sim.run(64, iterations=3, warmup=1)
+
+
 class TestSchemeRegistry:
     def test_make_scheme_with_params(self):
         scheme = make_scheme("powersgd", rank=8)

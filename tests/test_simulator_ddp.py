@@ -146,6 +146,65 @@ class TestCompressedIteration:
             assert ovl > seq, scheme.label
 
 
+class TestIterationRngDefaults:
+    """Regression: ``simulate_iteration`` used to default to
+    ``default_rng(0)`` on *every* call, so repeated direct calls drew
+    identical jitter and their variance collapsed to zero."""
+
+    def test_repeated_direct_calls_vary(self, rn50):
+        sim = DDPSimulator(rn50, cluster_for_gpus(8))  # jitter on
+        times = {sim.simulate_iteration(64).sync_time() for _ in range(4)}
+        assert len(times) > 1
+
+    def test_seed_argument_is_deterministic(self, rn50):
+        sim = DDPSimulator(rn50, cluster_for_gpus(8))
+        a = sim.simulate_iteration(64, seed=7).sync_time()
+        b = sim.simulate_iteration(64, seed=7).sync_time()
+        c = sim.simulate_iteration(64, seed=8).sync_time()
+        assert a == b
+        assert a != c
+
+    def test_explicit_rng_still_wins(self, rn50):
+        sim = DDPSimulator(rn50, cluster_for_gpus(8))
+        a = sim.simulate_iteration(64, np.random.default_rng(3)).sync_time()
+        b = sim.simulate_iteration(64, np.random.default_rng(3),
+                                   seed=99).sync_time()
+        assert a == b
+
+    def test_run_protocol_unchanged(self, rn50):
+        # run() threads its own generator; same seed, same result.
+        sim = DDPSimulator(rn50, cluster_for_gpus(8))
+        r1 = sim.run(64, iterations=12, warmup=2, seed=0)
+        r2 = DDPSimulator(rn50, cluster_for_gpus(8)).run(
+            64, iterations=12, warmup=2, seed=0)
+        assert r1.sync_times == r2.sync_times
+
+
+class TestOverlappedSingleWorker:
+    def test_no_phantom_wave_spans_at_p1(self, rn50):
+        # Regression: the overlapped-compression path used to emit four
+        # zero-length "wave*" comm spans even for a single worker,
+        # polluting traces and compute_comm_overlap() inputs.
+        from repro.hardware import ClusterConfig, P3_2XLARGE
+        solo = DDPSimulator(
+            rn50, ClusterConfig(P3_2XLARGE, num_nodes=1),
+            scheme=TopKScheme(0.01),
+            config=quiet_config(overlap_compression=True))
+        trace = solo.simulate_iteration(64, np.random.default_rng(0))
+        assert trace.stream_spans(COMM_STREAM) == []
+        assert trace.compute_comm_overlap() == 0.0
+
+    def test_multi_worker_waves_preserved(self, rn50):
+        sim = DDPSimulator(
+            rn50, cluster_for_gpus(8), scheme=TopKScheme(0.01),
+            config=quiet_config(overlap_compression=True))
+        trace = sim.simulate_iteration(64, np.random.default_rng(0))
+        waves = [s for s in trace.stream_spans(COMM_STREAM)
+                 if s.label.startswith("wave")]
+        assert len(waves) == 4
+        assert all(s.duration > 0 for s in waves)
+
+
 class TestMemoryEnforcement:
     def test_bert_signsgd_ooms_beyond_32(self):
         bert = get_model("bert-base")

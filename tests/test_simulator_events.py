@@ -83,6 +83,29 @@ class TestEventQueue:
         assert queue.processed == 5
         assert queue.empty()
 
+    def test_budget_is_per_run_not_lifetime(self):
+        # Regression: the guard used to compare the *lifetime* processed
+        # counter against max_events, silently shrinking the budget of
+        # every subsequent run() on a reused queue.
+        queue = EventQueue()
+        for t in range(80):
+            queue.schedule(float(t), lambda q: None)
+        queue.run(max_events=100)
+        for t in range(80):
+            queue.schedule(queue.now + float(t), lambda q: None)
+        queue.run(max_events=100)  # 160 lifetime events: must not raise
+        assert queue.processed == 160
+
+    def test_budget_still_guards_within_one_run(self):
+        queue = EventQueue()
+        for t in range(80):
+            queue.schedule(float(t), lambda q: None)
+        queue.run(max_events=100)
+        for t in range(120):
+            queue.schedule(queue.now + float(t), lambda q: None)
+        with pytest.raises(SimulationError, match="budget"):
+            queue.run(max_events=100)
+
 
 class TestSpansAndTrace:
     def test_span_duration(self):
