@@ -1,11 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke
+.PHONY: test lint bench bench-smoke
 
 ## tier-1: the fast unit/behaviour suite (benchmarks/ excluded)
 test:
 	$(PYTHON) -m pytest
+
+## static checks (ruff; config in pyproject.toml, benchmarks/ excluded)
+lint:
+	ruff check src tests examples
 
 ## full-fidelity paper-exhibit regeneration (slow, opt-in)
 bench:

@@ -45,6 +45,7 @@ from . import (
     network,
     reporting,
     simulator,
+    telemetry,
     training,
 )
 from .compute import ComputeModel
@@ -58,11 +59,12 @@ from .errors import (
     SimulationError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "core", "models", "hardware", "network", "collectives", "compression",
     "simulator", "training", "experiments", "analysis", "reporting",
+    "telemetry",
     "ComputeModel",
     "ReproError", "ConfigurationError", "OutOfMemoryError",
     "CollectiveError", "CompressionError", "SimulationError",

@@ -3,24 +3,29 @@
 Four subcommands mirror the library's main workflows:
 
 * ``experiment`` — regenerate a paper exhibit (table1..fig13, or
-  ``all``);
+  ``all``); with ``--cache`` a ``manifest.json`` provenance record is
+  written beside the cache;
 * ``recommend`` — §7 advisor: which scheme (if any) for a model on a
   cluster;
 * ``whatif`` — bandwidth / compute sweeps for one scheme;
-* ``simulate`` — one simulated configuration with a timeline trace.
+* ``simulate`` — one simulated configuration with a timeline trace;
+  ``--trace out.json`` exports a Perfetto-loadable multi-worker trace.
 
 Everything prints plain text; use ``--markdown`` on ``experiment`` for
-paste-ready tables.
+paste-ready tables.  Global flags: ``--version``, ``--log-level``/
+``--log-json`` (structured stderr logging), ``--no-telemetry`` (skip
+the metrics registry the CLI otherwise enables).
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
-import sys
+import os
 import time
 from typing import List, Optional
 
+from . import __version__
 from .compression import make_scheme
 from .core import (
     PerfModelInputs,
@@ -34,8 +39,16 @@ from .errors import ReproError
 from .experiments import EXPERIMENTS
 from .hardware import cluster_for_gpus
 from .models import available_models, get_model
-from .reporting import to_markdown
-from .simulator import DDPConfig, DDPSimulator
+from .reporting import render_metrics, to_markdown
+from .simulator import DDPConfig, DDPSimulator, write_run_trace
+from .telemetry import (
+    MANIFEST_FILENAME,
+    build_manifest,
+    get_logger,
+    write_manifest,
+)
+from .telemetry import logs as telemetry_logs
+from .telemetry import metrics as telemetry_metrics
 from .units import gbps_to_bytes_per_s
 
 
@@ -80,6 +93,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     cache = SimulationCache(args.cache) if args.cache else None
     engine = ExperimentEngine(jobs=args.jobs, cache=cache)
     ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
+    run_started = time.perf_counter()
+    exhibits = {}
     for exp_id in ids:
         runner = EXPERIMENTS[exp_id]
         before = engine.cache_stats.snapshot()
@@ -99,6 +114,29 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 before).describe()
         print(status)
         print()
+        exhibits[exp_id] = {
+            "rows": len(result.rows),
+            "digest": result.content_digest(),
+            "wall_s": round(elapsed, 3),
+        }
+    manifest_path = args.manifest
+    if manifest_path is None and args.cache:
+        manifest_path = os.path.join(args.cache, MANIFEST_FILENAME)
+    if manifest_path:
+        manifest = build_manifest(
+            command=f"experiment {args.id}",
+            config={"command": "experiment", "id": args.id,
+                    "jobs": args.jobs, "cache": args.cache,
+                    "markdown": bool(args.markdown)},
+            wall_time_s=time.perf_counter() - run_started,
+            metrics=telemetry_metrics.get_registry().snapshot(),
+            results={"exhibits": exhibits,
+                     "engine": engine.stats().to_dict()},
+        )
+        write_manifest(manifest_path, manifest)
+        get_logger("repro.cli").info("wrote manifest", path=manifest_path)
+    if args.metrics:
+        print(render_metrics(telemetry_metrics.get_registry().snapshot()))
     return 0
 
 
@@ -159,7 +197,30 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                          config=quiet).simulate_iteration(
         args.batch, np.random.default_rng(0))
     print(trace.render_ascii())
+    if args.trace:
+        # Each simulated worker draws its own jitter, so the exported
+        # timeline shows the per-rank variance a real Nsight session
+        # would; iterations are laid end-to-end per worker.
+        workers = args.trace_workers
+        iterations = args.trace_iterations
+        worker_traces = {
+            f"worker{w}": [
+                t for t in _iterate(sim, args.batch,
+                                    np.random.default_rng(w), iterations)]
+            for w in range(workers)
+        }
+        write_run_trace(worker_traces, args.trace)
+        print(f"  wrote Perfetto trace ({workers} worker(s) x "
+              f"{iterations} iteration(s)) to {args.trace}")
+    if args.metrics:
+        print(render_metrics(telemetry_metrics.get_registry().snapshot()))
     return 0
+
+
+def _iterate(sim: DDPSimulator, batch: Optional[int], rng,
+             iterations: int):
+    for _ in range(iterations):
+        yield sim.simulate_iteration(batch, rng)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -167,6 +228,17 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description=("Gradient-compression utility study "
                      "(MLSys 2022 reproduction)"))
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    parser.add_argument("--log-level", default="warning",
+                        choices=sorted(telemetry_logs.LEVELS),
+                        help="minimum stderr log severity "
+                             "(default: warning)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit logs as JSONL instead of text")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="keep the null metrics backend instead of "
+                             "enabling the in-process registry")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_exp = sub.add_parser("experiment",
@@ -179,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--cache", default=None, metavar="DIR",
                        help="directory for the content-addressed "
                             "simulation result cache (default: off)")
+    p_exp.add_argument("--manifest", default=None, metavar="PATH",
+                       help="write a run manifest here (default: "
+                            "<cache>/manifest.json when --cache is set)")
+    p_exp.add_argument("--metrics", action="store_true",
+                       help="print the telemetry snapshot at the end")
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_rec = sub.add_parser("recommend",
@@ -199,6 +276,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(p_sim)
     p_sim.add_argument("--scheme", default=None)
     p_sim.add_argument("--iterations", type=int, default=60)
+    p_sim.add_argument("--trace", default=None, metavar="PATH",
+                       help="export a Perfetto/chrome://tracing JSON "
+                            "timeline here")
+    p_sim.add_argument("--trace-iterations", type=int, default=3,
+                       metavar="N",
+                       help="iterations per worker in the exported "
+                            "trace (default: 3)")
+    p_sim.add_argument("--trace-workers", type=int, default=2,
+                       metavar="W",
+                       help="simulated workers (processes) in the "
+                            "exported trace (default: 2)")
+    p_sim.add_argument("--metrics", action="store_true",
+                       help="print the telemetry snapshot at the end")
     p_sim.set_defaults(fn=cmd_simulate)
 
     return parser
@@ -208,10 +298,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    telemetry_logs.configure(level=args.log_level,
+                             json_mode=args.log_json)
+    if args.no_telemetry:
+        telemetry_metrics.disable()
+    else:
+        telemetry_metrics.enable()
+    log = get_logger("repro.cli")
     try:
         return args.fn(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        log.error(str(exc), error_type=type(exc).__name__,
+                  command=args.command)
         return 2
 
 

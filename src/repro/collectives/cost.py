@@ -25,10 +25,27 @@ from __future__ import annotations
 import math
 
 from ..errors import ConfigurationError
+from ..telemetry.metrics import get_registry
 
 #: Block size double-tree all-reduce splits messages into; the per-block
 #: pipeline fill cost is what makes tree reduce slower at small scale [2].
 TREE_BLOCK_BYTES = 512 * 1024
+
+
+def _record(algorithm: str, num_bytes: float, p: int,
+            incast_factor: float = 1.0) -> None:
+    """Count one collective pricing call (no-op when telemetry is off;
+    the enabled check keeps the disabled hot path to one attribute
+    load)."""
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    registry.counter("collective_calls_total", algorithm=algorithm).inc()
+    registry.counter("collective_bytes_total",
+                     algorithm=algorithm).inc(num_bytes)
+    if incast_factor > 1.0 and p > 1:
+        registry.counter("collective_incast_degraded_total",
+                         algorithm=algorithm).inc()
 
 
 def _validate(num_bytes: float, p: int, bandwidth: float, alpha: float) -> None:
@@ -51,6 +68,7 @@ def ring_allreduce_time(num_bytes: float, p: int, bandwidth: float,
     the step constant).
     """
     _validate(num_bytes, p, bandwidth, alpha)
+    _record("ring_allreduce", num_bytes, p)
     if p == 1:
         return 0.0
     latency = 2.0 * alpha * (p - 1)
@@ -69,6 +87,7 @@ def double_tree_allreduce_time(num_bytes: float, p: int, bandwidth: float,
     _validate(num_bytes, p, bandwidth, alpha)
     if block_bytes <= 0:
         raise ConfigurationError(f"block_bytes must be > 0, got {block_bytes}")
+    _record("double_tree_allreduce", num_bytes, p)
     if p == 1:
         return 0.0
     levels = math.ceil(math.log2(p))
@@ -87,6 +106,7 @@ def allgather_time(num_bytes: float, p: int, bandwidth: float, alpha: float,
     if incast_factor < 1.0:
         raise ConfigurationError(
             f"incast_factor must be >= 1, got {incast_factor}")
+    _record("allgather", num_bytes, p, incast_factor)
     if p == 1:
         return 0.0
     latency = alpha * (p - 1)
@@ -98,6 +118,7 @@ def reduce_scatter_time(num_bytes: float, p: int, bandwidth: float,
                         alpha: float) -> float:
     """Ring reduce-scatter: half of a ring all-reduce."""
     _validate(num_bytes, p, bandwidth, alpha)
+    _record("reduce_scatter", num_bytes, p)
     if p == 1:
         return 0.0
     return alpha * (p - 1) + num_bytes * (p - 1) / (p * bandwidth)
@@ -107,6 +128,7 @@ def broadcast_time(num_bytes: float, p: int, bandwidth: float,
                    alpha: float) -> float:
     """Binomial-tree broadcast: ``log2(p)`` rounds of the full payload."""
     _validate(num_bytes, p, bandwidth, alpha)
+    _record("broadcast", num_bytes, p)
     if p == 1:
         return 0.0
     levels = math.ceil(math.log2(p))
@@ -122,6 +144,7 @@ def parameter_server_time(num_bytes: float, p: int, bandwidth: float,
     if incast_factor < 1.0:
         raise ConfigurationError(
             f"incast_factor must be >= 1, got {incast_factor}")
+    _record("parameter_server", num_bytes, p, incast_factor)
     if p == 1:
         return 0.0
     gather = alpha + num_bytes * (p - 1) / bandwidth * incast_factor

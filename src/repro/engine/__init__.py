@@ -6,7 +6,7 @@ hand them to an :class:`ExperimentEngine`, get outcomes back in order.
 """
 
 from .cache import CacheStats, SimulationCache
-from .engine import ExperimentEngine, JobOutcome, SimJob
+from .engine import EngineStats, ExperimentEngine, JobOutcome, SimJob
 from .fingerprint import (
     FINGERPRINT_VERSION,
     cluster_fingerprint,
@@ -20,7 +20,7 @@ from .fingerprint import (
 
 __all__ = [
     "CacheStats", "SimulationCache",
-    "ExperimentEngine", "JobOutcome", "SimJob",
+    "EngineStats", "ExperimentEngine", "JobOutcome", "SimJob",
     "FINGERPRINT_VERSION", "digest",
     "model_fingerprint", "scheme_fingerprint", "cluster_fingerprint",
     "fabric_fingerprint", "config_fingerprint", "profile_fingerprint",

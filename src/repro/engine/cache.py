@@ -22,6 +22,7 @@ from typing import Optional, Union
 
 from ..errors import ConfigurationError, OutOfMemoryError
 from ..simulator import TimingResult
+from ..telemetry.metrics import get_registry
 
 #: What a cache lookup can yield: a result, or the deterministic OOM.
 CachedOutcome = Union[TimingResult, OutOfMemoryError]
@@ -130,8 +131,10 @@ class SimulationCache:
         except (OSError, ValueError, KeyError, TypeError):
             # Absent, truncated, or corrupted entries are plain misses.
             self.stats.misses += 1
+            get_registry().counter("cache_misses_total").inc()
             return None
         self.stats.hits += 1
+        get_registry().counter("cache_hits_total").inc()
         return outcome
 
     def put(self, key: str, outcome: CachedOutcome) -> None:
@@ -151,6 +154,7 @@ class SimulationCache:
                 os.unlink(tmp_path)
             raise
         self.stats.stores += 1
+        get_registry().counter("cache_stores_total").inc()
 
     def __contains__(self, key: str) -> bool:
         """Membership probe that does not disturb the stats."""

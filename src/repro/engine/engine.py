@@ -36,6 +36,7 @@ from ..hardware import ClusterConfig
 from ..models import ModelSpec
 from ..network import Fabric
 from ..simulator import DDPConfig, DDPSimulator, TimingResult
+from ..telemetry.metrics import get_registry
 from .cache import CacheStats, SimulationCache
 from .fingerprint import (
     FINGERPRINT_VERSION,
@@ -105,12 +106,19 @@ class SimJob:
 
 @dataclass
 class JobOutcome:
-    """What one job produced: a timing result or a deterministic OOM."""
+    """What one job produced: a timing result or a deterministic OOM.
+
+    ``exec_s`` is the simulation's own wall time inside its worker (0
+    for cache hits); ``queue_wait_s`` is how long the job sat between
+    submission and a worker picking it up.
+    """
 
     job: SimJob
     result: Optional[TimingResult] = None
     oom: Optional[OutOfMemoryError] = None
     cached: bool = False
+    exec_s: float = 0.0
+    queue_wait_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -124,31 +132,93 @@ class JobOutcome:
         return self.result
 
 
-def _execute_job(job: SimJob) -> Tuple[str, object]:
+def _execute_job(job: SimJob) -> Tuple[str, object, float, float]:
     """Process-pool entry point: run one job, tag the outcome.
 
     OOM is data (the sweep reports it as a row), so it travels back as a
     value instead of an exception; anything else propagates and fails
-    the sweep loudly.
+    the sweep loudly.  The tag carries the job's own wall time and the
+    wall-clock instant it started (``time.time``, comparable across
+    processes to ~ms precision), from which the parent derives queue
+    wait.
     """
+    started_unix = time.time()
+    started = time.perf_counter()
     sim = job.build_simulator()
     try:
         result = sim.run(job.batch_size, iterations=job.iterations,
                          warmup=job.warmup, seed=job.seed)
     except OutOfMemoryError as exc:
-        return ("oom", (str(exc), exc.required_bytes, exc.budget_bytes))
-    return ("ok", result)
+        return ("oom", (str(exc), exc.required_bytes, exc.budget_bytes),
+                time.perf_counter() - started, started_unix)
+    return ("ok", result, time.perf_counter() - started, started_unix)
 
 
-def _outcome_from_tagged(job: SimJob, tagged: Tuple[str, object],
+def _outcome_from_tagged(job: SimJob, tagged: Tuple[str, object, float, float],
+                         submitted_unix: float,
                          cached: bool = False) -> JobOutcome:
-    kind, payload = tagged
+    kind, payload, exec_s, started_unix = tagged
+    queue_wait_s = max(0.0, started_unix - submitted_unix)
     if kind == "oom":
         message, required, budget = payload  # type: ignore[misc]
         return JobOutcome(job=job, oom=OutOfMemoryError(
             message, required_bytes=required, budget_bytes=budget),
-            cached=cached)
-    return JobOutcome(job=job, result=payload, cached=cached)  # type: ignore[arg-type]
+            cached=cached, exec_s=exec_s, queue_wait_s=queue_wait_s)
+    return JobOutcome(job=job, result=payload, cached=cached,  # type: ignore[arg-type]
+                      exec_s=exec_s, queue_wait_s=queue_wait_s)
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Structured snapshot of an engine's counters.
+
+    Previously the cache hit rate was only recoverable by parsing the
+    CLI's printed status line; this object is the programmatic form —
+    what manifests embed and telemetry mirrors.
+    """
+
+    cache: CacheStats
+    executed: int
+    jobs_completed: int
+    busy_s: float
+    exec_s_total: float
+    queue_wait_s_total: float
+    worker_s_total: float
+
+    @property
+    def mean_exec_s(self) -> float:
+        """Mean wall time of an actually-executed simulation."""
+        return self.exec_s_total / self.executed if self.executed else 0.0
+
+    @property
+    def pool_utilization(self) -> float:
+        """Fraction of allocated worker-seconds spent simulating (1.0 =
+        every worker busy the whole time ``run_outcomes`` held it)."""
+        return (self.exec_s_total / self.worker_s_total
+                if self.worker_s_total > 0 else 0.0)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering (for manifests)."""
+        return {
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_stores": self.cache.stores,
+            "cache_hit_rate": self.cache.hit_rate,
+            "executed": self.executed,
+            "jobs_completed": self.jobs_completed,
+            "busy_s": self.busy_s,
+            "exec_s_total": self.exec_s_total,
+            "queue_wait_s_total": self.queue_wait_s_total,
+            "worker_s_total": self.worker_s_total,
+            "mean_exec_s": self.mean_exec_s,
+            "pool_utilization": self.pool_utilization,
+        }
+
+    def describe(self) -> str:
+        return (f"{self.jobs_completed} jobs ({self.executed} executed, "
+                f"{self.cache.describe()}), "
+                f"{self.exec_s_total:.1f} s simulating, "
+                f"{self.pool_utilization:.0%} pool utilization")
 
 
 class ExperimentEngine:
@@ -172,6 +242,14 @@ class ExperimentEngine:
         self.executed = 0
         #: Wall-clock seconds spent inside ``run_outcomes``.
         self.busy_s = 0.0
+        #: Outcomes returned (hits + misses) over the lifetime.
+        self.jobs_completed = 0
+        #: Summed per-job simulation wall time (inside workers).
+        self.exec_s_total = 0.0
+        #: Summed submission-to-start wait of executed jobs.
+        self.queue_wait_s_total = 0.0
+        #: Worker-seconds allocated (workers x batch wall time).
+        self.worker_s_total = 0.0
 
     # ----- execution ---------------------------------------------------------
 
@@ -202,7 +280,9 @@ class ExperimentEngine:
             miss_indices = list(range(len(batch)))
 
         miss_jobs = [batch[i] for i in miss_indices]
+        workers = 1
         if miss_jobs:
+            submitted_unix = time.time()
             if self.jobs > 1 and len(miss_jobs) > 1:
                 workers = min(self.jobs, len(miss_jobs),
                               (os.cpu_count() or 1))
@@ -212,8 +292,11 @@ class ExperimentEngine:
                 tagged_results = [_execute_job(job) for job in miss_jobs]
             self.executed += len(miss_jobs)
             for i, tagged in zip(miss_indices, tagged_results):
-                outcome = _outcome_from_tagged(batch[i], tagged)
+                outcome = _outcome_from_tagged(batch[i], tagged,
+                                               submitted_unix)
                 outcomes[i] = outcome
+                self.exec_s_total += outcome.exec_s
+                self.queue_wait_s_total += outcome.queue_wait_s
                 if self.cache is not None:
                     key = keys[i]
                     assert key is not None
@@ -221,8 +304,34 @@ class ExperimentEngine:
                         key, outcome.result if outcome.ok
                         else outcome.oom)  # type: ignore[arg-type]
 
-        self.busy_s += time.perf_counter() - start
+        batch_wall = time.perf_counter() - start
+        self.busy_s += batch_wall
+        if miss_jobs:
+            self.worker_s_total += workers * batch_wall
+        self.jobs_completed += len(batch)
+        self._record_batch(outcomes)
         return [o for o in outcomes if o is not None]
+
+    def _record_batch(self, outcomes: Sequence[Optional[JobOutcome]]) -> None:
+        """Mirror one batch's outcomes into the telemetry registry."""
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        for outcome in outcomes:
+            if outcome is None:
+                continue
+            registry.counter(
+                "engine_jobs_total",
+                cached=str(outcome.cached).lower()).inc()
+            if outcome.oom is not None:
+                registry.counter("engine_oom_outcomes_total").inc()
+            if not outcome.cached:
+                registry.histogram("engine_job_exec_s").observe(
+                    outcome.exec_s)
+                registry.histogram("engine_queue_wait_s").observe(
+                    outcome.queue_wait_s)
+        registry.gauge("engine_pool_utilization").set(
+            self.stats().pool_utilization)
 
     def run(self, job: SimJob) -> TimingResult:
         """Run one job; raises the stored OOM like the raw simulator."""
@@ -235,3 +344,15 @@ class ExperimentEngine:
         """The cache's counters (zeros when no cache is attached)."""
         return (self.cache.stats if self.cache is not None
                 else CacheStats())
+
+    def stats(self) -> EngineStats:
+        """A structured snapshot of every engine counter."""
+        return EngineStats(
+            cache=self.cache_stats.snapshot(),
+            executed=self.executed,
+            jobs_completed=self.jobs_completed,
+            busy_s=self.busy_s,
+            exec_s_total=self.exec_s_total,
+            queue_wait_s_total=self.queue_wait_s_total,
+            worker_s_total=self.worker_s_total,
+        )

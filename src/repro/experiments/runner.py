@@ -97,6 +97,30 @@ class ExperimentResult:
 
     # ----- persistence ------------------------------------------------------
 
+    def content_digest(self) -> str:
+        """SHA-256 of the canonical JSON of this result's content.
+
+        The same digest the engine's cache keys use, so a run manifest
+        can record exactly which rows a session produced and a rerun
+        can be diffed by hash alone.  Non-finite floats are encoded the
+        way :meth:`to_json` encodes them (canonical JSON rejects NaN).
+        """
+        from ..engine.fingerprint import digest  # deferred: keeps this
+        # module importable without pulling in the simulator stack
+
+        def encode(value: Any) -> Any:
+            if isinstance(value, float) and not math.isfinite(value):
+                return {"__float__": str(value)}
+            return value
+
+        return digest({
+            "experiment_id": self.experiment_id,
+            "columns": list(self.columns),
+            "rows": [{k: encode(v) for k, v in row.items()}
+                     for row in self.rows],
+            "notes": list(self.notes),
+        })
+
     def to_json(self) -> str:
         """Serialize to JSON (NaN/inf encoded as strings, since strict
         JSON has no literals for them)."""

@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..compression.schemes import Scheme, SyncSGDScheme
 from ..engine import ExperimentEngine, SimJob
 from ..models import get_model
+from ..telemetry.metrics import get_registry
 from .runner import PAPER_GPU_SWEEP, ExperimentResult, scaling_clusters
 
 #: (model name, per-GPU batch size) triples the paper evaluates.
@@ -88,6 +89,12 @@ def run_scaling_sweep(experiment_id: str, title: str,
             "std_ms": result.std * 1e3,
             "oom": False,
         })
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("experiment_rows_total",
+                         experiment_id=experiment_id).inc(len(rows))
+        registry.counter("experiment_oom_rows_total",
+                         experiment_id=experiment_id).inc(len(notes))
     return ExperimentResult(
         experiment_id=experiment_id,
         title=title,

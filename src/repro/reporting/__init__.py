@@ -2,8 +2,10 @@
 
 from .charts import bar_chart, line_chart, scaling_chart
 from .markdown import comparison_table, to_markdown
+from .metrics_report import metrics_to_markdown, render_metrics
 
 __all__ = [
     "line_chart", "bar_chart", "scaling_chart",
     "to_markdown", "comparison_table",
+    "render_metrics", "metrics_to_markdown",
 ]

@@ -2,7 +2,16 @@
 
 from .ddp import DDPConfig, DDPSimulator, TimingResult
 from .events import EventQueue
-from .export import trace_to_chrome_json, trace_to_events, write_chrome_trace
+from .export import (
+    allocate_track_ids,
+    events_to_chrome_json,
+    run_to_events,
+    trace_to_chrome_json,
+    trace_to_events,
+    traces_to_events,
+    write_chrome_trace,
+    write_run_trace,
+)
 from .trace import (
     COMM_STREAM,
     COMPUTE_STREAM,
@@ -15,5 +24,7 @@ __all__ = [
     "EventQueue", "Span", "IterationTrace", "estimate_gamma",
     "COMPUTE_STREAM", "COMM_STREAM",
     "DDPConfig", "DDPSimulator", "TimingResult",
-    "trace_to_events", "trace_to_chrome_json", "write_chrome_trace",
+    "trace_to_events", "traces_to_events", "run_to_events",
+    "allocate_track_ids", "events_to_chrome_json",
+    "trace_to_chrome_json", "write_chrome_trace", "write_run_trace",
 ]

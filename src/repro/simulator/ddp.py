@@ -49,6 +49,7 @@ from ..models import ModelSpec
 from ..network import Fabric
 from ..compression.kernel_cost import KernelProfile, v100_kernel_profile
 from ..compression.schemes import Scheme, SchemeCost, SyncSGDScheme
+from ..telemetry.metrics import get_registry
 from ..units import MIB
 from .events import EventQueue
 from .trace import COMM_STREAM, COMPUTE_STREAM, IterationTrace, Span
@@ -219,6 +220,9 @@ class DDPSimulator:
         working = cost.aggregation_working_set(p)
         fits, required = self.compute.fits_in_memory(batch_size, working)
         if not fits:
+            get_registry().counter(
+                "sim_oom_total", model=self.model.name,
+                scheme=self.scheme.label).inc()
             raise OutOfMemoryError(
                 f"{self.model.name} with {self.scheme.label} at "
                 f"{p} GPUs needs {required / 1e9:.1f} GB "
@@ -287,10 +291,44 @@ class DDPSimulator:
         if self._is_baseline or self.scheme.ddp_overlap:
             # ddp_overlap schemes (fp16) compress inside the bucket hook:
             # same event structure as syncSGD with scaled payloads.
-            return self._simulate_baseline(bs, rng)
-        if self.config.overlap_compression:
-            return self._simulate_compressed_overlapped(bs, rng)
-        return self._simulate_compressed_sequential(bs, rng)
+            trace = self._simulate_baseline(bs, rng)
+        elif self.config.overlap_compression:
+            trace = self._simulate_compressed_overlapped(bs, rng)
+        else:
+            trace = self._simulate_compressed_sequential(bs, rng)
+        registry = get_registry()
+        if registry.enabled:
+            self._record_iteration(registry, trace)
+        return trace
+
+    def _record_iteration(self, registry, trace: IterationTrace) -> None:
+        """Record one iteration's telemetry (enabled registries only —
+        pure reads of the finished trace, never touching the rng, so an
+        instrumented run stays bit-identical to a silent one)."""
+        label = self.scheme.label
+        registry.counter("sim_iterations_total", scheme=label).inc()
+        registry.histogram("sim_sync_time_s", scheme=label).observe(
+            trace.sync_time())
+        registry.histogram("sim_overlap_s", scheme=label).observe(
+            trace.compute_comm_overlap())
+        wire_bytes = 0.0
+        for span in trace.spans:
+            # "bucket17" -> "bucket": keep label cardinality bounded.
+            kind = span.label.rstrip("0123456789")
+            if span.stream == COMM_STREAM:
+                registry.histogram(
+                    "sim_comm_span_s", kind=kind).observe(span.duration)
+                wire_bytes += span.bytes_on_wire
+            else:
+                registry.histogram(
+                    "sim_compute_span_s", kind=kind).observe(span.duration)
+        if wire_bytes > 0:
+            registry.counter(
+                "sim_wire_bytes_total", scheme=label).inc(wire_bytes)
+        if trace.iteration_end > 0:
+            registry.histogram(
+                "sim_comm_occupancy", scheme=label).observe(
+                trace.stream_busy_time(COMM_STREAM) / trace.iteration_end)
 
     # -- helpers
 
@@ -359,7 +397,9 @@ class DDPSimulator:
                 duration *= self._jitter(rng, cfg.comm_jitter)
                 end = start + duration
                 comm_free[0] = end
-                trace.add(Span(COMM_STREAM, f"bucket{bucket_id}", start, end))
+                trace.add(Span(COMM_STREAM, f"bucket{bucket_id}", start, end,
+                               bytes_on_wire=(size * wire_scale
+                                              if p > 1 else 0.0)))
                 trace.sync_end = max(trace.sync_end, end)
             return fire
 
@@ -416,7 +456,8 @@ class DDPSimulator:
             self._collective_time(cost) * self._jitter(rng, cfg.comm_jitter))
         comm_end = encode_end + comm
         if comm > 0:
-            trace.add(Span(COMM_STREAM, "aggregate", encode_end, comm_end))
+            trace.add(Span(COMM_STREAM, "aggregate", encode_end, comm_end,
+                           bytes_on_wire=cost.wire_bytes))
 
         decode_end = comm_end + enc_dec / 2.0
         trace.add(Span(COMPUTE_STREAM, "decode", comm_end, decode_end))
@@ -471,7 +512,8 @@ class DDPSimulator:
                 ready = t_fwd + stretched * (wave + 1) / waves
                 start = max(ready, comm_free)
                 end = start + comm_total / waves
-                trace.add(Span(COMM_STREAM, f"wave{wave}", start, end))
+                trace.add(Span(COMM_STREAM, f"wave{wave}", start, end,
+                               bytes_on_wire=cost.wire_bytes / waves))
                 comm_free = end
                 sync_end = end
 

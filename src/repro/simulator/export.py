@@ -1,70 +1,203 @@
-"""Export simulated traces to the Chrome trace-event format.
+"""Export simulated traces to the Chrome trace-event / Perfetto format.
 
-``chrome://tracing`` (or Perfetto) renders the JSON produced here as the
-same two-lane timeline Nsight shows for real runs — compute stream on
-one track, communication on the other — which makes simulated iterations
-directly comparable with the paper's Figure 2.
+``chrome://tracing`` (or https://ui.perfetto.dev) renders the JSON
+produced here the way Nsight renders real runs — one named track per
+simulated stream — which makes simulated iterations directly comparable
+with the paper's Figure 2.  The exporter is general:
 
-Format reference: the Trace Event Format's "complete" (``ph: "X"``)
-events with microsecond timestamps.
+* **N streams** — track ids are allocated dynamically in first-seen
+  order (compute and comm keep their historical ids 1 and 2 when
+  present), so new telemetry streams export instead of crashing;
+* **multiple iterations** — :func:`traces_to_events` lays consecutive
+  iteration traces end-to-end on one time axis, with an instant event
+  marking each iteration boundary;
+* **multiple workers** — :func:`run_to_events` gives every simulated
+  worker its own process (pid) with its own named track group;
+* **counter tracks** — communication spans carry ``bytes_on_wire``;
+  the exporter accumulates them into a ``wire_bytes`` Perfetto counter
+  track (``ph: "C"``), the cumulative-traffic curve the paper reads off
+  its NIC counters.
+
+Format reference: the Trace Event Format's "complete" (``ph: "X"``),
+metadata (``"M"``), instant (``"i"``) and counter (``"C"``) events with
+microsecond timestamps.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..errors import ConfigurationError
 from .trace import COMM_STREAM, COMPUTE_STREAM, IterationTrace
 
-#: Track ids (thread ids in the trace-event model).
-_TRACK_IDS = {COMPUTE_STREAM: 1, COMM_STREAM: 2}
+#: Streams with reserved track ids, for stable layout across exports.
+_PREFERRED_TRACK_IDS = {COMPUTE_STREAM: 1, COMM_STREAM: 2}
 
-#: Category per stream, for Perfetto filtering/coloring.
+#: Category per known stream, for Perfetto filtering/coloring; unknown
+#: streams use their own name as the category.
 _CATEGORIES = {COMPUTE_STREAM: "compute", COMM_STREAM: "network"}
+
+#: Track id of the counter track (above any realistic stream count).
+_COUNTER_TRACK_ID = 1000
+
+#: Counter track name.
+WIRE_BYTES_COUNTER = "wire_bytes"
+
+
+def allocate_track_ids(streams: Sequence[str]) -> Dict[str, int]:
+    """Stable stream -> track id map.
+
+    ``compute`` and ``comm`` keep ids 1 and 2 (when present) so existing
+    tooling sees the historical layout; every other stream gets the next
+    free id in first-appearance order.
+    """
+    ids: Dict[str, int] = {}
+    for stream in streams:
+        if stream in _PREFERRED_TRACK_IDS and stream not in ids:
+            ids[stream] = _PREFERRED_TRACK_IDS[stream]
+    next_id = max(_PREFERRED_TRACK_IDS.values()) + 1
+    for stream in streams:
+        if stream in ids:
+            continue
+        while next_id in ids.values():
+            next_id += 1
+        ids[stream] = next_id
+        next_id += 1
+    return ids
+
+
+def _category(stream: str) -> str:
+    return _CATEGORIES.get(stream, stream)
+
+
+def traces_to_events(traces: Sequence[IterationTrace],
+                     process_name: str = "worker0",
+                     pid: int = 0,
+                     include_counters: bool = True,
+                     ) -> List[Dict[str, Any]]:
+    """Convert one worker's iteration traces to trace-event dicts.
+
+    Consecutive traces are offset so iteration ``i+1`` starts where
+    iteration ``i`` ended; each boundary gets an instant event.  With
+    ``include_counters``, comm spans' ``bytes_on_wire`` accumulate into
+    a cumulative counter track (omitted if no span carries bytes).
+    """
+    if not traces:
+        raise ConfigurationError("no traces to export")
+    if any(not t.spans for t in traces):
+        raise ConfigurationError("trace has no spans to export")
+
+    streams: List[str] = []
+    for trace in traces:
+        for stream in trace.streams():
+            if stream not in streams:
+                streams.append(stream)
+    track_ids = allocate_track_ids(streams)
+
+    events: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": pid,
+         "args": {"name": process_name}},
+    ]
+    for stream in streams:
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": track_ids[stream], "args": {"name": stream}})
+
+    counter_points: List[Dict[str, Any]] = []
+    cumulative_bytes = 0.0
+    offset = 0.0
+    first_tid = track_ids[streams[0]]
+    for index, trace in enumerate(traces):
+        if len(traces) > 1:
+            events.append({
+                "name": f"iteration{index}", "ph": "i", "s": "p",
+                "pid": pid, "tid": first_tid, "ts": offset * 1e6,
+            })
+        spans = sorted(trace.spans, key=lambda s: (s.start, s.end))
+        for span in spans:
+            events.append({
+                "name": span.label,
+                "cat": _category(span.stream),
+                "ph": "X",
+                "pid": pid,
+                "tid": track_ids[span.stream],
+                "ts": (offset + span.start) * 1e6,   # microseconds
+                "dur": span.duration * 1e6,
+            })
+            if span.bytes_on_wire > 0:
+                cumulative_bytes += span.bytes_on_wire
+                counter_points.append({
+                    "name": WIRE_BYTES_COUNTER,
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": _COUNTER_TRACK_ID,
+                    "ts": (offset + span.end) * 1e6,
+                    "args": {"bytes": cumulative_bytes},
+                })
+        span_end = max(s.end for s in trace.spans)
+        offset += max(trace.iteration_end, span_end)
+
+    if include_counters and counter_points:
+        # Anchor the counter at zero so Perfetto draws the full curve.
+        first_ts = min(p["ts"] for p in counter_points)
+        events.append({"name": WIRE_BYTES_COUNTER, "ph": "C", "pid": pid,
+                       "tid": _COUNTER_TRACK_ID,
+                       "ts": min(0.0, first_ts), "args": {"bytes": 0.0}})
+        events.extend(counter_points)
+    return events
 
 
 def trace_to_events(trace: IterationTrace,
-                    process_name: str = "worker0") -> List[Dict[str, Any]]:
-    """Convert a trace to a list of trace-event dicts."""
-    if not trace.spans:
-        raise ConfigurationError("trace has no spans to export")
-    events: List[Dict[str, Any]] = [
-        {"name": "process_name", "ph": "M", "pid": 0,
-         "args": {"name": process_name}},
-    ]
-    for stream, tid in _TRACK_IDS.items():
-        events.append({"name": "thread_name", "ph": "M", "pid": 0,
-                       "tid": tid, "args": {"name": stream}})
-    for span in sorted(trace.spans, key=lambda s: s.start):
-        tid = _TRACK_IDS.get(span.stream)
-        if tid is None:
-            raise ConfigurationError(
-                f"span on unknown stream {span.stream!r}")
-        events.append({
-            "name": span.label,
-            "cat": _CATEGORIES[span.stream],
-            "ph": "X",
-            "pid": 0,
-            "tid": tid,
-            "ts": span.start * 1e6,       # microseconds
-            "dur": span.duration * 1e6,
-        })
+                    process_name: str = "worker0",
+                    pid: int = 0) -> List[Dict[str, Any]]:
+    """Convert a single-iteration trace to trace-event dicts."""
+    return traces_to_events([trace], process_name=process_name, pid=pid)
+
+
+def run_to_events(worker_traces: Mapping[str, Sequence[IterationTrace]],
+                  include_counters: bool = True) -> List[Dict[str, Any]]:
+    """Convert a multi-worker run to one combined event list.
+
+    Each worker (in mapping order) becomes its own process: Perfetto
+    groups its streams under the worker's name, so per-worker jitter is
+    visible side by side, like a multi-rank Nsight session.
+    """
+    if not worker_traces:
+        raise ConfigurationError("no workers to export")
+    events: List[Dict[str, Any]] = []
+    for pid, (name, traces) in enumerate(worker_traces.items()):
+        events.extend(traces_to_events(
+            traces, process_name=name, pid=pid,
+            include_counters=include_counters))
     return events
+
+
+def events_to_chrome_json(events: Sequence[Dict[str, Any]]) -> str:
+    """Wrap an event list in the chrome://tracing JSON envelope."""
+    return json.dumps({
+        "traceEvents": list(events),
+        "displayTimeUnit": "ms",
+    }, indent=1)
 
 
 def trace_to_chrome_json(trace: IterationTrace,
                          process_name: str = "worker0") -> str:
     """Serialize a trace as a chrome://tracing-loadable JSON string."""
-    return json.dumps({
-        "traceEvents": trace_to_events(trace, process_name),
-        "displayTimeUnit": "ms",
-    }, indent=1)
+    return events_to_chrome_json(trace_to_events(trace, process_name))
 
 
 def write_chrome_trace(trace: IterationTrace, path: str,
                        process_name: str = "worker0") -> None:
-    """Write the trace JSON to ``path``."""
+    """Write a single-iteration trace JSON to ``path``."""
     payload = trace_to_chrome_json(trace, process_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+
+
+def write_run_trace(worker_traces: Mapping[str, Sequence[IterationTrace]],
+                    path: str, include_counters: bool = True) -> None:
+    """Write a multi-worker, multi-iteration trace JSON to ``path``."""
+    payload = events_to_chrome_json(
+        run_to_events(worker_traces, include_counters=include_counters))
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(payload)

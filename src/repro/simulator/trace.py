@@ -21,18 +21,28 @@ COMM_STREAM = "comm"
 
 @dataclass(frozen=True)
 class Span:
-    """One contiguous occupancy interval on a stream."""
+    """One contiguous occupancy interval on a stream.
+
+    ``bytes_on_wire`` carries the payload size a communication span
+    moved (0 for compute spans); the trace exporter accumulates it into
+    a Perfetto counter track and telemetry sums it per scheme.
+    """
 
     stream: str
     label: str
     start: float
     end: float
+    bytes_on_wire: float = 0.0
 
     def __post_init__(self) -> None:
         if self.end < self.start:
             raise SimulationError(
                 f"span {self.label!r} ends before it starts "
                 f"({self.start} -> {self.end})")
+        if self.bytes_on_wire < 0:
+            raise SimulationError(
+                f"span {self.label!r} carries negative bytes "
+                f"({self.bytes_on_wire})")
 
     @property
     def duration(self) -> float:
@@ -71,17 +81,47 @@ class IterationTrace:
         one stream by construction)."""
         return sum(s.duration for s in self.stream_spans(stream))
 
+    def streams(self) -> List[str]:
+        """Stream names in first-appearance order (span insertion order
+        tracks simulation structure, so this is stable)."""
+        seen: List[str] = []
+        for span in self.spans:
+            if span.stream not in seen:
+                seen.append(span.stream)
+        return seen
+
+    def wire_bytes_total(self) -> float:
+        """Total payload bytes communication spans carried."""
+        return sum(s.bytes_on_wire for s in self.spans)
+
+    def stream_overlap(self, stream_a: str, stream_b: str) -> float:
+        """Seconds during which two streams are both busy.
+
+        A sorted two-pointer sweep: within one stream spans never
+        overlap (by construction), so each pair that can intersect is
+        visited exactly once and the sweep is O(n + m) after sorting —
+        the previous implementation compared every pair, which made
+        telemetry on long multi-iteration traces quadratic.
+        """
+        spans_a = self.stream_spans(stream_a)
+        spans_b = self.stream_spans(stream_b)
+        overlap = 0.0
+        i = j = 0
+        while i < len(spans_a) and j < len(spans_b):
+            a, b = spans_a[i], spans_b[j]
+            overlap += max(0.0, min(a.end, b.end) - max(a.start, b.start))
+            # Advance whichever interval ends first; the other may still
+            # intersect the next span of the advanced stream.
+            if a.end <= b.end:
+                i += 1
+            else:
+                j += 1
+        return overlap
+
     def compute_comm_overlap(self) -> float:
         """Seconds during which compute and comm streams are both busy —
         the overlap DDP exists to create."""
-        compute = self.stream_spans(COMPUTE_STREAM)
-        comm = self.stream_spans(COMM_STREAM)
-        overlap = 0.0
-        for c in compute:
-            for m in comm:
-                overlap += max(
-                    0.0, min(c.end, m.end) - max(c.start, m.start))
-        return overlap
+        return self.stream_overlap(COMPUTE_STREAM, COMM_STREAM)
 
     def sync_time(self) -> float:
         """The paper's per-iteration measurement: backward start (==

@@ -1,0 +1,43 @@
+"""Observability: labeled metrics, structured logs, run manifests.
+
+The measurement layer under the reproduction, mirroring the paper's own
+methodology (Nsight traces, per-phase breakdowns): simulator, collective
+cost models and the experiment engine record into a process-global
+metrics registry; the CLI snapshots it into run manifests and the
+``--metrics`` report.  Disabled (the default), every call site hits a
+shared no-op handle — zero allocations, no RNG interaction, bit-identical
+simulated timelines.
+"""
+
+from .logs import LEVELS, StructuredLogger, configure, get_logger
+from .manifest import (
+    MANIFEST_FILENAME,
+    MANIFEST_VERSION,
+    build_manifest,
+    read_manifest,
+    verify_manifest,
+    write_manifest,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    format_key,
+    get_registry,
+    metric_key,
+    set_registry,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "NullRegistry",
+    "get_registry", "set_registry", "enable", "disable",
+    "metric_key", "format_key",
+    "StructuredLogger", "get_logger", "configure", "LEVELS",
+    "MANIFEST_FILENAME", "MANIFEST_VERSION",
+    "build_manifest", "write_manifest", "read_manifest", "verify_manifest",
+]

@@ -1,0 +1,106 @@
+"""Run manifests: what ran, with which configuration, producing what.
+
+A manifest is the provenance record written beside results
+(``manifest.json``): the full configuration and its content fingerprint
+(the same SHA-256 canonical-JSON digest :mod:`repro.engine.fingerprint`
+uses for the simulation cache, so cache entries and manifests are
+cross-checkable), the package version, the platform, wall time, and a
+metrics snapshot.  ``verify_manifest`` recomputes the fingerprint so a
+tampered or hand-edited config is detectable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from typing import Any, Dict, Optional
+
+from ..errors import ConfigurationError
+
+#: Bump on incompatible manifest layout changes.
+MANIFEST_VERSION = 1
+
+#: Default file name, written beside results.
+MANIFEST_FILENAME = "manifest.json"
+
+
+def _config_fingerprint(config: Dict[str, Any]) -> str:
+    # Imported lazily: engine pulls in the simulator stack, and telemetry
+    # must stay importable from anywhere in the package without cycles.
+    from ..engine.fingerprint import digest
+    return digest(config)
+
+
+def build_manifest(command: str, config: Dict[str, Any],
+                   wall_time_s: float,
+                   metrics: Optional[Dict[str, Any]] = None,
+                   results: Optional[Dict[str, Any]] = None,
+                   ) -> Dict[str, Any]:
+    """Assemble a manifest dict.
+
+    Args:
+        command: What ran (e.g. ``"experiment all"``).
+        config: The full, JSON-serializable configuration that determined
+            the run; its canonical digest becomes ``fingerprint``.
+        wall_time_s: End-to-end wall time of the run.
+        metrics: A registry ``snapshot()`` (optional).
+        results: Per-result provenance, e.g. row counts and content
+            digests of each regenerated exhibit (optional).
+    """
+    from .. import __version__
+    if wall_time_s < 0:
+        raise ConfigurationError(
+            f"wall_time_s must be >= 0, got {wall_time_s}")
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "command": command,
+        "config": config,
+        "fingerprint": _config_fingerprint(config),
+        "package": {"name": "repro", "version": __version__},
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "created_unix_s": round(time.time(), 3),
+        "wall_time_s": wall_time_s,
+        "metrics": metrics if metrics is not None else {},
+        "results": results if results is not None else {},
+    }
+
+
+def verify_manifest(manifest: Dict[str, Any]) -> bool:
+    """Whether ``fingerprint`` matches a recomputed config digest."""
+    try:
+        return (_config_fingerprint(manifest["config"])
+                == manifest["fingerprint"])
+    except (KeyError, TypeError, ValueError):
+        return False
+
+
+def write_manifest(path: str, manifest: Dict[str, Any]) -> None:
+    """Write atomically (temp file + rename), like the result cache."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def read_manifest(path: str) -> Dict[str, Any]:
+    """Load a manifest; raises :class:`ConfigurationError` on bad JSON."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(f"cannot read manifest {path!r}: {exc}")
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"manifest {path!r} is not a JSON object")
+    return payload

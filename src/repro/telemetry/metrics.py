@@ -1,0 +1,268 @@
+"""Labeled metrics: counters, gauges and histograms behind one registry.
+
+The paper's methodology is built on measurement — γ from Nsight traces,
+per-bucket communication occupancy, overlap fractions — so the
+reproduction carries its own instrumentation layer.  Code records into
+whatever registry is currently installed process-wide:
+
+* the default is a :class:`NullRegistry`, whose metric handles are
+  shared no-op singletons.  Disabled instrumentation costs one attribute
+  load and a no-op call — it never touches an RNG, never allocates
+  per-sample state, and therefore keeps every simulated timeline
+  bit-identical to an uninstrumented run;
+* installing a :class:`MetricsRegistry` (``enable()``, or ``repro``'s
+  CLI does it for you) turns the same call sites into real counters,
+  gauges and histograms, snapshotted into run manifests and the
+  ``--metrics`` CLI report.
+
+Metric identity is a name plus a small set of string-valued labels
+(``counter("collective_calls_total", algorithm="ring")``), the Prometheus
+convention: low-cardinality labels only — schemes, algorithms, span
+kinds — never per-iteration values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+#: Histograms keep at most this many raw samples for percentiles; the
+#: count/sum/min/max aggregates remain exact beyond it.
+MAX_HISTOGRAM_SAMPLES = 100_000
+
+#: Percentiles reported in histogram summaries.
+SUMMARY_PERCENTILES = (50.0, 90.0, 99.0)
+
+#: A metric key: name plus sorted ``(label, value)`` pairs.
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def metric_key(name: str, labels: Dict[str, Any]) -> MetricKey:
+    """Canonical hashable identity of a labeled metric."""
+    if not name:
+        raise ConfigurationError("metric name must be non-empty")
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def format_key(key: MetricKey) -> str:
+    """Render a key Prometheus-style: ``name{label="value",...}``."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, cache hits)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only go up; got increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (utilization, queue depth)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Distribution of observed values with percentile summaries.
+
+    Exact ``count``/``total``/``min``/``max``; percentiles come from a
+    retained sample capped at :data:`MAX_HISTOGRAM_SAMPLES` (the cap
+    exists so a million-iteration sweep cannot grow memory unboundedly;
+    within it, percentiles are exact too).
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < MAX_HISTOGRAM_SAMPLES:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (nearest-rank) of retained samples."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "mean": 0.0,
+                    "min": 0.0, "max": 0.0,
+                    **{f"p{int(q)}": 0.0 for q in SUMMARY_PERCENTILES}}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            **{f"p{int(q)}": self.percentile(q)
+               for q in SUMMARY_PERCENTILES},
+        }
+
+
+class _NullMetric:
+    """Shared do-nothing handle for every metric type when disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """The disabled backend: every handle is the same no-op singleton.
+
+    ``enabled`` is ``False`` so call sites can skip *derived* work (e.g.
+    computing an overlap integral only to discard it); the handles
+    themselves are always safe to use.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class MetricsRegistry:
+    """Live metrics store: creates metrics on first use, keyed by
+    name + labels."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._gauges: Dict[MetricKey, Gauge] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = metric_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = metric_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = metric_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram()
+        return metric
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-dict rendering of every metric, JSON-serializable,
+        keys formatted Prometheus-style and sorted."""
+        return {
+            "counters": {format_key(k): m.value
+                         for k, m in sorted(self._counters.items())},
+            "gauges": {format_key(k): m.value
+                       for k, m in sorted(self._gauges.items())},
+            "histograms": {format_key(k): m.summary()
+                           for k, m in sorted(self._histograms.items())},
+        }
+
+
+#: The process-global registry instrumented code records into.
+_REGISTRY: Any = NullRegistry()
+
+
+def get_registry() -> Any:
+    """The currently installed registry (never ``None``)."""
+    return _REGISTRY
+
+
+def set_registry(registry: Any) -> Any:
+    """Install ``registry`` process-wide; returns the previous one."""
+    global _REGISTRY
+    if registry is None:
+        raise ConfigurationError(
+            "registry must not be None; use disable() for the null backend")
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+def enable() -> MetricsRegistry:
+    """Install (and return) a fresh live registry."""
+    registry = MetricsRegistry()
+    set_registry(registry)
+    return registry
+
+
+def disable() -> None:
+    """Reinstall the null backend."""
+    set_registry(NullRegistry())

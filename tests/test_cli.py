@@ -1,8 +1,23 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
+from repro import __version__
 from repro.cli import _parse_scheme, build_parser, main
+from repro.telemetry import logs as telemetry_logs
+from repro.telemetry import metrics as telemetry_metrics
+
+
+@pytest.fixture(autouse=True)
+def _isolate_telemetry():
+    """main() configures the process-global registry and log sink;
+    restore both so CLI tests cannot leak state into other modules."""
+    previous = telemetry_metrics.get_registry()
+    yield
+    telemetry_metrics.set_registry(previous)
+    telemetry_logs.configure()
 
 
 class TestSchemeParsing:
@@ -84,3 +99,96 @@ class TestCommands:
         assert main(["whatif", "--model", "resnet50",
                      "--scheme", "nosuch"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_error_logged_as_json(self, capsys):
+        assert main(["--log-json", "whatif", "--model", "resnet50",
+                     "--scheme", "nosuch"]) == 2
+        record = json.loads(capsys.readouterr().err.strip().splitlines()[-1])
+        assert record["level"] == "error"
+        assert record["error_type"] == "ConfigurationError"
+        assert record["command"] == "whatif"
+        assert "nosuch" in record["event"]
+
+    def test_main_enables_registry_by_default(self, capsys):
+        main(["recommend", "--model", "resnet50", "--gpus", "16",
+              "--batch", "64"])
+        assert telemetry_metrics.get_registry().enabled
+
+    def test_no_telemetry_keeps_null_backend(self, capsys):
+        main(["--no-telemetry", "simulate", "--model", "resnet50",
+              "--gpus", "8", "--batch", "64", "--iterations", "12"])
+        assert not telemetry_metrics.get_registry().enabled
+
+    def test_simulate_metrics_report(self, capsys):
+        assert main(["simulate", "--model", "resnet50", "--gpus", "8",
+                     "--batch", "64", "--iterations", "12",
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "sim_iterations_total" in out
+
+
+class TestSimulateTraceExport:
+    def test_trace_file_written(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        assert main(["simulate", "--model", "resnet50", "--gpus", "8",
+                     "--batch", "64", "--iterations", "12",
+                     "--trace", str(path),
+                     "--trace-iterations", "2",
+                     "--trace-workers", "2"]) == 0
+        assert "wrote Perfetto trace" in capsys.readouterr().out
+        events = json.loads(path.read_text())["traceEvents"]
+        # Acceptance shape: >= 2 named streams and a counter track.
+        stream_names = {e["args"]["name"] for e in events
+                        if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert {"compute", "comm"} <= stream_names
+        assert [e for e in events if e["ph"] == "C"]
+        # Two workers -> two processes with their own span sets.
+        assert {e["pid"] for e in events if e["ph"] == "X"} == {0, 1}
+
+
+class TestExperimentManifest:
+    def test_manifest_written_beside_cache(self, capsys, tmp_path):
+        from repro.engine.fingerprint import digest
+        from repro.telemetry import read_manifest, verify_manifest
+        cache_dir = tmp_path / "cache"
+        assert main(["experiment", "table1", "--cache",
+                     str(cache_dir)]) == 0
+        manifest = read_manifest(str(cache_dir / "manifest.json"))
+        assert verify_manifest(manifest)
+        assert manifest["fingerprint"] == digest(manifest["config"])
+        assert manifest["command"] == "experiment table1"
+        assert manifest["config"]["id"] == "table1"
+        assert manifest["wall_time_s"] > 0
+        assert manifest["results"]["exhibits"]["table1"]["rows"] > 0
+        assert manifest["results"]["engine"]["jobs_completed"] >= 0
+        # table1 is analytic (no simulations), so the snapshot may be
+        # empty — but it must have the registry shape.
+        assert set(manifest["metrics"]) \
+            == {"counters", "gauges", "histograms"}
+
+    def test_explicit_manifest_path(self, capsys, tmp_path):
+        from repro.telemetry import read_manifest
+        path = tmp_path / "custom.json"
+        assert main(["experiment", "table1", "--manifest",
+                     str(path)]) == 0
+        assert read_manifest(str(path))["command"] == "experiment table1"
+
+    def test_no_manifest_without_cache_or_flag(self, capsys, tmp_path):
+        assert main(["experiment", "table1"]) == 0
+        assert not list(tmp_path.iterdir())
+
+    def test_status_line_format_unchanged(self, capsys, tmp_path):
+        """The human-facing cache status line is stable API for eyes."""
+        assert main(["experiment", "table1", "--cache",
+                     str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "[table1]" in out and "cache:" in out and "hits" in out

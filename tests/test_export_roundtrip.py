@@ -1,0 +1,178 @@
+"""Perfetto/Chrome export: multi-stream, multi-iteration, multi-worker."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import cluster_for_gpus
+from repro.models import get_model
+from repro.simulator import (
+    DDPConfig,
+    DDPSimulator,
+    allocate_track_ids,
+    run_to_events,
+    traces_to_events,
+    write_run_trace,
+)
+from repro.simulator.export import WIRE_BYTES_COUNTER
+from repro.simulator.trace import (
+    COMM_STREAM,
+    COMPUTE_STREAM,
+    IterationTrace,
+    Span,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return DDPSimulator(get_model("resnet50"), cluster_for_gpus(8),
+                        config=DDPConfig(compute_jitter=0.0,
+                                         comm_jitter=0.0))
+
+
+@pytest.fixture(scope="module")
+def traces(sim):
+    rng = np.random.default_rng(0)
+    return [sim.simulate_iteration(64, rng) for _ in range(3)]
+
+
+@pytest.fixture(scope="module")
+def worker_traces(sim):
+    return {
+        f"worker{w}": [sim.simulate_iteration(
+            64, np.random.default_rng(w)) for _ in range(2)]
+        for w in range(2)
+    }
+
+
+class TestTrackAllocation:
+    def test_compute_and_comm_keep_historical_ids(self):
+        ids = allocate_track_ids([COMM_STREAM, COMPUTE_STREAM])
+        assert ids == {COMPUTE_STREAM: 1, COMM_STREAM: 2}
+
+    def test_unknown_streams_get_next_free_ids(self):
+        ids = allocate_track_ids([COMPUTE_STREAM, "encode", COMM_STREAM,
+                                  "decode"])
+        assert ids[COMPUTE_STREAM] == 1 and ids[COMM_STREAM] == 2
+        assert ids["encode"] == 3 and ids["decode"] == 4
+
+    def test_custom_streams_only(self):
+        # The reserved ids stay reserved even when unused, so layout is
+        # stable if compute/comm appear in a later export.
+        assert allocate_track_ids(["a", "b"]) == {"a": 3, "b": 4}
+
+    def test_ids_are_unique(self):
+        ids = allocate_track_ids(["x", COMPUTE_STREAM, "y", COMM_STREAM])
+        assert len(set(ids.values())) == len(ids)
+
+
+class TestMultiIterationExport:
+    def test_metadata_events_present(self, traces):
+        events = traces_to_events(traces, process_name="rank0")
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"rank0", COMPUTE_STREAM, COMM_STREAM} <= names
+
+    def test_durations_non_negative_and_finite(self, traces):
+        events = traces_to_events(traces)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        for e in complete:
+            assert e["ts"] >= 0.0
+            assert e["dur"] >= 0.0
+            assert np.isfinite(e["ts"]) and np.isfinite(e["dur"])
+
+    def test_iterations_laid_end_to_end(self, traces):
+        events = traces_to_events(traces)
+        complete = [e for e in events if e["ph"] == "X"]
+        # One iteration's worth of spans per trace, consecutive
+        # iterations shifted strictly later.
+        assert len(complete) == sum(len(t.spans) for t in traces)
+        span_end = max(traces[0].iteration_end,
+                       max(s.end for s in traces[0].spans))
+        second = complete[len(traces[0].spans):]
+        assert min(e["ts"] for e in second) >= span_end * 1e6 - 1e-6
+
+    def test_iteration_boundary_instants(self, traces):
+        events = traces_to_events(traces)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert [e["name"] for e in instants] \
+            == [f"iteration{i}" for i in range(len(traces))]
+        ts = [e["ts"] for e in instants]
+        assert ts == sorted(ts) and ts[0] == 0.0
+
+    def test_single_iteration_has_no_instants(self, traces):
+        events = traces_to_events(traces[:1])
+        assert not [e for e in events if e["ph"] == "i"]
+
+    def test_counter_track_shape(self, traces):
+        events = traces_to_events(traces)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) > 1
+        assert {e["name"] for e in counters} == {WIRE_BYTES_COUNTER}
+        # One dedicated track, cumulative and non-decreasing in time.
+        assert len({e["tid"] for e in counters}) == 1
+        points = sorted(counters, key=lambda e: e["ts"])
+        values = [e["args"]["bytes"] for e in points]
+        assert values[0] == 0.0
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(
+            sum(t.wire_bytes_total() for t in traces))
+
+    def test_counters_can_be_disabled(self, traces):
+        events = traces_to_events(traces, include_counters=False)
+        assert not [e for e in events if e["ph"] == "C"]
+
+    def test_custom_stream_exports(self):
+        trace = IterationTrace(iteration_end=2.0)
+        trace.add(Span(COMPUTE_STREAM, "fwd", 0.0, 1.0))
+        trace.add(Span("encode", "enc0", 1.0, 1.5))
+        events = traces_to_events([trace])
+        enc = next(e for e in events if e.get("name") == "enc0")
+        meta_tids = {e["args"]["name"]: e["tid"]
+                     for e in events if e["name"] == "thread_name"}
+        assert enc["tid"] == meta_tids["encode"] != meta_tids[COMPUTE_STREAM]
+        assert enc["cat"] == "encode"
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            traces_to_events([])
+        with pytest.raises(ConfigurationError):
+            traces_to_events([IterationTrace()])
+        with pytest.raises(ConfigurationError):
+            run_to_events({})
+
+
+class TestMultiWorkerExport:
+    def test_one_pid_per_worker(self, worker_traces):
+        events = run_to_events(worker_traces)
+        process_meta = {e["pid"]: e["args"]["name"] for e in events
+                        if e["ph"] == "M" and e["name"] == "process_name"}
+        assert process_meta == {0: "worker0", 1: "worker1"}
+
+    def test_tracks_separated_by_worker(self, worker_traces):
+        events = run_to_events(worker_traces)
+        for pid in (0, 1):
+            spans = [e for e in events
+                     if e["ph"] == "X" and e["pid"] == pid]
+            assert len(spans) == sum(
+                len(t.spans)
+                for t in worker_traces[f"worker{pid}"])
+
+    def test_counters_per_worker(self, worker_traces):
+        events = run_to_events(worker_traces)
+        assert {e["pid"] for e in events if e["ph"] == "C"} == {0, 1}
+
+    def test_write_run_trace_roundtrip(self, worker_traces, tmp_path):
+        path = tmp_path / "run.json"
+        write_run_trace(worker_traces, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert {e["ph"] for e in events} == {"X", "M", "i", "C"}
+        # Survives JSON: every event has a name and numeric timestamps.
+        for e in events:
+            if "ts" in e:
+                assert isinstance(e["ts"], (int, float))

@@ -10,6 +10,8 @@ from repro.reporting import (
     bar_chart,
     comparison_table,
     line_chart,
+    metrics_to_markdown,
+    render_metrics,
     scaling_chart,
     to_markdown,
 )
@@ -114,3 +116,42 @@ class TestMarkdown:
         with pytest.raises(ConfigurationError):
             comparison_table([{"n": "x", "b": 0.0, "c": 1.0}],
                              "b", "c", "n")
+
+
+class TestMetricsReport:
+    SNAPSHOT = {
+        "counters": {'calls{algorithm="ring"}': 4.0, "hits": 2.0},
+        "gauges": {"utilization": 0.75},
+        "histograms": {"exec_s": {"count": 3, "total": 6.0, "mean": 2.0,
+                                  "min": 1.0, "max": 3.0, "p50": 2.0,
+                                  "p90": 3.0, "p99": 3.0}},
+    }
+
+    def test_render_lists_everything(self):
+        text = render_metrics(self.SNAPSHOT)
+        lines = text.splitlines()
+        assert lines[0] == "metrics:"
+        assert '  calls{algorithm="ring"} = 4' in lines
+        assert "  utilization = 0.75" in lines
+        assert any(line.startswith("  exec_s: count=3 mean=2")
+                   for line in lines)
+
+    def test_render_empty_snapshot(self):
+        empty = {"counters": {}, "gauges": {}, "histograms": {}}
+        assert "(none recorded)" in render_metrics(empty)
+
+    def test_markdown_tables(self):
+        md = metrics_to_markdown(self.SNAPSHOT)
+        assert "| metric | value |" in md
+        assert "| `hits` | 2 |" in md
+        assert "| `exec_s` | 3 | 2 |" in md
+
+    def test_markdown_empty_snapshot(self):
+        empty = {"counters": {}, "gauges": {}, "histograms": {}}
+        assert metrics_to_markdown(empty) == "*(no metrics recorded)*"
+
+    def test_non_snapshot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_metrics({"counters": {}})
+        with pytest.raises(ConfigurationError):
+            metrics_to_markdown({})

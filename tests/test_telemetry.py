@@ -1,0 +1,303 @@
+"""Telemetry subsystem: metrics registry, structured logs, manifests."""
+
+import io
+import json
+
+import pytest
+
+from repro.engine.fingerprint import digest
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    MANIFEST_FILENAME,
+    MANIFEST_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    StructuredLogger,
+    build_manifest,
+    format_key,
+    get_logger,
+    get_registry,
+    metric_key,
+    read_manifest,
+    set_registry,
+    verify_manifest,
+    write_manifest,
+)
+from repro.telemetry import logs as telemetry_logs
+from repro.telemetry import metrics as telemetry_metrics
+from repro.telemetry.metrics import MAX_HISTOGRAM_SAMPLES
+
+
+@pytest.fixture(autouse=True)
+def _isolate_telemetry():
+    """Restore the process-global registry and log sink after each test."""
+    previous = get_registry()
+    yield
+    set_registry(previous)
+    telemetry_logs.configure()
+
+
+class TestMetricKey:
+    def test_no_labels(self):
+        assert format_key(metric_key("hits", {})) == "hits"
+
+    def test_labels_sorted_and_stringified(self):
+        key = metric_key("calls", {"b": 2, "a": "x"})
+        assert key == ("calls", (("a", "x"), ("b", "2")))
+        assert format_key(key) == 'calls{a="x",b="2"}'
+
+    def test_label_order_does_not_matter(self):
+        assert metric_key("m", {"a": 1, "b": 2}) \
+            == metric_key("m", {"b": 2, "a": 1})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            metric_key("", {})
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == pytest.approx(13.0)
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(10.0)
+        assert h.mean == pytest.approx(2.5)
+        assert h.min == 1.0 and h.max == 4.0
+
+    def test_percentiles_nearest_rank(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(99) == 99.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(0) == 1.0
+
+    def test_percentile_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            Histogram().percentile(101)
+
+    def test_empty_summary_is_zeros(self):
+        s = Histogram().summary()
+        assert s["count"] == 0 and s["mean"] == 0.0 and s["p99"] == 0.0
+
+    def test_summary_keys(self):
+        h = Histogram()
+        h.observe(1.0)
+        assert set(h.summary()) == {
+            "count", "total", "mean", "min", "max", "p50", "p90", "p99"}
+
+    def test_sample_cap_keeps_exact_aggregates(self):
+        h = Histogram()
+        h._samples = [0.0] * MAX_HISTOGRAM_SAMPLES  # simulate a full buffer
+        h.count = MAX_HISTOGRAM_SAMPLES
+        h.observe(7.0)
+        assert h.count == MAX_HISTOGRAM_SAMPLES + 1
+        assert h.max == 7.0
+        assert len(h._samples) == MAX_HISTOGRAM_SAMPLES
+
+
+class TestMetricsRegistry:
+    def test_same_name_and_labels_share_a_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", kind="a").inc()
+        reg.counter("hits", kind="a").inc()
+        reg.counter("hits", kind="b").inc()
+        snap = reg.snapshot()
+        assert snap["counters"]['hits{kind="a"}'] == 2.0
+        assert snap["counters"]['hits{kind="b"}'] == 1.0
+
+    def test_snapshot_sections_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        reg.gauge("util").set(0.5)
+        reg.histogram("lat").observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["gauges"]["util"] == 0.5
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", scheme="powersgd").observe(0.25)
+        json.dumps(reg.snapshot())
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        reg = NullRegistry()
+        assert reg.enabled is False
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(1)
+        assert reg.snapshot() == {"counters": {}, "gauges": {},
+                                  "histograms": {}}
+
+    def test_handles_are_the_shared_singleton(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.histogram("b", x="y")
+
+
+class TestGlobalRegistry:
+    def test_default_is_null(self):
+        # The autouse fixture restores whatever was installed; within a
+        # fresh process the default is the null backend.
+        telemetry_metrics.disable()
+        assert not get_registry().enabled
+
+    def test_enable_installs_live_registry(self):
+        reg = telemetry_metrics.enable()
+        assert get_registry() is reg and reg.enabled
+
+    def test_set_registry_returns_previous(self):
+        first = telemetry_metrics.enable()
+        previous = set_registry(MetricsRegistry())
+        assert previous is first
+
+    def test_none_rejected(self):
+        with pytest.raises(ConfigurationError):
+            set_registry(None)
+
+
+class TestStructuredLogs:
+    def test_text_rendering_keeps_error_prefix(self):
+        sink = io.StringIO()
+        telemetry_logs.configure(level="debug", stream=sink)
+        get_logger("t").error("boom", code=2)
+        assert sink.getvalue() == "error: boom code=2\n"
+
+    def test_threshold_filters(self):
+        sink = io.StringIO()
+        telemetry_logs.configure(level="warning", stream=sink)
+        log = get_logger("t")
+        log.debug("quiet")
+        log.info("quiet")
+        log.warning("loud")
+        assert sink.getvalue() == "warning: loud\n"
+
+    def test_json_mode_one_object_per_line(self):
+        sink = io.StringIO()
+        telemetry_logs.configure(level="debug", json_mode=True, stream=sink)
+        log = get_logger("repro.test")
+        log.info("first", n=1)
+        log.error("second")
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["level"] == "info"
+        assert first["logger"] == "repro.test"
+        assert first["event"] == "first"
+        assert first["n"] == 1
+        assert isinstance(first["ts"], float)
+
+    def test_json_reserved_key_collision_prefixed(self):
+        sink = io.StringIO()
+        telemetry_logs.configure(level="debug", json_mode=True, stream=sink)
+        get_logger("t").info("e", level="inner")
+        record = json.loads(sink.getvalue())
+        assert record["level"] == "info"
+        assert record["field_level"] == "inner"
+
+    def test_json_non_serializable_field_repred(self):
+        sink = io.StringIO()
+        telemetry_logs.configure(level="debug", json_mode=True, stream=sink)
+        get_logger("t").info("e", obj={1, 2})
+        record = json.loads(sink.getvalue())
+        assert record["obj"].startswith("{")  # repr of a set
+
+    def test_get_logger_cached(self):
+        assert get_logger("same") is get_logger("same")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            telemetry_logs.configure(level="loud")
+        with pytest.raises(ConfigurationError):
+            get_logger("t").log("loud", "e")
+
+    def test_empty_logger_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StructuredLogger("")
+
+
+class TestManifest:
+    CONFIG = {"command": "experiment", "id": "table1", "jobs": 2}
+
+    def test_build_fields(self):
+        m = build_manifest("experiment table1", dict(self.CONFIG), 1.5)
+        assert m["manifest_version"] == MANIFEST_VERSION
+        assert m["command"] == "experiment table1"
+        assert m["config"] == self.CONFIG
+        assert m["wall_time_s"] == 1.5
+        assert m["package"]["name"] == "repro"
+        assert m["metrics"] == {} and m["results"] == {}
+
+    def test_fingerprint_is_engine_digest_of_config(self):
+        m = build_manifest("x", dict(self.CONFIG), 0.0)
+        assert m["fingerprint"] == digest(self.CONFIG)
+
+    def test_verify_roundtrip_and_tamper_detection(self):
+        m = build_manifest("x", dict(self.CONFIG), 0.0)
+        assert verify_manifest(m)
+        m["config"]["jobs"] = 99
+        assert not verify_manifest(m)
+
+    def test_verify_malformed_is_false(self):
+        assert not verify_manifest({})
+        assert not verify_manifest({"config": {}, "fingerprint": None})
+
+    def test_negative_wall_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_manifest("x", {}, -1.0)
+
+    def test_write_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / MANIFEST_FILENAME)
+        m = build_manifest("x", dict(self.CONFIG), 2.0,
+                           metrics={"counters": {"a": 1.0}, "gauges": {},
+                                    "histograms": {}},
+                           results={"exhibits": {"table1": {"rows": 5}}})
+        write_manifest(path, m)
+        loaded = read_manifest(path)
+        assert loaded == m
+        assert verify_manifest(loaded)
+
+    def test_write_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / MANIFEST_FILENAME
+        write_manifest(str(path), build_manifest("x", {}, 0.0))
+        assert [p.name for p in tmp_path.iterdir()] == [MANIFEST_FILENAME]
+
+    def test_read_missing_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            read_manifest(str(tmp_path / "nope.json"))
+
+    def test_read_non_object_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigurationError):
+            read_manifest(str(path))

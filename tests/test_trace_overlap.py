@@ -1,0 +1,117 @@
+"""Stream-overlap sweep: equivalence with the old pairwise algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.hardware import cluster_for_gpus
+from repro.models import get_model
+from repro.simulator import DDPConfig, DDPSimulator
+from repro.simulator.trace import (
+    COMM_STREAM,
+    COMPUTE_STREAM,
+    IterationTrace,
+    Span,
+)
+
+
+def pairwise_overlap(trace, stream_a, stream_b):
+    """The previous O(n*m) implementation, kept as the test oracle."""
+    overlap = 0.0
+    for a in trace.stream_spans(stream_a):
+        for b in trace.stream_spans(stream_b):
+            overlap += max(0.0, min(a.end, b.end) - max(a.start, b.start))
+    return overlap
+
+
+def random_trace(rng, n_a, n_b, stream_b=COMM_STREAM):
+    """A trace whose per-stream spans never overlap (as the simulator
+    guarantees): random gaps and widths laid end to end."""
+    trace = IterationTrace()
+    for stream, count in ((COMPUTE_STREAM, n_a), (stream_b, n_b)):
+        t = rng.uniform(0.0, 0.5)
+        for i in range(count):
+            t += rng.uniform(0.0, 0.3)          # gap (may be zero)
+            width = rng.uniform(0.0, 1.0)       # span (may be a point)
+            trace.add(Span(stream, f"{stream}{i}", t, t + width))
+            t += width
+    return trace
+
+
+class TestSweepEquivalence:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_pairwise_on_random_traces(self, seed):
+        rng = np.random.default_rng(seed)
+        trace = random_trace(rng, int(rng.integers(0, 40)),
+                             int(rng.integers(0, 40)))
+        assert trace.compute_comm_overlap() == pytest.approx(
+            pairwise_overlap(trace, COMPUTE_STREAM, COMM_STREAM))
+
+    def test_matches_pairwise_on_simulated_iteration(self):
+        sim = DDPSimulator(get_model("resnet50"), cluster_for_gpus(8),
+                           config=DDPConfig(compute_jitter=0.0,
+                                            comm_jitter=0.0))
+        trace = sim.simulate_iteration(64, np.random.default_rng(0))
+        assert trace.compute_comm_overlap() == pytest.approx(
+            pairwise_overlap(trace, COMPUTE_STREAM, COMM_STREAM))
+        assert trace.compute_comm_overlap() > 0  # DDP overlaps by design
+
+    def test_empty_streams(self):
+        trace = IterationTrace()
+        assert trace.compute_comm_overlap() == 0.0
+        trace.add(Span(COMPUTE_STREAM, "fwd", 0.0, 1.0))
+        assert trace.compute_comm_overlap() == 0.0
+
+    def test_disjoint_streams(self):
+        trace = IterationTrace()
+        trace.add(Span(COMPUTE_STREAM, "a", 0.0, 1.0))
+        trace.add(Span(COMM_STREAM, "b", 1.0, 2.0))
+        assert trace.compute_comm_overlap() == 0.0
+
+    def test_nested_interval(self):
+        trace = IterationTrace()
+        trace.add(Span(COMPUTE_STREAM, "a", 0.0, 10.0))
+        trace.add(Span(COMM_STREAM, "b", 2.0, 3.0))
+        trace.add(Span(COMM_STREAM, "c", 5.0, 6.5))
+        assert trace.compute_comm_overlap() == pytest.approx(2.5)
+
+    def test_generalizes_to_named_streams(self):
+        rng = np.random.default_rng(7)
+        trace = random_trace(rng, 15, 15, stream_b="encode")
+        assert trace.stream_overlap(COMPUTE_STREAM, "encode") \
+            == pytest.approx(pairwise_overlap(trace, COMPUTE_STREAM,
+                                              "encode"))
+
+
+class TestSpanWireBytes:
+    def test_default_zero(self):
+        assert Span(COMPUTE_STREAM, "fwd", 0.0, 1.0).bytes_on_wire == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            Span(COMM_STREAM, "b", 0.0, 1.0, bytes_on_wire=-1.0)
+
+    def test_wire_bytes_total_sums(self):
+        trace = IterationTrace()
+        trace.add(Span(COMM_STREAM, "a", 0.0, 1.0, bytes_on_wire=100.0))
+        trace.add(Span(COMM_STREAM, "b", 1.0, 2.0, bytes_on_wire=50.0))
+        trace.add(Span(COMPUTE_STREAM, "c", 0.0, 2.0))
+        assert trace.wire_bytes_total() == pytest.approx(150.0)
+
+    def test_simulated_comm_spans_carry_bytes(self):
+        model = get_model("resnet50")
+        sim = DDPSimulator(model, cluster_for_gpus(8),
+                           config=DDPConfig(compute_jitter=0.0,
+                                            comm_jitter=0.0))
+        trace = sim.simulate_iteration(64, np.random.default_rng(0))
+        # The uncompressed baseline puts exactly the gradient payload on
+        # the wire, split across buckets.
+        assert trace.wire_bytes_total() == pytest.approx(model.grad_bytes)
+
+    def test_streams_in_first_appearance_order(self):
+        trace = IterationTrace()
+        trace.add(Span(COMPUTE_STREAM, "a", 0.0, 1.0))
+        trace.add(Span(COMM_STREAM, "b", 0.0, 1.0))
+        trace.add(Span("encode", "c", 0.0, 1.0))
+        trace.add(Span(COMPUTE_STREAM, "d", 1.0, 2.0))
+        assert trace.streams() == [COMPUTE_STREAM, COMM_STREAM, "encode"]
