@@ -1,15 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke
+.PHONY: test lint bench bench-smoke examples
 
 ## tier-1: the fast unit/behaviour suite (benchmarks/ excluded)
 test:
 	$(PYTHON) -m pytest
 
-## static checks (ruff; config in pyproject.toml, benchmarks/ excluded)
+## static checks: ruff (config in pyproject.toml, benchmarks/ excluded)
+## plus docstring coverage of the public fault/engine API
 lint:
 	ruff check src tests examples
+	$(PYTHON) tools/check_docstrings.py
 
 ## full-fidelity paper-exhibit regeneration (slow, opt-in)
 bench:
@@ -19,3 +21,12 @@ bench:
 ## invocation should report a ~100% cache hit rate
 bench-smoke:
 	$(PYTHON) -m repro experiment fig7 --jobs 2 --cache .sim-cache
+
+## run every example headlessly in smoke mode (trimmed protocols, <60 s
+## total); CI runs this on every push
+examples:
+	@set -e; for f in examples/*.py; do \
+		echo "== $$f"; \
+		REPRO_EXAMPLES_SMOKE=1 $(PYTHON) $$f > /dev/null; \
+	done
+	@echo "all examples passed"

@@ -10,7 +10,10 @@ accuracy, the bytes each worker put on the wire, and the bytes it
 received (where the all-gather methods' linear-in-p cost shows up).
 
 Run:  python examples/convergence_study.py
+(``REPRO_EXAMPLES_SMOKE=1`` trims the step count for CI.)
 """
+
+import os
 
 from repro.training import gaussian_blobs, train_with_method
 
@@ -32,7 +35,8 @@ METHODS = [
 def main() -> None:
     dataset = gaussian_blobs(num_samples=1024, num_features=16,
                              num_classes=4, seed=7)
-    workers, steps = 4, 150
+    smoke = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
+    workers, steps = 4, (30 if smoke else 150)
     print(f"data-parallel MLP training: {workers} workers, {steps} steps, "
           f"{dataset.num_samples} samples, {dataset.num_classes} classes\n")
     header = (f"{'method':<10} {'final loss':>10} {'accuracy':>9} "

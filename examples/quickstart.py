@@ -7,7 +7,10 @@ PowerSGD rank-4, shows a Figure-2-style iteration timeline, and checks
 the analytic performance model against the simulated measurement.
 
 Run:  python examples/quickstart.py
+(``REPRO_EXAMPLES_SMOKE=1`` trims the measurement protocol for CI.)
 """
+
+import os
 
 import numpy as np
 
@@ -25,10 +28,14 @@ def main() -> None:
     print(model.summary())
     print(f"\ncluster: {cluster.describe()}")
 
-    # --- simulate both systems with the paper's measurement protocol.
-    baseline = DDPSimulator(model, cluster).run(batch_size=64)
+    # --- simulate both systems with the paper's measurement protocol
+    # (trimmed under REPRO_EXAMPLES_SMOKE so CI stays fast).
+    protocol = ({"iterations": 15, "warmup": 3}
+                if os.environ.get("REPRO_EXAMPLES_SMOKE") == "1" else {})
+    baseline = DDPSimulator(model, cluster).run(batch_size=64, **protocol)
     powersgd = DDPSimulator(
-        model, cluster, scheme=PowerSGDScheme(rank=4)).run(batch_size=64)
+        model, cluster, scheme=PowerSGDScheme(rank=4)).run(
+        batch_size=64, **protocol)
 
     print(f"\nper-iteration gradient computation + synchronization:")
     print(f"  syncSGD          {baseline.mean * 1e3:7.1f} ms "

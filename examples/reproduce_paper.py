@@ -9,6 +9,9 @@ protocol (a few minutes total).
 Run:  python examples/reproduce_paper.py [--quick] [--save DIR] [ids...]
 e.g.  python examples/reproduce_paper.py --quick fig4 fig11
       python examples/reproduce_paper.py --save results/
+
+Setting ``REPRO_EXAMPLES_SMOKE=1`` forces ``--quick`` — CI runs every
+example headlessly under that flag (see ``make examples``).
 """
 
 import os
@@ -30,7 +33,8 @@ FLOAT_FORMATS = {"fig7": "{:.3f}", "fig8": "{:.3f}", "fig9": "{:.2f}",
 
 def main() -> None:
     args = [a for a in sys.argv[1:]]
-    quick = "--quick" in args
+    quick = ("--quick" in args
+             or os.environ.get("REPRO_EXAMPLES_SMOKE") == "1")
     save_dir = None
     if "--save" in args:
         idx = args.index("--save")

@@ -9,7 +9,8 @@ Four subcommands mirror the library's main workflows:
   cluster;
 * ``whatif`` — bandwidth / compute sweeps for one scheme;
 * ``simulate`` — one simulated configuration with a timeline trace;
-  ``--trace out.json`` exports a Perfetto-loadable multi-worker trace.
+  ``--trace out.json`` exports a Perfetto-loadable multi-worker trace,
+  ``--faults spec.json`` injects a :class:`repro.faults.FaultSchedule`.
 
 Everything prints plain text; use ``--markdown`` on ``experiment`` for
 paste-ready tables.  Global flags: ``--version``, ``--log-level``/
@@ -36,7 +37,8 @@ from .core import (
 )
 from .engine import ExperimentEngine, SimulationCache
 from .errors import ReproError
-from .experiments import EXPERIMENTS
+from .experiments import EXPERIMENTS, EXTRA_EXPERIMENTS
+from .faults import FaultSchedule
 from .hardware import cluster_for_gpus
 from .models import available_models, get_model
 from .reporting import render_metrics, to_markdown
@@ -92,11 +94,14 @@ def _accepts_engine(runner) -> bool:
 def cmd_experiment(args: argparse.Namespace) -> int:
     cache = SimulationCache(args.cache) if args.cache else None
     engine = ExperimentEngine(jobs=args.jobs, cache=cache)
+    # "all" covers only the paper's own exhibits; extras (reliability)
+    # run by explicit id so the canonical output stays stable.
     ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
+    runners = {**EXPERIMENTS, **EXTRA_EXPERIMENTS}
     run_started = time.perf_counter()
     exhibits = {}
     for exp_id in ids:
-        runner = EXPERIMENTS[exp_id]
+        runner = runners[exp_id]
         before = engine.cache_stats.snapshot()
         started = time.perf_counter()
         if _accepts_engine(runner):
@@ -184,7 +189,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     model = get_model(args.model)
     cluster = cluster_for_gpus(args.gpus)
     scheme = _parse_scheme(args.scheme) if args.scheme else None
-    sim = DDPSimulator(model, cluster, scheme=scheme)
+    faults = FaultSchedule.load(args.faults) if args.faults else None
+    sim = DDPSimulator(model, cluster, scheme=scheme, faults=faults)
     result = sim.run(args.batch, iterations=args.iterations, warmup=10)
     label = scheme.label if scheme else "syncsgd"
     print(f"{model.name} x {label} on {cluster.describe()}, "
@@ -192,9 +198,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  sync time {result.mean * 1e3:.1f} ms "
           f"(± {result.std * 1e3:.1f}) over "
           f"{len(result.sync_times)} iterations")
+    if sim.injector is not None:
+        print(f"  {sim.injector.summary()}")
     quiet = DDPConfig(compute_jitter=0.0, comm_jitter=0.0)
-    trace = DDPSimulator(model, cluster, scheme=scheme,
-                         config=quiet).simulate_iteration(
+    trace = DDPSimulator(model, cluster, scheme=scheme, config=quiet,
+                         faults=faults).simulate_iteration(
         args.batch, np.random.default_rng(0))
     print(trace.render_ascii())
     if args.trace:
@@ -219,8 +227,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def _iterate(sim: DDPSimulator, batch: Optional[int], rng,
              iterations: int):
-    for _ in range(iterations):
-        yield sim.simulate_iteration(batch, rng)
+    for i in range(iterations):
+        yield sim.simulate_iteration(batch, rng, iteration=i)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -243,7 +251,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment",
                            help="regenerate a paper table/figure")
-    p_exp.add_argument("id", choices=[*EXPERIMENTS, "all"])
+    p_exp.add_argument("id",
+                       choices=[*EXPERIMENTS, *EXTRA_EXPERIMENTS, "all"])
     p_exp.add_argument("--markdown", action="store_true")
     p_exp.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for simulation sweeps "
@@ -276,6 +285,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(p_sim)
     p_sim.add_argument("--scheme", default=None)
     p_sim.add_argument("--iterations", type=int, default=60)
+    p_sim.add_argument("--faults", default=None, metavar="SPEC",
+                       help="JSON FaultSchedule to inject (see "
+                            "docs/faults.md for the schema)")
     p_sim.add_argument("--trace", default=None, metavar="PATH",
                        help="export a Perfetto/chrome://tracing JSON "
                             "timeline here")

@@ -7,9 +7,10 @@ raises — OOM is as reproducible as a timing, and re-simulating 110
 iterations just to re-discover it would defeat the cache.
 
 The cache never trusts its files blindly: a payload that fails to parse
-or misses required fields counts as a miss and is overwritten on the
-next store, so a truncated write (killed process) cannot poison later
-sweeps.
+or misses required fields counts as a miss, and the offending file is
+*quarantined* — moved aside into ``<directory>/quarantine/`` rather
+than silently overwritten — so a truncated write (killed process)
+cannot poison later sweeps and the evidence survives for debugging.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from typing import Optional, Union
 
 from ..errors import ConfigurationError, OutOfMemoryError
 from ..simulator import TimingResult
+from ..telemetry.logs import get_logger
 from ..telemetry.metrics import get_registry
 
 #: What a cache lookup can yield: a result, or the deterministic OOM.
@@ -35,9 +37,11 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits plus misses)."""
         return self.hits + self.misses
 
     @property
@@ -46,21 +50,30 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> "CacheStats":
+        """An independent copy of the current counter values."""
         return CacheStats(hits=self.hits, misses=self.misses,
-                          stores=self.stores)
+                          stores=self.stores,
+                          quarantined=self.quarantined)
 
     def since(self, earlier: "CacheStats") -> "CacheStats":
         """Counter deltas relative to an earlier :meth:`snapshot`."""
         return CacheStats(hits=self.hits - earlier.hits,
                           misses=self.misses - earlier.misses,
-                          stores=self.stores - earlier.stores)
+                          stores=self.stores - earlier.stores,
+                          quarantined=self.quarantined - earlier.quarantined)
 
     def describe(self) -> str:
-        return (f"{self.hits} hits / {self.misses} misses "
+        """One-line human rendering; mentions quarantines only when
+        any happened, so healthy output is unchanged."""
+        text = (f"{self.hits} hits / {self.misses} misses "
                 f"({self.hit_rate:.0%} hit rate)")
+        if self.quarantined:
+            text += f", {self.quarantined} quarantined"
+        return text
 
 
 def result_to_payload(result: TimingResult) -> dict:
+    """JSON-serializable form of a timing result cache entry."""
     return {
         "kind": "result",
         "model": result.model,
@@ -73,6 +86,7 @@ def result_to_payload(result: TimingResult) -> dict:
 
 
 def payload_to_result(payload: dict) -> TimingResult:
+    """Inverse of :func:`result_to_payload`."""
     return TimingResult(
         model=payload["model"],
         scheme=payload["scheme"],
@@ -84,6 +98,7 @@ def payload_to_result(payload: dict) -> TimingResult:
 
 
 def oom_to_payload(error: OutOfMemoryError) -> dict:
+    """JSON-serializable form of a deterministic-OOM cache entry."""
     return {
         "kind": "oom",
         "message": str(error),
@@ -93,6 +108,7 @@ def oom_to_payload(error: OutOfMemoryError) -> dict:
 
 
 def payload_to_oom(payload: dict) -> OutOfMemoryError:
+    """Inverse of :func:`oom_to_payload`."""
     return OutOfMemoryError(
         payload["message"],
         required_bytes=payload["required_bytes"],
@@ -104,6 +120,7 @@ class SimulationCache:
     """Maps fingerprint keys to simulation outcomes, one file per key."""
 
     def __init__(self, directory: str):
+        """Open (creating if needed) the cache at ``directory``."""
         if not directory:
             raise ConfigurationError("cache directory must be non-empty")
         self.directory = directory
@@ -115,10 +132,19 @@ class SimulationCache:
         self.stats = CacheStats()
 
     def path_for(self, key: str) -> str:
+        """Filesystem path of ``key``'s entry (whether or not it exists)."""
         return os.path.join(self.directory, f"{key}.json")
 
     def get(self, key: str) -> Optional[CachedOutcome]:
-        """Look up ``key``; counts a hit or a miss on the stats."""
+        """Look up ``key``; counts a hit or a miss on the stats.
+
+        An absent entry is a plain miss.  A *present but unreadable*
+        entry (truncated JSON, unknown kind, missing fields) is also a
+        miss, but the file is moved into the ``quarantine/``
+        subdirectory first so the corrupt bytes are preserved for
+        inspection instead of being silently overwritten by the
+        re-simulated result.
+        """
         try:
             with open(self.path_for(key), "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -128,14 +154,36 @@ class SimulationCache:
                 outcome = payload_to_oom(payload)
             else:
                 raise KeyError(payload.get("kind"))
-        except (OSError, ValueError, KeyError, TypeError):
-            # Absent, truncated, or corrupted entries are plain misses.
+        except FileNotFoundError:
+            self.stats.misses += 1
+            get_registry().counter("cache_misses_total").inc()
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self._quarantine(key, exc)
             self.stats.misses += 1
             get_registry().counter("cache_misses_total").inc()
             return None
         self.stats.hits += 1
         get_registry().counter("cache_hits_total").inc()
         return outcome
+
+    def _quarantine(self, key: str, exc: Exception) -> None:
+        """Move ``key``'s corrupt file aside and count the event."""
+        source = self.path_for(key)
+        quarantine_dir = os.path.join(self.directory, "quarantine")
+        try:
+            os.makedirs(quarantine_dir, exist_ok=True)
+            os.replace(source, os.path.join(quarantine_dir, f"{key}.json"))
+        except OSError:
+            # A racing process beat us to it (or the FS is read-only);
+            # either way the lookup already counted as a miss.
+            return
+        self.stats.quarantined += 1
+        get_registry().counter("cache_quarantined_total").inc()
+        get_logger("cache").warning(
+            "cache.entry_quarantined", key=key,
+            reason=f"{type(exc).__name__}: {exc}",
+            moved_to=quarantine_dir)
 
     def put(self, key: str, outcome: CachedOutcome) -> None:
         """Store ``outcome`` under ``key`` atomically (write + rename),

@@ -24,18 +24,22 @@ default to when no engine is passed.
 from __future__ import annotations
 
 import os
+import signal
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compression.kernel_cost import KernelProfile
 from ..compression.schemes import Scheme
-from ..errors import ConfigurationError, OutOfMemoryError
+from ..errors import ConfigurationError, EngineError, OutOfMemoryError
+from ..faults import FaultSchedule
 from ..hardware import ClusterConfig
 from ..models import ModelSpec
 from ..network import Fabric
 from ..simulator import DDPConfig, DDPSimulator, TimingResult
+from ..telemetry.logs import get_logger
 from ..telemetry.metrics import get_registry
 from .cache import CacheStats, SimulationCache
 from .fingerprint import (
@@ -44,10 +48,48 @@ from .fingerprint import (
     config_fingerprint,
     digest,
     fabric_fingerprint,
+    faults_fingerprint,
     model_fingerprint,
     profile_fingerprint,
     scheme_fingerprint,
 )
+
+#: Environment variable for chaos testing the engine itself: set it to a
+#: sentinel file path and the first pooled worker to pick up a job
+#: SIGKILLs itself (once — creating the sentinel claims the kill).  The
+#: reliability test suite uses this to prove a sweep survives a dying
+#: worker; it is a no-op unless explicitly set.
+CHAOS_KILL_ENV = "REPRO_CHAOS_KILL_ONCE"
+
+#: Chaos hook for timeout testing: ``<sentinel-path>:<seconds>`` makes
+#: the first executor to claim the sentinel sleep that long before
+#: simulating, which a per-job timeout then catches.
+CHAOS_SLEEP_ENV = "REPRO_CHAOS_SLEEP_ONCE"
+
+
+def _chaos_hook() -> None:
+    """Honour the chaos-testing environment hooks (see the two
+    ``REPRO_CHAOS_*`` constants).  Exactly-once semantics come from
+    ``O_CREAT | O_EXCL`` on the sentinel: one process wins the claim,
+    every other execution proceeds normally."""
+    kill_path = os.environ.get(CHAOS_KILL_ENV)
+    if kill_path and _claim_sentinel(kill_path):
+        os.kill(os.getpid(), signal.SIGKILL)
+    sleep_spec = os.environ.get(CHAOS_SLEEP_ENV)
+    if sleep_spec:
+        path, _, seconds = sleep_spec.rpartition(":")
+        if path and _claim_sentinel(path):
+            time.sleep(float(seconds))
+
+
+def _claim_sentinel(path: str) -> bool:
+    """Atomically create ``path``; True only for the single winner."""
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except OSError:
+        return False
+    os.close(fd)
+    return True
 
 
 @dataclass(frozen=True, eq=False)
@@ -69,6 +111,7 @@ class SimJob:
     iterations: int = 110
     warmup: int = 10
     seed: int = 0
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         if self.iterations <= self.warmup:
@@ -77,8 +120,14 @@ class SimJob:
                 f"({self.warmup})")
 
     def fingerprint(self) -> str:
-        """Content hash identifying this job's outcome."""
-        return digest({
+        """Content hash identifying this job's outcome.
+
+        The ``faults`` field only enters the hash when a non-empty
+        schedule is attached: fault-free jobs keep the exact keys they
+        had before fault injection existed, so no cache directory is
+        invalidated by upgrading.
+        """
+        payload = {
             "version": FINGERPRINT_VERSION,
             "model": model_fingerprint(self.model),
             "cluster": cluster_fingerprint(self.cluster),
@@ -90,15 +139,21 @@ class SimJob:
             "iterations": self.iterations,
             "warmup": self.warmup,
             "seed": self.seed,
-        })
+        }
+        fault_payload = faults_fingerprint(self.faults)
+        if fault_payload is not None:
+            payload["faults"] = fault_payload
+        return digest(payload)
 
     def build_simulator(self) -> DDPSimulator:
+        """Construct the fully-configured simulator this job describes."""
         return DDPSimulator(
             self.model, self.cluster, scheme=self.scheme,
             fabric=self.fabric, config=self.config,
-            kernel_profile=self.profile)
+            kernel_profile=self.profile, faults=self.faults)
 
     def describe(self) -> str:
+        """Short human label for logs and error messages."""
         scheme_label = self.scheme.label if self.scheme else "syncsgd"
         return (f"{self.model.name} x {scheme_label} @ "
                 f"{self.cluster.world_size} GPUs")
@@ -106,26 +161,44 @@ class SimJob:
 
 @dataclass
 class JobOutcome:
-    """What one job produced: a timing result or a deterministic OOM.
+    """What one job produced: a timing result, a deterministic OOM, or
+    — after exhausting the engine's retry budget — a failure.
 
     ``exec_s`` is the simulation's own wall time inside its worker (0
     for cache hits); ``queue_wait_s`` is how long the job sat between
-    submission and a worker picking it up.
+    submission and a worker picking it up (across retries, it spans
+    submission to the *successful* attempt's start).  ``attempts``
+    counts executions: 1 for the normal case, more when the engine
+    retried a crashed/timed-out worker.
     """
 
     job: SimJob
     result: Optional[TimingResult] = None
     oom: Optional[OutOfMemoryError] = None
+    error: Optional[str] = None
     cached: bool = False
     exec_s: float = 0.0
     queue_wait_s: float = 0.0
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
+        """Whether a timing result came back."""
         return self.result is not None
 
+    @property
+    def failed(self) -> bool:
+        """Whether the engine gave up on this job (crash/timeout/error
+        through every retry) — distinct from a deterministic OOM, which
+        is a *simulation* outcome, not an engine failure."""
+        return self.error is not None
+
     def unwrap(self) -> TimingResult:
-        """The result, or re-raise the OOM the simulation hit."""
+        """The result, or re-raise the OOM / engine failure."""
+        if self.error is not None:
+            raise EngineError(
+                f"{self.job.describe()} failed after {self.attempts} "
+                f"attempt(s): {self.error}")
         if self.oom is not None:
             raise self.oom
         assert self.result is not None
@@ -136,12 +209,13 @@ def _execute_job(job: SimJob) -> Tuple[str, object, float, float]:
     """Process-pool entry point: run one job, tag the outcome.
 
     OOM is data (the sweep reports it as a row), so it travels back as a
-    value instead of an exception; anything else propagates and fails
-    the sweep loudly.  The tag carries the job's own wall time and the
-    wall-clock instant it started (``time.time``, comparable across
-    processes to ~ms precision), from which the parent derives queue
-    wait.
+    value instead of an exception; anything else propagates to the
+    parent, which retries and ultimately degrades the job to a failure
+    outcome.  The tag carries the job's own wall time and the wall-clock
+    instant it started (``time.time``, comparable across processes to
+    ~ms precision), from which the parent derives queue wait.
     """
+    _chaos_hook()
     started_unix = time.time()
     started = time.perf_counter()
     sim = job.build_simulator()
@@ -156,16 +230,24 @@ def _execute_job(job: SimJob) -> Tuple[str, object, float, float]:
 
 def _outcome_from_tagged(job: SimJob, tagged: Tuple[str, object, float, float],
                          submitted_unix: float,
-                         cached: bool = False) -> JobOutcome:
+                         cached: bool = False,
+                         attempts: int = 1) -> JobOutcome:
+    """Rehydrate a worker's tagged return into a :class:`JobOutcome`."""
     kind, payload, exec_s, started_unix = tagged
     queue_wait_s = max(0.0, started_unix - submitted_unix)
+    if kind == "error":
+        return JobOutcome(job=job, error=str(payload), cached=cached,
+                          exec_s=exec_s, queue_wait_s=queue_wait_s,
+                          attempts=attempts)
     if kind == "oom":
         message, required, budget = payload  # type: ignore[misc]
         return JobOutcome(job=job, oom=OutOfMemoryError(
             message, required_bytes=required, budget_bytes=budget),
-            cached=cached, exec_s=exec_s, queue_wait_s=queue_wait_s)
+            cached=cached, exec_s=exec_s, queue_wait_s=queue_wait_s,
+            attempts=attempts)
     return JobOutcome(job=job, result=payload, cached=cached,  # type: ignore[arg-type]
-                      exec_s=exec_s, queue_wait_s=queue_wait_s)
+                      exec_s=exec_s, queue_wait_s=queue_wait_s,
+                      attempts=attempts)
 
 
 @dataclass(frozen=True)
@@ -184,6 +266,9 @@ class EngineStats:
     exec_s_total: float
     queue_wait_s_total: float
     worker_s_total: float
+    retries: int = 0
+    failures: int = 0
+    timeouts: int = 0
 
     @property
     def mean_exec_s(self) -> float:
@@ -203,6 +288,7 @@ class EngineStats:
             "cache_hits": self.cache.hits,
             "cache_misses": self.cache.misses,
             "cache_stores": self.cache.stores,
+            "cache_quarantined": self.cache.quarantined,
             "cache_hit_rate": self.cache.hit_rate,
             "executed": self.executed,
             "jobs_completed": self.jobs_completed,
@@ -212,13 +298,21 @@ class EngineStats:
             "worker_s_total": self.worker_s_total,
             "mean_exec_s": self.mean_exec_s,
             "pool_utilization": self.pool_utilization,
+            "retries": self.retries,
+            "failures": self.failures,
+            "timeouts": self.timeouts,
         }
 
     def describe(self) -> str:
-        return (f"{self.jobs_completed} jobs ({self.executed} executed, "
+        """One-line human rendering (the CLI's post-sweep status)."""
+        text = (f"{self.jobs_completed} jobs ({self.executed} executed, "
                 f"{self.cache.describe()}), "
                 f"{self.exec_s_total:.1f} s simulating, "
                 f"{self.pool_utilization:.0%} pool utilization")
+        if self.retries or self.failures:
+            text += (f", {self.retries} retried, "
+                     f"{self.failures} failed")
+        return text
 
 
 class ExperimentEngine:
@@ -229,14 +323,41 @@ class ExperimentEngine:
         jobs: Worker process count; 1 (the default) runs in-process.
         cache: A :class:`SimulationCache`, or ``None`` to recompute
             everything.
+        max_retries: How many times a failed execution (crashed pool
+            worker, timeout, unexpected exception) is retried before
+            the job degrades to a failure outcome.  0 disables retries.
+        retry_backoff_s: Base of the exponential backoff slept before
+            retry *k* (``retry_backoff_s * 2**(k-1)`` seconds).
+        job_timeout_s: Wall-clock budget for one executed job, or
+            ``None`` (default) for no limit.  On the pool path the
+            budget is charged per submission wave: a job queued behind
+            ``k`` others on the same worker gets ``(k+1)`` budgets, so
+            queue wait does not count against it.
     """
 
     def __init__(self, jobs: int = 1,
-                 cache: Optional[SimulationCache] = None):
+                 cache: Optional[SimulationCache] = None,
+                 max_retries: int = 2,
+                 retry_backoff_s: float = 0.05,
+                 job_timeout_s: Optional[float] = None):
+        """Validate and store the execution policy (see class docstring
+        for what each knob controls)."""
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
+        if job_timeout_s is not None and job_timeout_s <= 0:
+            raise ConfigurationError(
+                f"job_timeout_s must be positive, got {job_timeout_s}")
         self.jobs = jobs
         self.cache = cache
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.job_timeout_s = job_timeout_s
         #: Simulations actually executed (cache misses) over the
         #: engine's lifetime.
         self.executed = 0
@@ -250,6 +371,13 @@ class ExperimentEngine:
         self.queue_wait_s_total = 0.0
         #: Worker-seconds allocated (workers x batch wall time).
         self.worker_s_total = 0.0
+        #: Failed executions that were re-submitted.
+        self.retries = 0
+        #: Jobs the engine ultimately gave up on (error outcomes).
+        self.failures = 0
+        #: Executions killed for exceeding ``job_timeout_s``.
+        self.timeouts = 0
+        self._log = get_logger("engine")
 
     # ----- execution ---------------------------------------------------------
 
@@ -281,23 +409,29 @@ class ExperimentEngine:
 
         miss_jobs = [batch[i] for i in miss_indices]
         workers = 1
+        retries_before = self.retries
+        timeouts_before = self.timeouts
         if miss_jobs:
             submitted_unix = time.time()
             if self.jobs > 1 and len(miss_jobs) > 1:
                 workers = min(self.jobs, len(miss_jobs),
                               (os.cpu_count() or 1))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    tagged_results = list(pool.map(_execute_job, miss_jobs))
+                tagged_results, attempt_counts = self._run_parallel(
+                    miss_jobs, workers)
             else:
-                tagged_results = [_execute_job(job) for job in miss_jobs]
+                tagged_results, attempt_counts = self._run_serial(miss_jobs)
             self.executed += len(miss_jobs)
-            for i, tagged in zip(miss_indices, tagged_results):
+            for i, tagged, attempts in zip(miss_indices, tagged_results,
+                                           attempt_counts):
                 outcome = _outcome_from_tagged(batch[i], tagged,
-                                               submitted_unix)
+                                               submitted_unix,
+                                               attempts=attempts)
                 outcomes[i] = outcome
                 self.exec_s_total += outcome.exec_s
                 self.queue_wait_s_total += outcome.queue_wait_s
-                if self.cache is not None:
+                # Engine failures are environmental (a killed worker, a
+                # hung process) — never cached, so a later run retries.
+                if self.cache is not None and not outcome.failed:
                     key = keys[i]
                     assert key is not None
                     self.cache.put(
@@ -309,10 +443,181 @@ class ExperimentEngine:
         if miss_jobs:
             self.worker_s_total += workers * batch_wall
         self.jobs_completed += len(batch)
-        self._record_batch(outcomes)
+        self._record_batch(outcomes,
+                           retries_delta=self.retries - retries_before,
+                           timeouts_delta=self.timeouts - timeouts_before)
         return [o for o in outcomes if o is not None]
 
-    def _record_batch(self, outcomes: Sequence[Optional[JobOutcome]]) -> None:
+    # ----- miss execution (serial / pooled, with retries) --------------------
+
+    def _run_serial(self, miss_jobs: Sequence[SimJob],
+                    ) -> Tuple[List[tuple], List[int]]:
+        """Execute misses in-process, retrying unexpected exceptions.
+
+        Returns ``(tagged results, attempt counts)`` aligned with
+        ``miss_jobs``.  OOM never retries (it comes back as a tagged
+        value, not an exception); anything else gets ``max_retries``
+        fresh attempts with exponential backoff before degrading to an
+        ``("error", ...)`` tag.
+        """
+        tagged: List[tuple] = []
+        attempt_counts: List[int] = []
+        for job in miss_jobs:
+            attempt = 1
+            while True:
+                try:
+                    result = _execute_job(job)
+                    break
+                except Exception as exc:  # noqa: BLE001 - retried below
+                    reason = f"{type(exc).__name__}: {exc}"
+                    if attempt > self.max_retries:
+                        self.failures += 1
+                        self._log.warning("engine.job_failed",
+                                          job=job.describe(),
+                                          attempts=attempt, reason=reason)
+                        result = ("error", reason, 0.0, time.time())
+                        break
+                    self.retries += 1
+                    self._log.warning("engine.job_retry",
+                                      job=job.describe(),
+                                      attempt=attempt, reason=reason)
+                    time.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
+                    attempt += 1
+            tagged.append(result)
+            attempt_counts.append(attempt)
+        return tagged, attempt_counts
+
+    def _run_parallel(self, miss_jobs: Sequence[SimJob], workers: int,
+                      ) -> Tuple[List[tuple], List[int]]:
+        """Execute misses on a process pool that survives dying workers.
+
+        Jobs are submitted in waves; a wave's survivors that failed
+        (``BrokenProcessPool``, an exception, or a blown
+        ``job_timeout_s`` deadline) are retried in the next wave after
+        exponential backoff, until their attempt budget runs out.  A
+        broken or deadlocked pool is killed and rebuilt between waves,
+        and jobs that were merely queued behind a hung one are
+        resubmitted without it counting against their budget.  Results
+        come back aligned with ``miss_jobs`` regardless of completion
+        order.
+        """
+        tagged: List[Optional[tuple]] = [None] * len(miss_jobs)
+        attempt_counts = [0] * len(miss_jobs)
+        pending = list(range(len(miss_jobs)))
+        wave = 0
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            while pending:
+                if wave:
+                    time.sleep(self.retry_backoff_s * 2 ** (wave - 1))
+                wave += 1
+                future_to_idx = {}
+                deadlines: Dict[object, float] = {}
+                now = time.monotonic()
+                for k, idx in enumerate(pending):
+                    attempt_counts[idx] += 1
+                    future = pool.submit(_execute_job, miss_jobs[idx])
+                    future_to_idx[future] = idx
+                    if self.job_timeout_s is not None:
+                        # Queue position k lands ~(k // workers) jobs
+                        # deep on its worker; grant a budget per slot so
+                        # queue wait is not charged against the job.
+                        deadlines[future] = now + self.job_timeout_s * (
+                            k // workers + 1)
+                retry: List[int] = []
+                not_done = set(future_to_idx)
+                rebuild = False
+                while not_done:
+                    timeout = None
+                    if deadlines:
+                        next_deadline = min(deadlines[f] for f in not_done)
+                        timeout = max(0.0, next_deadline - time.monotonic())
+                    done, not_done = wait(not_done, timeout=timeout,
+                                          return_when=FIRST_COMPLETED)
+                    broken = False
+                    for future in done:
+                        idx = future_to_idx[future]
+                        try:
+                            tagged[idx] = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            self._register_failure(
+                                idx, attempt_counts, miss_jobs, tagged,
+                                retry, "a pool worker died")
+                        except Exception as exc:  # noqa: BLE001
+                            self._register_failure(
+                                idx, attempt_counts, miss_jobs, tagged,
+                                retry, f"{type(exc).__name__}: {exc}")
+                    if broken:
+                        # The pool is unusable; every in-flight future is
+                        # lost with it.  Fail them over to the next wave.
+                        for future in not_done:
+                            self._register_failure(
+                                future_to_idx[future], attempt_counts,
+                                miss_jobs, tagged, retry,
+                                "a pool worker died")
+                        not_done = set()
+                        rebuild = True
+                    elif not done and not_done:
+                        # wait() timed out: at least one deadline blew.
+                        now = time.monotonic()
+                        for future in list(not_done):
+                            if deadlines.get(future, float("inf")) <= now:
+                                idx = future_to_idx[future]
+                                self.timeouts += 1
+                                self._register_failure(
+                                    idx, attempt_counts, miss_jobs,
+                                    tagged, retry,
+                                    f"timed out after "
+                                    f"{self.job_timeout_s:g} s")
+                                not_done.discard(future)
+                        # The hung worker still holds its process; only a
+                        # pool teardown reclaims it.  Collateral jobs are
+                        # resubmitted for free.
+                        for future in not_done:
+                            idx = future_to_idx[future]
+                            attempt_counts[idx] -= 1
+                            retry.append(idx)
+                        not_done = set()
+                        rebuild = True
+                if rebuild:
+                    self._kill_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                pending = sorted(retry)
+        finally:
+            self._kill_pool(pool)
+        return tagged, attempt_counts  # type: ignore[return-value]
+
+    def _register_failure(self, idx: int, attempt_counts: List[int],
+                          miss_jobs: Sequence[SimJob],
+                          tagged: List[Optional[tuple]],
+                          retry: List[int], reason: str) -> None:
+        """Route one failed execution: resubmit it, or give up and
+        degrade it to an ``("error", ...)`` outcome."""
+        job = miss_jobs[idx]
+        if attempt_counts[idx] > self.max_retries:
+            self.failures += 1
+            self._log.warning("engine.job_failed", job=job.describe(),
+                              attempts=attempt_counts[idx], reason=reason)
+            tagged[idx] = ("error", reason, 0.0, time.time())
+        else:
+            self.retries += 1
+            self._log.warning("engine.job_retry", job=job.describe(),
+                              attempt=attempt_counts[idx], reason=reason)
+            retry.append(idx)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting on hung or dead workers."""
+        pool.shutdown(wait=False, cancel_futures=True)
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            if proc.is_alive():
+                proc.terminate()
+
+    def _record_batch(self, outcomes: Sequence[Optional[JobOutcome]],
+                      retries_delta: int = 0,
+                      timeouts_delta: int = 0) -> None:
         """Mirror one batch's outcomes into the telemetry registry."""
         registry = get_registry()
         if not registry.enabled:
@@ -325,11 +630,17 @@ class ExperimentEngine:
                 cached=str(outcome.cached).lower()).inc()
             if outcome.oom is not None:
                 registry.counter("engine_oom_outcomes_total").inc()
+            if outcome.failed:
+                registry.counter("engine_failed_jobs_total").inc()
             if not outcome.cached:
                 registry.histogram("engine_job_exec_s").observe(
                     outcome.exec_s)
                 registry.histogram("engine_queue_wait_s").observe(
                     outcome.queue_wait_s)
+        if retries_delta:
+            registry.counter("engine_retries_total").inc(retries_delta)
+        if timeouts_delta:
+            registry.counter("engine_timeouts_total").inc(timeouts_delta)
         registry.gauge("engine_pool_utilization").set(
             self.stats().pool_utilization)
 
@@ -355,4 +666,7 @@ class ExperimentEngine:
             exec_s_total=self.exec_s_total,
             queue_wait_s_total=self.queue_wait_s_total,
             worker_s_total=self.worker_s_total,
+            retries=self.retries,
+            failures=self.failures,
+            timeouts=self.timeouts,
         )

@@ -28,6 +28,7 @@ from typing import Any, Dict, Optional
 
 from ..compression.kernel_cost import KernelProfile
 from ..compression.schemes import Scheme
+from ..faults import FaultSchedule
 from ..hardware import ClusterConfig
 from ..models import ModelSpec
 from ..network import Fabric
@@ -86,6 +87,7 @@ def scheme_fingerprint(scheme: Optional[Scheme]) -> Dict[str, Any]:
 
 
 def cluster_fingerprint(cluster: ClusterConfig) -> Dict[str, Any]:
+    """Cluster identity: topology, seed, instance and GPU parameters."""
     instance = cluster.instance
     gpu = instance.gpu
     return {
@@ -128,6 +130,7 @@ def fabric_fingerprint(fabric: Optional[Fabric]) -> Dict[str, Any]:
 
 
 def profile_fingerprint(profile: Optional[KernelProfile]) -> Dict[str, Any]:
+    """Kernel-cost profile parameters (``None`` = simulator default)."""
     if profile is None:
         return {"default": True}
     payload = asdict(profile)
@@ -136,7 +139,24 @@ def profile_fingerprint(profile: Optional[KernelProfile]) -> Dict[str, Any]:
 
 
 def config_fingerprint(config: Optional[DDPConfig]) -> Dict[str, Any]:
+    """All :class:`DDPConfig` knobs (``None`` hashes as the default)."""
     return asdict(config if config is not None else DDPConfig())
+
+
+def faults_fingerprint(faults: Optional[FaultSchedule],
+                       ) -> Optional[Dict[str, Any]]:
+    """The schedule's full payload, or ``None`` when there is nothing
+    to inject.
+
+    ``None`` and an *empty* schedule both return ``None`` — the
+    simulator treats them identically, so they must share a cache key;
+    and a fault-free job's key must stay byte-for-byte what it was
+    before fault injection existed (``SimJob.fingerprint`` omits the
+    ``faults`` field entirely in that case).
+    """
+    if faults is None or faults.is_empty:
+        return None
+    return faults.fingerprint_payload()
 
 
 def canonical_json(payload: Any) -> str:

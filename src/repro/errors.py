@@ -31,6 +31,15 @@ class OutOfMemoryError(ReproError):
         self.budget_bytes = budget_bytes
 
 
+class EngineError(ReproError):
+    """The experiment engine gave up on a job after exhausting retries.
+
+    Carries the final failure's description; the sweep that submitted the
+    job keeps running and reports the failure as a degraded row instead
+    of dying wholesale.
+    """
+
+
 class CollectiveError(ReproError):
     """A collective was invoked with inconsistent per-worker inputs."""
 

@@ -26,6 +26,7 @@ from .runner import (
     scaling_clusters,
     speedup,
 )
+from .reliability import run_reliability
 from .scaling import PAPER_WORKLOADS, run_scaling_sweep
 from .table1_classification import PAPER_TABLE1, run_table1
 from .table2_encode_decode import run_table2
@@ -49,6 +50,13 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "ext-tta": run_ext_tta,
 }
 
+#: Exhibits beyond the paper's own tables/figures.  They are runnable
+#: by id from the CLI but excluded from ``repro experiment all`` so the
+#: canonical reproduction output stays byte-identical across versions.
+EXTRA_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "reliability": run_reliability,
+}
+
 __all__ = [
     "ExperimentResult", "scaling_clusters", "speedup", "PAPER_GPU_SWEEP",
     "PAPER_WORKLOADS", "run_scaling_sweep",
@@ -56,5 +64,6 @@ __all__ = [
     "run_fig3", "run_fig4", "run_fig5", "run_fig6", "run_fig7",
     "run_fig8", "median_errors", "run_fig9", "run_fig10", "run_fig11",
     "run_fig12", "run_fig13", "run_ext_tta", "run_fig2",
-    "EXPERIMENTS",
+    "run_reliability",
+    "EXPERIMENTS", "EXTRA_EXPERIMENTS",
 ]

@@ -61,10 +61,30 @@ def run_scaling_sweep(experiment_id: str, title: str,
 
     rows: List[Dict[str, Any]] = []
     notes: List[str] = []
+    oom_rows = 0
     for outcome in eng.run_outcomes(jobs):
         job = outcome.job
         scheme_label = job.scheme.label if job.scheme else "syncsgd"
+        if outcome.failed:
+            # The engine gave up on this job (crashed workers through
+            # every retry, a timeout): report a degraded row rather
+            # than losing the whole sweep.
+            rows.append({
+                "model": job.model.name,
+                "scheme": scheme_label,
+                "gpus": job.cluster.world_size,
+                "batch_size": job.batch_size,
+                "mean_ms": float("nan"),
+                "std_ms": float("nan"),
+                "oom": False,
+            })
+            notes.append(
+                f"failed: {job.model.name}/{scheme_label} at "
+                f"{job.cluster.world_size} GPUs after "
+                f"{outcome.attempts} attempt(s): {outcome.error}")
+            continue
         if outcome.oom is not None:
+            oom_rows += 1
             rows.append({
                 "model": job.model.name,
                 "scheme": scheme_label,
@@ -94,7 +114,7 @@ def run_scaling_sweep(experiment_id: str, title: str,
         registry.counter("experiment_rows_total",
                          experiment_id=experiment_id).inc(len(rows))
         registry.counter("experiment_oom_rows_total",
-                         experiment_id=experiment_id).inc(len(notes))
+                         experiment_id=experiment_id).inc(oom_rows)
     return ExperimentResult(
         experiment_id=experiment_id,
         title=title,

@@ -1,0 +1,277 @@
+"""Resolving a :class:`FaultSchedule` into per-iteration fault state.
+
+The :class:`~repro.simulator.DDPSimulator` asks the injector one
+question per iteration — :meth:`FaultInjector.faults_for` — and gets
+back an :class:`IterationFaults`: the compute stretch the slowest
+straggler imposes, the effective bandwidth scale after every active
+link/NIC fault is applied to the fabric's matrix, the surviving world
+size under elastic recovery, any recovery stall, and the active
+retransmit policy.
+
+Determinism rules:
+
+* the injector owns its own RNG space — retransmit draws come from a
+  generator seeded by ``(schedule seed, iteration, transfer index)``,
+  never from the simulator's jitter stream, so attaching faults does
+  not perturb jitter and parallel sweeps replay identically;
+* everything else is a pure function of the schedule and the iteration
+  index, memoized per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hardware import ClusterConfig
+from ..network import Fabric
+from ..telemetry.metrics import get_registry
+from .schedule import FaultSchedule, RetransmitFault
+
+#: Stream name for fault-window spans in iteration traces; the Perfetto
+#: exporter allocates it a track automatically, so fault windows show up
+#: as a third timeline row next to ``compute`` and ``comm``.
+FAULT_STREAM = "faults"
+
+
+@dataclass(frozen=True)
+class IterationFaults:
+    """The resolved fault state of one simulated iteration.
+
+    Attributes:
+        iteration: The 0-based absolute iteration index.
+        compute_slowdown: Compute stretch factor (>= 1); lockstep
+            training runs at the slowest straggler's pace.
+        bandwidth_scale: Multiplier (<= 1) on the fabric's pairwise
+            minimum bandwidth after active link/NIC faults.
+        world_size: Workers actually participating (reduced by elastic
+            crash recovery; never below 1).
+        stall_s: Recovery stall charged at the start of the iteration
+            (crash restart / elastic reconfiguration).
+        stall_label: Trace label for the stall span (``None`` = none).
+        retransmit: The active retransmit policy, if any.
+        active: Labels of every active fault, for trace fault-window
+            spans and telemetry (sorted, low cardinality).
+    """
+
+    iteration: int
+    compute_slowdown: float
+    bandwidth_scale: float
+    world_size: int
+    stall_s: float
+    stall_label: Optional[str]
+    retransmit: Optional[RetransmitFault]
+    active: Tuple[str, ...]
+
+    @property
+    def degraded(self) -> bool:
+        """Whether anything at all is wrong this iteration."""
+        return bool(self.active) or self.stall_s > 0
+
+
+class FaultInjector:
+    """Binds a :class:`FaultSchedule` to one cluster + fabric.
+
+    Construction validates the schedule against the topology (a
+    straggler on worker 12 of an 8-GPU job is a spec error, not a
+    silent no-op) and snapshots the fault-free minimum bandwidth so
+    per-iteration scales are computed against the true baseline.
+    """
+
+    def __init__(self, schedule: FaultSchedule, cluster: ClusterConfig,
+                 fabric: Fabric):
+        """Validate ``schedule`` against the topology and bind it."""
+        self.schedule = schedule
+        self.cluster = cluster
+        self.fabric = fabric
+        self._validate_topology()
+        self._base_min_bw = fabric.min_bandwidth()
+        self._cache: Dict[int, IterationFaults] = {}
+        #: Counters the CLI prints after a faulted run; mirrored into
+        #: telemetry when a registry is enabled.
+        self.retransmits_injected = 0
+        self.retransmit_delay_s = 0.0
+
+    def _validate_topology(self) -> None:
+        """Reject faults referencing workers/nodes the cluster lacks."""
+        p = self.cluster.world_size
+        n = self.cluster.num_nodes
+        for s in self.schedule.stragglers:
+            if s.worker >= p:
+                raise ConfigurationError(
+                    f"straggler worker {s.worker} out of range for "
+                    f"{p} workers")
+        for c in self.schedule.crashes:
+            if c.worker >= p:
+                raise ConfigurationError(
+                    f"crash worker {c.worker} out of range for "
+                    f"{p} workers")
+        for link in self.schedule.links:
+            if link.node_a >= n or link.node_b >= n:
+                raise ConfigurationError(
+                    f"link fault ({link.node_a}, {link.node_b}) out of "
+                    f"range for {n} nodes")
+        for node in self.schedule.nodes:
+            if node.node >= n:
+                raise ConfigurationError(
+                    f"node fault {node.node} out of range for {n} nodes")
+
+    # ----- per-iteration resolution ----------------------------------------
+
+    def faults_for(self, iteration: int) -> IterationFaults:
+        """The resolved fault state of ``iteration`` (memoized)."""
+        state = self._cache.get(iteration)
+        if state is None:
+            state = self._resolve(iteration)
+            self._cache[iteration] = state
+        return state
+
+    def _resolve(self, iteration: int) -> IterationFaults:
+        """Compute one iteration's fault state from the schedule."""
+        active = []
+
+        slowdown = 1.0
+        for s in self.schedule.stragglers:
+            if s.active(iteration) and not self._crashed_out(
+                    s.worker, iteration):
+                slowdown = max(slowdown, s.slowdown)
+                active.append("straggler")
+
+        bw_scale = self._bandwidth_scale(iteration)
+        if bw_scale < 1.0:
+            active.append("degraded-link")
+
+        world = self.cluster.world_size
+        stall_s = 0.0
+        stall_label = None
+        for c in self.schedule.crashes:
+            if c.recovery == "elastic" and iteration >= c.at_iteration:
+                world -= 1
+            if iteration == c.at_iteration:
+                stall_s += c.stall_s
+                stall_label = f"crash-{c.recovery}"
+                active.append(f"crash-{c.recovery}")
+        world = max(1, world)
+
+        retransmit = None
+        for r in self.schedule.retransmits:
+            if r.active(iteration):
+                # With several overlapping policies the harshest wins —
+                # modelling independent loss processes would need a
+                # combined rate anyway, and one policy is the 99% case.
+                if retransmit is None or r.drop_rate > retransmit.drop_rate:
+                    retransmit = r
+        if retransmit is not None:
+            active.append("retransmit-risk")
+
+        return IterationFaults(
+            iteration=iteration,
+            compute_slowdown=slowdown,
+            bandwidth_scale=bw_scale,
+            world_size=world,
+            stall_s=stall_s,
+            stall_label=stall_label,
+            retransmit=retransmit,
+            active=tuple(sorted(set(active))),
+        )
+
+    def _crashed_out(self, worker: int, iteration: int) -> bool:
+        """Whether ``worker`` has been elastically dropped by now (a
+        dropped straggler stops straggling — the silver lining)."""
+        return any(c.worker == worker and c.recovery == "elastic"
+                   and iteration >= c.at_iteration
+                   for c in self.schedule.crashes)
+
+    def _bandwidth_scale(self, iteration: int) -> float:
+        """Effective min-bandwidth multiplier after active link faults.
+
+        Applies every active link/NIC factor to a copy of the fabric's
+        pairwise matrix and re-takes the minimum — exactly the paper's
+        probe-and-take-minimum methodology, run against the degraded
+        fabric.  Clusters are small (<= a few dozen nodes), so the
+        O(n^2) copy per *distinct* fault pattern is negligible.
+        """
+        n = self.cluster.num_nodes
+        if n <= 1:
+            return 1.0
+        active_links = [f for f in self.schedule.links
+                        if f.active(iteration)]
+        active_nodes = [f for f in self.schedule.nodes
+                        if f.active(iteration)]
+        if not active_links and not active_nodes:
+            return 1.0
+        matrix = np.array(
+            [[self.fabric.pair_bandwidth(a, b) if a != b else np.inf
+              for b in range(n)] for a in range(n)])
+        for link in active_links:
+            matrix[link.node_a, link.node_b] *= link.factor
+            matrix[link.node_b, link.node_a] *= link.factor
+        for node in active_nodes:
+            for other in range(n):
+                if other != node.node:
+                    matrix[node.node, other] *= node.factor
+                    matrix[other, node.node] *= node.factor
+        return float(matrix.min()) / self._base_min_bw
+
+    # ----- retransmits ------------------------------------------------------
+
+    def retransmit_delay(self, iteration: int, transfer_index: int,
+                         base_duration_s: float) -> Tuple[float, int]:
+        """Extra seconds a transfer pays to loss this iteration.
+
+        Returns ``(delay_s, replays)``.  Each attempt drops with the
+        policy's ``drop_rate``; attempt *k*'s failure costs a timeout of
+        ``timeout_s * backoff**(k-1)`` plus a full replay of the
+        transfer (the α+β cost again).  After ``max_retries`` failures
+        the transfer is forced through.  The draw stream is seeded by
+        ``(schedule seed, iteration, transfer_index)``, so it is
+        reproducible and independent of the jitter RNG.
+        """
+        state = self.faults_for(iteration)
+        policy = state.retransmit
+        if policy is None or policy.drop_rate == 0.0:
+            return 0.0, 0
+        rng = np.random.default_rng(
+            (self.schedule.seed, iteration, transfer_index))
+        delay = 0.0
+        replays = 0
+        while replays < policy.max_retries:
+            if rng.random() >= policy.drop_rate:
+                break
+            delay += (policy.timeout_s * policy.backoff ** replays
+                      + base_duration_s)
+            replays += 1
+        if replays:
+            self.retransmits_injected += replays
+            self.retransmit_delay_s += delay
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("sim_fault_retransmits_total").inc(replays)
+                registry.histogram("sim_fault_retransmit_delay_s").observe(
+                    delay)
+        return delay, replays
+
+    # ----- reporting --------------------------------------------------------
+
+    def record_iteration(self, state: IterationFaults) -> None:
+        """Mirror one iteration's fault state into telemetry (enabled
+        registries only; pure counter writes, no RNG interaction)."""
+        registry = get_registry()
+        if not registry.enabled or not state.degraded:
+            return
+        registry.counter("sim_fault_degraded_iterations_total").inc()
+        for label in state.active:
+            # "crash-restart" -> "crash": keep label cardinality tiny.
+            kind = label.split("-")[0]
+            registry.counter("sim_faults_active_total", kind=kind).inc()
+        if state.stall_s > 0:
+            registry.counter("sim_fault_stall_s_total").inc(state.stall_s)
+
+    def summary(self) -> str:
+        """One-line post-run summary for the CLI."""
+        return (f"faults: {self.schedule.describe()}; "
+                f"{self.retransmits_injected} retransmits "
+                f"(+{self.retransmit_delay_s * 1e3:.1f} ms)")

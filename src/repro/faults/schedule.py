@@ -1,0 +1,416 @@
+"""Declarative fault schedules: what goes wrong, where, and when.
+
+A :class:`FaultSchedule` is a frozen value object — tuples of fault
+records plus a seed for the stochastic faults (retransmits).  It is the
+unit of reproducibility: the schedule travels inside
+:class:`~repro.engine.SimJob`, contributes to the job's content
+fingerprint (so cached results can never be served across different
+fault scenarios), and round-trips losslessly through JSON for the
+``repro simulate --faults spec.json`` CLI.
+
+Iteration indices are **0-based and absolute**: warmup iterations
+count, so a fault at iteration 0 affects the very first simulated
+iteration (which the measurement protocol then discards with the rest
+of the warmup).
+
+The JSON schema is documented in ``docs/faults.md``; every field name
+below matches its JSON key exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+
+def _check_window(name: str, start: int, duration: Optional[int],
+                  period: Optional[int] = None) -> None:
+    """Validate a fault's activity window (shared by all fault kinds)."""
+    if start < 0:
+        raise ConfigurationError(
+            f"{name}: start_iteration must be >= 0, got {start}")
+    if duration is not None and duration <= 0:
+        raise ConfigurationError(
+            f"{name}: duration_iterations must be > 0 or None "
+            f"(persistent), got {duration}")
+    if period is not None:
+        if duration is None:
+            raise ConfigurationError(
+                f"{name}: a flapping fault (period_iterations set) needs "
+                f"a finite duration_iterations")
+        if period <= duration:
+            raise ConfigurationError(
+                f"{name}: period_iterations ({period}) must exceed "
+                f"duration_iterations ({duration}) — otherwise the fault "
+                f"is simply persistent")
+
+
+def _window_active(iteration: int, start: int, duration: Optional[int],
+                   period: Optional[int] = None) -> bool:
+    """Whether a (start, duration, period) window covers ``iteration``."""
+    if iteration < start:
+        return False
+    offset = iteration - start
+    if period is not None:
+        offset %= period
+    return duration is None or offset < duration
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """A worker whose *compute* runs slow (thermal throttling, noisy
+    neighbour, a dying GPU).
+
+    In lockstep data-parallel training every collective waits for the
+    slowest participant, so one straggling worker stretches the whole
+    iteration's compute by ``slowdown``.
+
+    Attributes:
+        worker: Global rank of the straggling worker.
+        slowdown: Compute stretch factor (> 1; 2.0 = half speed).
+        start_iteration: First affected iteration (0-based, absolute).
+        duration_iterations: Window length; ``None`` = persistent.
+    """
+
+    worker: int
+    slowdown: float
+    start_iteration: int = 0
+    duration_iterations: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ConfigurationError(
+                f"straggler worker must be >= 0, got {self.worker}")
+        if self.slowdown <= 1.0:
+            raise ConfigurationError(
+                f"straggler slowdown must be > 1, got {self.slowdown}")
+        _check_window("straggler", self.start_iteration,
+                      self.duration_iterations)
+
+    def active(self, iteration: int) -> bool:
+        """Whether this fault affects ``iteration``."""
+        return _window_active(iteration, self.start_iteration,
+                              self.duration_iterations)
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One inter-node link running below nominal bandwidth.
+
+    Set ``period_iterations`` to make the link *flap*: degraded for
+    ``duration_iterations`` out of every ``period_iterations``, healthy
+    in between — the "sometimes fine, sometimes terrible" pattern that
+    makes real incidents hard to localize.
+
+    Attributes:
+        node_a: One endpoint (node index).
+        node_b: The other endpoint.
+        factor: Bandwidth multiplier in (0, 1] while active.
+        start_iteration: First affected iteration.
+        duration_iterations: Degraded window length; ``None`` = persistent.
+        period_iterations: Flap period; ``None`` = a single window.
+    """
+
+    node_a: int
+    node_b: int
+    factor: float
+    start_iteration: int = 0
+    duration_iterations: Optional[int] = None
+    period_iterations: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.node_a < 0 or self.node_b < 0:
+            raise ConfigurationError("link endpoints must be >= 0")
+        if self.node_a == self.node_b:
+            raise ConfigurationError(
+                f"link fault endpoints must differ, got node "
+                f"{self.node_a} twice")
+        if not 0 < self.factor <= 1:
+            raise ConfigurationError(
+                f"link factor must be in (0, 1], got {self.factor}")
+        _check_window("link", self.start_iteration,
+                      self.duration_iterations, self.period_iterations)
+
+    def active(self, iteration: int) -> bool:
+        """Whether the link is degraded during ``iteration``."""
+        return _window_active(iteration, self.start_iteration,
+                              self.duration_iterations,
+                              self.period_iterations)
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """Every link touching one node degraded — a straggler NIC.
+
+    This is the network-side straggler the paper's pre-run iperf
+    methodology exists to catch: collectives run at the pace of the
+    pairwise *minimum* bandwidth, so one bad NIC drags the whole ring.
+
+    Attributes:
+        node: The affected node index.
+        factor: Bandwidth multiplier in (0, 1] while active.
+        start_iteration: First affected iteration.
+        duration_iterations: Window length; ``None`` = persistent.
+        period_iterations: Flap period; ``None`` = a single window.
+    """
+
+    node: int
+    factor: float
+    start_iteration: int = 0
+    duration_iterations: Optional[int] = None
+    period_iterations: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigurationError(
+                f"node must be >= 0, got {self.node}")
+        if not 0 < self.factor <= 1:
+            raise ConfigurationError(
+                f"node factor must be in (0, 1], got {self.factor}")
+        _check_window("node", self.start_iteration,
+                      self.duration_iterations, self.period_iterations)
+
+    def active(self, iteration: int) -> bool:
+        """Whether the NIC is degraded during ``iteration``."""
+        return _window_active(iteration, self.start_iteration,
+                              self.duration_iterations,
+                              self.period_iterations)
+
+
+@dataclass(frozen=True)
+class RetransmitFault:
+    """Gradient transfers that occasionally need to be re-sent.
+
+    Each communication span independently "drops" with probability
+    ``drop_rate`` per attempt (drawn from the schedule's seeded RNG, so
+    the pattern is reproducible).  A dropped transfer costs a timeout —
+    growing by ``backoff`` per consecutive failure — plus a full α+β
+    replay of the transfer itself, which is how TCP-level loss actually
+    bills a collective.
+
+    Attributes:
+        drop_rate: Per-attempt drop probability in [0, 1).
+        timeout_s: Detection timeout before the first retransmit.
+        backoff: Multiplier on the timeout per consecutive failure (>= 1).
+        max_retries: Attempts after which the transfer is forced through
+            (the fabric eventually delivers; training never wedges).
+        start_iteration: First affected iteration.
+        duration_iterations: Window length; ``None`` = persistent.
+    """
+
+    drop_rate: float
+    timeout_s: float = 2e-3
+    backoff: float = 2.0
+    max_retries: int = 5
+    start_iteration: int = 0
+    duration_iterations: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.drop_rate < 1:
+            raise ConfigurationError(
+                f"drop_rate must be in [0, 1), got {self.drop_rate}")
+        if self.timeout_s < 0:
+            raise ConfigurationError(
+                f"timeout_s must be >= 0, got {self.timeout_s}")
+        if self.backoff < 1:
+            raise ConfigurationError(
+                f"backoff must be >= 1, got {self.backoff}")
+        if self.max_retries < 1:
+            raise ConfigurationError(
+                f"max_retries must be >= 1, got {self.max_retries}")
+        _check_window("retransmit", self.start_iteration,
+                      self.duration_iterations)
+
+    def active(self, iteration: int) -> bool:
+        """Whether transfers can drop during ``iteration``."""
+        return _window_active(iteration, self.start_iteration,
+                              self.duration_iterations)
+
+
+#: Crash recovery policies: restart the worker and replay the iteration
+#: from its checkpoint, or reconfigure elastically to n-1 workers.
+RECOVERY_POLICIES = ("restart", "elastic")
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """A worker process dies at the start of an iteration.
+
+    Two recovery policies, mirroring what real systems do:
+
+    * ``"restart"`` — the worker is relaunched and rejoins from the
+      current iteration; everyone stalls for ``stall_s`` (process
+      launch + NCCL re-init + checkpoint load), then training resumes
+      at full world size;
+    * ``"elastic"`` — the job reconfigures to ``n - 1`` workers (a
+      torchelastic-style membership change costing ``stall_s`` once)
+      and *stays* at the reduced size for the rest of the run, which
+      changes every subsequent collective's cost.
+
+    Attributes:
+        worker: Global rank of the crashing worker.
+        at_iteration: Iteration at whose start the crash hits.
+        recovery: ``"restart"`` or ``"elastic"``.
+        stall_s: Simulated recovery stall, charged once at
+            ``at_iteration``.
+    """
+
+    worker: int
+    at_iteration: int
+    recovery: str = "restart"
+    stall_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ConfigurationError(
+                f"crash worker must be >= 0, got {self.worker}")
+        if self.at_iteration < 0:
+            raise ConfigurationError(
+                f"at_iteration must be >= 0, got {self.at_iteration}")
+        if self.recovery not in RECOVERY_POLICIES:
+            raise ConfigurationError(
+                f"unknown recovery policy {self.recovery!r} "
+                f"(choose from {RECOVERY_POLICIES})")
+        if self.stall_s < 0:
+            raise ConfigurationError(
+                f"stall_s must be >= 0, got {self.stall_s}")
+
+
+#: JSON keys of the schedule's fault lists, in serialization order.
+_FAULT_FIELDS: Tuple[Tuple[str, type], ...] = (
+    ("stragglers", StragglerFault),
+    ("links", LinkFault),
+    ("nodes", NodeFault),
+    ("retransmits", RetransmitFault),
+    ("crashes", CrashFault),
+)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Everything that goes wrong during one simulated run.
+
+    Attributes:
+        seed: Seed for the schedule's own RNG (retransmit draws).  Kept
+            separate from the simulator's jitter RNG so that attaching
+            faults never perturbs the jitter stream.
+        stragglers: Compute-side stragglers.
+        links: Degraded / flapping inter-node links.
+        nodes: Straggler NICs (whole-node degradation).
+        retransmits: Transfer-drop policies.
+        crashes: Worker crashes with recovery policies.
+    """
+
+    seed: int = 0
+    stragglers: Tuple[StragglerFault, ...] = ()
+    links: Tuple[LinkFault, ...] = ()
+    nodes: Tuple[NodeFault, ...] = ()
+    retransmits: Tuple[RetransmitFault, ...] = ()
+    crashes: Tuple[CrashFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name, _ in _FAULT_FIELDS:
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                # Accept lists for ergonomic construction; store tuples
+                # so the schedule stays hashable and immutable.
+                object.__setattr__(self, name, tuple(value))
+        crashed = [c.worker for c in self.crashes]
+        if len(crashed) != len(set(crashed)):
+            raise ConfigurationError(
+                "at most one crash per worker (a restarted worker "
+                "crashing again is a second schedule entry away from "
+                "being ambiguous about ordering)")
+
+    # ----- introspection ----------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the schedule contains no faults at all.
+
+        An empty schedule is the identity: the simulator treats it
+        exactly like ``faults=None`` (same RNG stream, same cache key).
+        """
+        return not any(getattr(self, name) for name, _ in _FAULT_FIELDS)
+
+    def count(self) -> int:
+        """Total number of fault records."""
+        return sum(len(getattr(self, name)) for name, _ in _FAULT_FIELDS)
+
+    def describe(self) -> str:
+        """One-line human summary (CLI and logs)."""
+        if self.is_empty:
+            return "no faults"
+        parts = [f"{len(getattr(self, name))} {name}"
+                 for name, _ in _FAULT_FIELDS if getattr(self, name)]
+        return ", ".join(parts) + f" (seed {self.seed})"
+
+    # ----- serialization ----------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable dict (the ``--faults`` file format)."""
+        payload: Dict[str, Any] = {"seed": self.seed}
+        for name, _ in _FAULT_FIELDS:
+            faults = getattr(self, name)
+            if faults:
+                payload[name] = [asdict(f) for f in faults]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FaultSchedule":
+        """Parse the dict form produced by :meth:`to_payload`."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"fault schedule must be a JSON object, got "
+                f"{type(payload).__name__}")
+        known = {"seed"} | {name for name, _ in _FAULT_FIELDS}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault schedule keys {unknown} "
+                f"(known: {sorted(known)})")
+        kwargs: Dict[str, Any] = {"seed": int(payload.get("seed", 0))}
+        for name, fault_cls in _FAULT_FIELDS:
+            entries = payload.get(name, [])
+            try:
+                kwargs[name] = tuple(fault_cls(**e) for e in entries)
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"bad {name} entry: {exc}")
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        """Serialize to the documented JSON schema."""
+        return json.dumps(self.to_payload(), indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        """Parse a schedule from JSON text."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid fault schedule JSON: {exc}")
+        return cls.from_payload(payload)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultSchedule":
+        """Read a schedule from a JSON file (the CLI's ``--faults``)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return cls.from_json(handle.read())
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read fault schedule {path!r}: {exc}")
+
+    def save(self, path: str) -> None:
+        """Write the JSON form to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    def fingerprint_payload(self) -> Dict[str, Any]:
+        """What the engine's content fingerprint hashes for this
+        schedule — the full payload; any field change is a new key."""
+        return self.to_payload()

@@ -44,6 +44,7 @@ from ..collectives import (
 )
 from ..compute import ComputeModel
 from ..errors import ConfigurationError, OutOfMemoryError, SimulationError
+from ..faults import FAULT_STREAM, FaultInjector, FaultSchedule, IterationFaults
 from ..hardware import ClusterConfig
 from ..models import ModelSpec
 from ..network import Fabric
@@ -159,7 +160,8 @@ class DDPSimulator:
                  scheme: Optional[Scheme] = None,
                  fabric: Optional[Fabric] = None,
                  config: Optional[DDPConfig] = None,
-                 kernel_profile: Optional[KernelProfile] = None):
+                 kernel_profile: Optional[KernelProfile] = None,
+                 faults: Optional[FaultSchedule] = None):
         self.model = model
         self.cluster = cluster
         self.scheme: Scheme = scheme if scheme is not None else SyncSGDScheme()
@@ -174,21 +176,35 @@ class DDPSimulator:
                         else v100_kernel_profile())
         self.compute = ComputeModel(model, cluster.gpu)
         self._is_baseline = isinstance(self.scheme, SyncSGDScheme)
+        self.faults = faults
+        # An empty schedule is the identity — no injector, so the code
+        # path (and therefore the RNG stream and every cache key) is
+        # exactly the fault-free one.
+        self._injector: Optional[FaultInjector] = (
+            FaultInjector(faults, cluster, self.fabric)
+            if faults is not None and not faults.is_empty else None)
+        #: Public handle on the fault injector (``None`` when the run
+        #: is fault-free); the CLI prints its post-run summary.
+        self.injector = self._injector
         # Per-simulator caches for the 110-iteration hot loop: the scheme
         # cost, the DDP bucket plan and the un-jittered backward layer
         # times depend only on construction-time state, so they are
-        # computed once instead of once per simulated iteration.
-        self._cost_cache: Optional[SchemeCost] = None
+        # computed once instead of once per simulated iteration.  Scheme
+        # cost is keyed by world size because elastic crash recovery can
+        # shrink the active world mid-run.
+        self._cost_cache: dict = {}
         self._bucket_plan: Optional[Tuple[List[float], List[int]]] = None
         self._bwd_base_cache: dict = {}
 
-    def _scheme_cost(self) -> SchemeCost:
-        """The scheme's cost for this simulator's model and world size
-        (memoized; model, scheme, world size and profile are fixed)."""
-        if self._cost_cache is None:
-            self._cost_cache = self.scheme.cost(
-                self.model, self.cluster.world_size, self.profile)
-        return self._cost_cache
+    def _scheme_cost(self, world_size: Optional[int] = None) -> SchemeCost:
+        """The scheme's cost for this simulator's model at a world size
+        (memoized per size; defaults to the cluster's full size)."""
+        p = world_size if world_size is not None else self.cluster.world_size
+        cost = self._cost_cache.get(p)
+        if cost is None:
+            cost = self.scheme.cost(self.model, p, self.profile)
+            self._cost_cache[p] = cost
+        return cost
 
     def _baseline_bucket_plan(self) -> Tuple[List[float], List[int]]:
         """Bucket sizes and the backward-order index of each bucket's
@@ -235,13 +251,17 @@ class DDPSimulator:
 
     # ----- communication pricing ----------------------------------------------
 
-    def _allreduce_time(self, num_bytes: float) -> float:
-        p = self.cluster.world_size
-        bw = self.fabric.min_bandwidth()
+    def _allreduce_time(self, num_bytes: float,
+                        world_size: Optional[int] = None,
+                        bw_scale: float = 1.0) -> float:
+        p = world_size if world_size is not None else self.cluster.world_size
+        bw = self.fabric.min_bandwidth() * bw_scale
         alpha = self.fabric.alpha_s
         if self.config.allreduce_algorithm == "double_tree":
             return double_tree_allreduce_time(num_bytes, p, bw, alpha)
         if self.config.allreduce_algorithm == "hierarchical":
+            # Elastic world-size changes keep the node topology here;
+            # the degraded-bandwidth scale still applies.
             return hierarchical_allreduce_time(
                 num_bytes, self.cluster.num_nodes,
                 self.cluster.instance.gpus_per_node, bw,
@@ -252,27 +272,33 @@ class DDPSimulator:
                 incast_factor=self.fabric.incast_factor(max(1, p - 1)))
         return ring_allreduce_time(num_bytes, p, bw, alpha)
 
-    def _allgather_time(self, num_bytes: float) -> float:
-        p = self.cluster.world_size
+    def _allgather_time(self, num_bytes: float,
+                        world_size: Optional[int] = None,
+                        bw_scale: float = 1.0) -> float:
+        p = world_size if world_size is not None else self.cluster.world_size
         return allgather_time(
-            num_bytes, p, self.fabric.min_bandwidth(), self.fabric.alpha_s,
+            num_bytes, p, self.fabric.min_bandwidth() * bw_scale,
+            self.fabric.alpha_s,
             incast_factor=self.fabric.incast_factor(max(1, p - 1)))
 
-    def _collective_time(self, cost: SchemeCost) -> float:
+    def _collective_time(self, cost: SchemeCost,
+                         world_size: Optional[int] = None,
+                         bw_scale: float = 1.0) -> float:
         """Total communication seconds for a compressed gradient: one
         collective per message over an even share of the payload."""
         per_message = cost.wire_bytes / cost.messages
         if cost.all_reducible:
-            single = self._allreduce_time(per_message)
+            single = self._allreduce_time(per_message, world_size, bw_scale)
         else:
-            single = self._allgather_time(per_message)
+            single = self._allgather_time(per_message, world_size, bw_scale)
         return single * cost.messages
 
     # ----- iteration simulation -----------------------------------------------
 
     def simulate_iteration(self, batch_size: Optional[int] = None,
                            rng: Optional[np.random.Generator] = None,
-                           seed: Optional[int] = None) -> IterationTrace:
+                           seed: Optional[int] = None,
+                           iteration: int = 0) -> IterationTrace:
         """Simulate one iteration; returns its timeline trace.
 
         Jitter is drawn from ``rng`` when given (callers running many
@@ -282,20 +308,34 @@ class DDPSimulator:
         calls actually vary.  (A previous revision defaulted to
         ``default_rng(0)`` on *every* call, which made direct callers
         draw identical jitter and collapsed their variance to zero.)
+
+        ``iteration`` is the 0-based absolute iteration index; it only
+        matters when a :class:`~repro.faults.FaultSchedule` is attached,
+        where it selects which faults are active.
         """
         bs = batch_size if batch_size is not None else self.model.default_batch_size
         if self.config.check_memory:
             self.check_memory(bs)
         if rng is None:
             rng = np.random.default_rng(seed)
+        ifaults = (self._injector.faults_for(iteration)
+                   if self._injector is not None else None)
         if self._is_baseline or self.scheme.ddp_overlap:
             # ddp_overlap schemes (fp16) compress inside the bucket hook:
             # same event structure as syncSGD with scaled payloads.
-            trace = self._simulate_baseline(bs, rng)
+            trace = self._simulate_baseline(bs, rng, ifaults)
         elif self.config.overlap_compression:
-            trace = self._simulate_compressed_overlapped(bs, rng)
+            trace = self._simulate_compressed_overlapped(bs, rng, ifaults)
         else:
-            trace = self._simulate_compressed_sequential(bs, rng)
+            trace = self._simulate_compressed_sequential(bs, rng, ifaults)
+        if ifaults is not None:
+            if ifaults.active:
+                # One fault-window span per iteration on a dedicated
+                # stream: the Perfetto export shows exactly when the
+                # cluster was degraded, next to compute and comm.
+                trace.add(Span(FAULT_STREAM, "+".join(ifaults.active),
+                               0.0, trace.iteration_end))
+            self._injector.record_iteration(ifaults)
         registry = get_registry()
         if registry.enabled:
             self._record_iteration(registry, trace)
@@ -313,6 +353,10 @@ class DDPSimulator:
             trace.compute_comm_overlap())
         wire_bytes = 0.0
         for span in trace.spans:
+            if span.stream == FAULT_STREAM:
+                # Fault windows are annotations, not occupancy; the
+                # injector records its own counters for them.
+                continue
             # "bucket17" -> "bucket": keep label cardinality bounded.
             kind = span.label.rstrip("0123456789")
             if span.stream == COMM_STREAM:
@@ -353,53 +397,97 @@ class DDPSimulator:
         # stream is identical to the pre-cache implementation.
         return [t * stretch * self._jitter(rng, sigma) for t in base]
 
-    def _simulate_baseline(self, bs: int,
-                           rng: np.random.Generator) -> IterationTrace:
+    def _fault_params(self, ifaults: Optional[IterationFaults],
+                      ) -> Tuple[float, int, float, float]:
+        """Unpack one iteration's fault state into the four knobs every
+        execution path consumes: (compute slowdown, active world size,
+        bandwidth scale, start-of-iteration stall)."""
+        if ifaults is None:
+            return 1.0, self.cluster.world_size, 1.0, 0.0
+        return (ifaults.compute_slowdown, ifaults.world_size,
+                ifaults.bandwidth_scale, ifaults.stall_s)
+
+    def _start_stall(self, trace: IterationTrace,
+                     ifaults: Optional[IterationFaults]) -> float:
+        """Charge any crash-recovery stall at the iteration start;
+        returns the instant compute may begin (0.0 when healthy)."""
+        if ifaults is None or ifaults.stall_s <= 0:
+            return 0.0
+        trace.add(Span(FAULT_STREAM, ifaults.stall_label or "recovery",
+                       0.0, ifaults.stall_s))
+        return ifaults.stall_s
+
+    def _retransmit(self, trace: IterationTrace,
+                    ifaults: Optional[IterationFaults],
+                    transfer_index: int, label: str, end: float,
+                    duration: float, payload_bytes: float) -> float:
+        """Append the retransmit penalty (if any) for the transfer that
+        just finished at ``end``; returns the new completion instant."""
+        if ifaults is None or ifaults.retransmit is None or duration <= 0:
+            return end
+        assert self._injector is not None
+        delay, replays = self._injector.retransmit_delay(
+            ifaults.iteration, transfer_index, duration)
+        if delay <= 0:
+            return end
+        trace.add(Span(COMM_STREAM, label, end, end + delay,
+                       bytes_on_wire=payload_bytes * replays))
+        return end + delay
+
+    def _simulate_baseline(self, bs: int, rng: np.random.Generator,
+                           ifaults: Optional[IterationFaults] = None,
+                           ) -> IterationTrace:
         """syncSGD (or a ddp_overlap scheme like fp16): bucketed,
         overlapped all-reduce — the paper's §4.1 structure."""
-        p = self.cluster.world_size
         cfg = self.config
         trace = IterationTrace()
         queue = EventQueue()
+        slow, p, bw_scale, _ = self._fault_params(ifaults)
+        t0 = self._start_stall(trace, ifaults)
 
         if self._is_baseline:
             wire_scale, hook_cost = 1.0, 0.0
         else:
-            cost = self._scheme_cost()
+            cost = self._scheme_cost(p)
             wire_scale = cost.wire_bytes / self.model.grad_bytes
             hook_cost = cost.encode_decode_s
 
         overlap = cfg.overlap_communication and p > 1
         stretch = cfg.gamma if overlap else 1.0
 
-        t_fwd = (self.compute.forward_time(bs)
+        t_fwd = (self.compute.forward_time(bs) * slow
                  * self._jitter(rng, cfg.compute_jitter))
-        trace.add(Span(COMPUTE_STREAM, "forward", 0.0, t_fwd))
-        trace.forward_end = t_fwd
+        trace.add(Span(COMPUTE_STREAM, "forward", t0, t0 + t_fwd))
+        trace.forward_end = t0 + t_fwd
 
         # Bucket sizes + the backward-order index of each bucket's
         # closing layer, computed once per simulator (not per iteration).
         bucket_sizes, bucket_close_idx = self._baseline_bucket_plan()
 
-        layer_times = self._backward_layer_times(bs, stretch, rng)
+        layer_times = self._backward_layer_times(bs, stretch * slow, rng)
         # Cumulative completion time of each backward layer.
-        completion = np.cumsum(layer_times) + t_fwd
+        completion = np.cumsum(layer_times) + trace.forward_end
         trace.backward_end = float(completion[-1])
-        trace.add(Span(COMPUTE_STREAM, "backward", t_fwd, trace.backward_end))
+        trace.add(Span(COMPUTE_STREAM, "backward", trace.forward_end,
+                       trace.backward_end))
 
-        comm_free = [t_fwd]  # comm stream availability
+        comm_free = [trace.forward_end]  # comm stream availability
 
         def make_comm_event(bucket_id: int, size: float):
             def fire(q: EventQueue) -> None:
                 start = max(q.now, comm_free[0])
-                duration = (self._allreduce_time(size * wire_scale)
+                duration = (self._allreduce_time(size * wire_scale,
+                                                 p, bw_scale)
                             if p > 1 else 0.0)
                 duration *= self._jitter(rng, cfg.comm_jitter)
                 end = start + duration
-                comm_free[0] = end
                 trace.add(Span(COMM_STREAM, f"bucket{bucket_id}", start, end,
                                bytes_on_wire=(size * wire_scale
                                               if p > 1 else 0.0)))
+                end = self._retransmit(
+                    trace, ifaults, bucket_id, f"retransmit{bucket_id}",
+                    end, duration, size * wire_scale)
+                comm_free[0] = end
                 trace.sync_end = max(trace.sync_end, end)
             return fire
 
@@ -415,16 +503,17 @@ class DDPSimulator:
         trace.sync_end = max(trace.sync_end, trace.backward_end)
         if hook_cost > 0:
             # Per-bucket cast cost (fp16): small and on the critical path.
-            end = trace.sync_end + hook_cost * self._jitter(
+            end = trace.sync_end + hook_cost * slow * self._jitter(
                 rng, cfg.compute_jitter)
             trace.add(Span(COMPUTE_STREAM, "bucket-cast", trace.sync_end,
                            end))
             trace.sync_end = end
-        self._finish_optimizer(trace, rng)
+        self._finish_optimizer(trace, rng, slow)
         return trace
 
     def _simulate_compressed_sequential(self, bs: int,
                                         rng: np.random.Generator,
+                                        ifaults: Optional[IterationFaults] = None,
                                         ) -> IterationTrace:
         """Compression after backward: encode -> collective(s) -> decode.
 
@@ -432,41 +521,48 @@ class DDPSimulator:
         in §4.2: no overlap, so no γ, but the full encode/decode cost on
         the critical path.
         """
-        p = self.cluster.world_size
         cfg = self.config
-        cost = self._scheme_cost()
         trace = IterationTrace()
+        slow, p, bw_scale, _ = self._fault_params(ifaults)
+        t0 = self._start_stall(trace, ifaults)
+        cost = self._scheme_cost(p)
 
-        t_fwd = (self.compute.forward_time(bs)
+        t_fwd = (self.compute.forward_time(bs) * slow
                  * self._jitter(rng, cfg.compute_jitter))
-        trace.add(Span(COMPUTE_STREAM, "forward", 0.0, t_fwd))
-        trace.forward_end = t_fwd
+        trace.add(Span(COMPUTE_STREAM, "forward", t0, t0 + t_fwd))
+        trace.forward_end = t0 + t_fwd
 
-        t_bwd = (self.compute.backward_time(bs)
+        t_bwd = (self.compute.backward_time(bs) * slow
                  * self._jitter(rng, cfg.compute_jitter))
-        trace.backward_end = t_fwd + t_bwd
-        trace.add(Span(COMPUTE_STREAM, "backward", t_fwd, trace.backward_end))
+        trace.backward_end = trace.forward_end + t_bwd
+        trace.add(Span(COMPUTE_STREAM, "backward", trace.forward_end,
+                       trace.backward_end))
 
-        enc_dec = ((cost.encode_decode_s + self._hook_overhead())
+        enc_dec = ((cost.encode_decode_s + self._hook_overhead()) * slow
                    * self._jitter(rng, cfg.compute_jitter))
         encode_end = trace.backward_end + enc_dec / 2.0
         trace.add(Span(COMPUTE_STREAM, "encode", trace.backward_end, encode_end))
 
         comm = 0.0 if p == 1 else (
-            self._collective_time(cost) * self._jitter(rng, cfg.comm_jitter))
+            self._collective_time(cost, p, bw_scale)
+            * self._jitter(rng, cfg.comm_jitter))
         comm_end = encode_end + comm
         if comm > 0:
             trace.add(Span(COMM_STREAM, "aggregate", encode_end, comm_end,
                            bytes_on_wire=cost.wire_bytes))
+            comm_end = self._retransmit(
+                trace, ifaults, 0, "retransmit", comm_end, comm,
+                cost.wire_bytes)
 
         decode_end = comm_end + enc_dec / 2.0
         trace.add(Span(COMPUTE_STREAM, "decode", comm_end, decode_end))
         trace.sync_end = decode_end
-        self._finish_optimizer(trace, rng)
+        self._finish_optimizer(trace, rng, slow)
         return trace
 
     def _simulate_compressed_overlapped(self, bs: int,
                                         rng: np.random.Generator,
+                                        ifaults: Optional[IterationFaults] = None,
                                         ) -> IterationTrace:
         """Figure 3's strategy: encode interleaves with backward.
 
@@ -476,44 +572,50 @@ class DDPSimulator:
         collectives overlap.  The paper shows this loses to sequential
         execution; this mode exists to reproduce that comparison.
         """
-        p = self.cluster.world_size
         cfg = self.config
-        cost = self._scheme_cost()
         trace = IterationTrace()
+        slow, p, bw_scale, _ = self._fault_params(ifaults)
+        t0 = self._start_stall(trace, ifaults)
+        cost = self._scheme_cost(p)
 
-        t_fwd = (self.compute.forward_time(bs)
+        t_fwd = (self.compute.forward_time(bs) * slow
                  * self._jitter(rng, cfg.compute_jitter))
-        trace.add(Span(COMPUTE_STREAM, "forward", 0.0, t_fwd))
-        trace.forward_end = t_fwd
+        fwd_end = t0 + t_fwd
+        trace.add(Span(COMPUTE_STREAM, "forward", t0, fwd_end))
+        trace.forward_end = fwd_end
 
-        t_bwd = (self.compute.backward_time(bs)
+        t_bwd = (self.compute.backward_time(bs) * slow
                  * self._jitter(rng, cfg.compute_jitter))
-        enc_dec = ((cost.encode_decode_s + self._hook_overhead())
+        enc_dec = ((cost.encode_decode_s + self._hook_overhead()) * slow
                    * self._jitter(rng, cfg.compute_jitter))
         encode_part = enc_dec / 2.0
         stretched = (t_bwd + encode_part) * cfg.contention_penalty
-        compute_end = t_fwd + stretched
+        compute_end = fwd_end + stretched
         trace.backward_end = compute_end
         trace.add(Span(
-            COMPUTE_STREAM, "backward+encode", t_fwd, compute_end))
+            COMPUTE_STREAM, "backward+encode", fwd_end, compute_end))
 
         # Compressed chunks stream out in four waves through the phase;
         # the final wave only after the stretched phase completes.  A
         # single worker has no collective at all, so it gets no comm
         # spans — zero-length phantom waves would pollute the trace and
         # compute_comm_overlap() inputs.
-        comm_total = 0.0 if p == 1 else self._collective_time(cost)
+        comm_total = 0.0 if p == 1 else self._collective_time(
+            cost, p, bw_scale)
         comm_total *= self._jitter(rng, cfg.comm_jitter)
         waves = 4
-        comm_free = t_fwd
+        comm_free = fwd_end
         sync_end = compute_end
         if p > 1:
             for wave in range(waves):
-                ready = t_fwd + stretched * (wave + 1) / waves
+                ready = fwd_end + stretched * (wave + 1) / waves
                 start = max(ready, comm_free)
                 end = start + comm_total / waves
                 trace.add(Span(COMM_STREAM, f"wave{wave}", start, end,
                                bytes_on_wire=cost.wire_bytes / waves))
+                end = self._retransmit(
+                    trace, ifaults, wave, f"retransmit{wave}", end,
+                    comm_total / waves, cost.wire_bytes / waves)
                 comm_free = end
                 sync_end = end
 
@@ -521,13 +623,14 @@ class DDPSimulator:
         trace.add(Span(COMPUTE_STREAM, "decode",
                        max(sync_end, compute_end), decode_end))
         trace.sync_end = decode_end
-        self._finish_optimizer(trace, rng)
+        self._finish_optimizer(trace, rng, slow)
         return trace
 
     def _finish_optimizer(self, trace: IterationTrace,
-                          rng: np.random.Generator) -> None:
+                          rng: np.random.Generator,
+                          slowdown: float = 1.0) -> None:
         start = max(trace.sync_end, trace.backward_end)
-        t_opt = (self.compute.optimizer_time()
+        t_opt = (self.compute.optimizer_time() * slowdown
                  * self._jitter(rng, self.config.compute_jitter))
         trace.add(Span(COMPUTE_STREAM, "optimizer", start, start + t_opt))
         trace.iteration_end = start + t_opt
@@ -546,7 +649,7 @@ class DDPSimulator:
         sync_times: List[float] = []
         iter_times: List[float] = []
         for i in range(iterations):
-            trace = self.simulate_iteration(bs, rng)
+            trace = self.simulate_iteration(bs, rng, iteration=i)
             if i >= warmup:
                 sync_times.append(trace.sync_time())
                 iter_times.append(trace.iteration_end)

@@ -39,6 +39,11 @@ class EventQueue:
         """Number of events executed so far."""
         return self._processed
 
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (not yet executed)."""
+        return len(self._heap)
+
     def schedule(self, time: float, callback: Callback) -> None:
         """Enqueue ``callback`` to fire at absolute virtual ``time``.
 
@@ -65,13 +70,25 @@ class EventQueue:
         budget applies to *this* invocation: a reused queue gets the
         full allowance on every ``run()``, while the lifetime total
         stays observable via :attr:`processed`.
+
+        Exhausting the budget mid-drain raises a
+        :class:`~repro.errors.SimulationError` rather than silently
+        returning a truncated timeline: a partial drain would report a
+        too-short iteration as if it were real data.  The error states
+        how many events remain and where the clock stopped so the
+        runaway callback can be found.
         """
         executed = 0
         while self._heap:
             if executed >= max_events:
                 raise SimulationError(
-                    f"event budget exhausted after {max_events} events — "
-                    f"likely a self-rescheduling loop")
+                    f"event budget exhausted: processed {max_events} "
+                    f"events in one run() with {self.pending} still "
+                    f"queued at virtual time {self._now:.6f}s — the "
+                    f"timeline is incomplete.  This usually means a "
+                    f"callback reschedules itself unconditionally; if "
+                    f"the workload is legitimately this large, raise "
+                    f"max_events.")
             time, _, callback = heapq.heappop(self._heap)
             self._now = time
             executed += 1

@@ -100,6 +100,32 @@ class TestCommands:
                      "--scheme", "nosuch"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_simulate_with_faults(self, capsys, tmp_path):
+        spec = tmp_path / "faults.json"
+        spec.write_text(json.dumps({
+            "seed": 7,
+            "stragglers": [{"worker": 0, "slowdown": 2.0,
+                            "start_iteration": 4,
+                            "duration_iterations": 4}],
+        }))
+        assert main(["simulate", "--model", "resnet50", "--gpus", "8",
+                     "--batch", "64", "--iterations", "12",
+                     "--faults", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "faults: 1 stragglers (seed 7)" in out
+
+    def test_simulate_bad_faults_spec(self, capsys, tmp_path):
+        spec = tmp_path / "faults.json"
+        spec.write_text('{"gremlins": []}')
+        assert main(["simulate", "--model", "resnet50", "--gpus", "8",
+                     "--batch", "64", "--faults", str(spec)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_experiment_reliability_listed(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "reliability"])
+        assert args.id == "reliability"
+
 
 class TestTelemetryFlags:
     def test_version_flag(self, capsys):

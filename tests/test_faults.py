@@ -1,0 +1,340 @@
+"""Fault schedules, the injector, and simulator integration."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FAULT_STREAM,
+    CrashFault,
+    FaultInjector,
+    FaultSchedule,
+    LinkFault,
+    NodeFault,
+    RetransmitFault,
+    StragglerFault,
+)
+from repro.hardware import cluster_for_gpus
+from repro.network import Fabric
+from repro.simulator import DDPSimulator
+
+
+class TestScheduleValidation:
+    def test_straggler_slowdown_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            StragglerFault(worker=0, slowdown=1.0)
+        with pytest.raises(ConfigurationError):
+            StragglerFault(worker=0, slowdown=0.5)
+
+    def test_negative_worker_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StragglerFault(worker=-1, slowdown=2.0)
+
+    def test_link_factor_must_be_in_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            LinkFault(node_a=0, node_b=1, factor=0.0)
+        with pytest.raises(ConfigurationError):
+            LinkFault(node_a=0, node_b=1, factor=1.5)
+        LinkFault(node_a=0, node_b=1, factor=1.0)  # boundary is legal
+
+    def test_flapping_period_must_exceed_duration(self):
+        with pytest.raises(ConfigurationError):
+            LinkFault(node_a=0, node_b=1, factor=0.5,
+                      duration_iterations=10, period_iterations=10)
+        LinkFault(node_a=0, node_b=1, factor=0.5,
+                  duration_iterations=10, period_iterations=11)
+
+    def test_period_requires_duration(self):
+        with pytest.raises(ConfigurationError):
+            NodeFault(node=0, factor=0.5, period_iterations=10)
+
+    def test_retransmit_drop_rate_below_one(self):
+        with pytest.raises(ConfigurationError):
+            RetransmitFault(drop_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            RetransmitFault(drop_rate=-0.1)
+        RetransmitFault(drop_rate=0.0)
+
+    def test_retransmit_backoff_and_retries(self):
+        with pytest.raises(ConfigurationError):
+            RetransmitFault(drop_rate=0.1, backoff=0.5)
+        with pytest.raises(ConfigurationError):
+            RetransmitFault(drop_rate=0.1, max_retries=0)
+
+    def test_crash_recovery_policy_checked(self):
+        with pytest.raises(ConfigurationError):
+            CrashFault(worker=0, at_iteration=5, recovery="reboot")
+
+    def test_one_crash_per_worker(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(crashes=[
+                CrashFault(worker=3, at_iteration=5),
+                CrashFault(worker=3, at_iteration=9),
+            ])
+
+    def test_window_activity(self):
+        fault = StragglerFault(worker=0, slowdown=2.0,
+                               start_iteration=10, duration_iterations=5)
+        assert not fault.active(9)
+        assert fault.active(10)
+        assert fault.active(14)
+        assert not fault.active(15)
+
+    def test_persistent_window(self):
+        fault = NodeFault(node=0, factor=0.5, start_iteration=3)
+        assert not fault.active(2)
+        assert fault.active(10_000)
+
+    def test_flapping_window_repeats(self):
+        fault = LinkFault(node_a=0, node_b=1, factor=0.5,
+                          start_iteration=0, duration_iterations=2,
+                          period_iterations=5)
+        pattern = [fault.active(i) for i in range(10)]
+        assert pattern == [True, True, False, False, False] * 2
+
+
+class TestScheduleSerialization:
+    def _full_schedule(self):
+        return FaultSchedule(
+            seed=7,
+            stragglers=[StragglerFault(worker=1, slowdown=2.0,
+                                       start_iteration=10,
+                                       duration_iterations=20)],
+            links=[LinkFault(node_a=0, node_b=1, factor=0.5,
+                             duration_iterations=2, period_iterations=6)],
+            nodes=[NodeFault(node=0, factor=0.25)],
+            retransmits=[RetransmitFault(drop_rate=0.05)],
+            crashes=[CrashFault(worker=2, at_iteration=15,
+                                recovery="elastic")],
+        )
+
+    def test_json_round_trip(self):
+        schedule = self._full_schedule()
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+    def test_save_load_round_trip(self, tmp_path):
+        schedule = self._full_schedule()
+        path = tmp_path / "faults.json"
+        schedule.save(path)
+        assert FaultSchedule.load(path) == schedule
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_payload({"seed": 1, "gremlins": []})
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.from_payload({
+                "stragglers": [{"worker": 0, "slowdown": 2.0,
+                                "color": "red"}]})
+
+    def test_empty_schedule(self):
+        empty = FaultSchedule()
+        assert empty.is_empty
+        assert empty.count() == 0
+        assert not self._full_schedule().is_empty
+
+    def test_payload_omits_empty_lists(self):
+        payload = FaultSchedule(seed=3, nodes=[
+            NodeFault(node=0, factor=0.5)]).to_payload()
+        assert "stragglers" not in payload
+        assert "crashes" not in payload
+        assert payload["seed"] == 3
+
+    def test_describe_mentions_counts_and_seed(self):
+        text = self._full_schedule().describe()
+        assert "1 stragglers" in text
+        assert "seed 7" in text
+
+    def test_lists_coerced_to_tuples(self):
+        schedule = FaultSchedule(stragglers=[
+            StragglerFault(worker=0, slowdown=2.0)])
+        assert isinstance(schedule.stragglers, tuple)
+
+
+class TestInjector:
+    def _injector(self, cluster, schedule):
+        return FaultInjector(schedule, cluster, Fabric(cluster))
+
+    def test_max_straggler_slowdown_wins(self, small_cluster):
+        inj = self._injector(small_cluster, FaultSchedule(stragglers=[
+            StragglerFault(worker=0, slowdown=1.5),
+            StragglerFault(worker=1, slowdown=3.0),
+        ]))
+        state = inj.faults_for(0)
+        assert state.compute_slowdown == 3.0
+        assert "straggler" in state.active
+
+    def test_clean_iteration_is_identity(self, small_cluster):
+        inj = self._injector(small_cluster, FaultSchedule(stragglers=[
+            StragglerFault(worker=0, slowdown=2.0, start_iteration=50)]))
+        state = inj.faults_for(0)
+        assert state.compute_slowdown == 1.0
+        assert state.bandwidth_scale == 1.0
+        assert state.stall_s == 0.0
+        assert not state.degraded
+
+    def test_node_fault_scales_bandwidth(self, small_cluster):
+        # Two nodes, one pair: degrading node 0 scales the pairwise
+        # minimum by exactly the fault's factor.
+        inj = self._injector(small_cluster, FaultSchedule(nodes=[
+            NodeFault(node=0, factor=0.25)]))
+        state = inj.faults_for(0)
+        assert state.bandwidth_scale == pytest.approx(0.25)
+        assert "degraded-link" in state.active
+
+    def test_link_fault_scales_bandwidth(self, small_cluster):
+        inj = self._injector(small_cluster, FaultSchedule(links=[
+            LinkFault(node_a=0, node_b=1, factor=0.5)]))
+        assert inj.faults_for(0).bandwidth_scale == pytest.approx(0.5)
+
+    def test_elastic_crash_shrinks_world(self, small_cluster):
+        inj = self._injector(small_cluster, FaultSchedule(crashes=[
+            CrashFault(worker=2, at_iteration=5, recovery="elastic",
+                       stall_s=0.5)]))
+        assert inj.faults_for(4).world_size == 8
+        at = inj.faults_for(5)
+        assert at.world_size == 7
+        assert at.stall_s == 0.5
+        assert "crash-elastic" in at.active
+        after = inj.faults_for(6)
+        assert after.world_size == 7
+        assert after.stall_s == 0.0
+
+    def test_restart_crash_keeps_world(self, small_cluster):
+        inj = self._injector(small_cluster, FaultSchedule(crashes=[
+            CrashFault(worker=2, at_iteration=5, recovery="restart",
+                       stall_s=1.0)]))
+        at = inj.faults_for(5)
+        assert at.world_size == 8
+        assert at.stall_s == 1.0
+        assert inj.faults_for(6).world_size == 8
+
+    def test_elastically_dropped_straggler_stops_straggling(
+            self, small_cluster):
+        inj = self._injector(small_cluster, FaultSchedule(
+            stragglers=[StragglerFault(worker=2, slowdown=4.0)],
+            crashes=[CrashFault(worker=2, at_iteration=10,
+                                recovery="elastic")]))
+        assert inj.faults_for(9).compute_slowdown == 4.0
+        assert inj.faults_for(10).compute_slowdown == 1.0
+
+    def test_harshest_retransmit_policy_wins(self, small_cluster):
+        inj = self._injector(small_cluster, FaultSchedule(retransmits=[
+            RetransmitFault(drop_rate=0.01),
+            RetransmitFault(drop_rate=0.2),
+        ]))
+        assert inj.faults_for(0).retransmit.drop_rate == 0.2
+
+    def test_retransmit_delay_deterministic(self, small_cluster):
+        schedule = FaultSchedule(seed=11, retransmits=[
+            RetransmitFault(drop_rate=0.5)])
+        a = self._injector(small_cluster, schedule)
+        b = self._injector(small_cluster, schedule)
+        draws_a = [a.retransmit_delay(3, t, 1e-3) for t in range(50)]
+        draws_b = [b.retransmit_delay(3, t, 1e-3) for t in range(50)]
+        assert draws_a == draws_b
+        assert any(replays for _, replays in draws_a)  # rate 0.5: some drop
+
+    def test_retransmit_zero_rate_is_free(self, small_cluster):
+        inj = self._injector(small_cluster, FaultSchedule(retransmits=[
+            RetransmitFault(drop_rate=0.0)]))
+        assert inj.retransmit_delay(0, 0, 1e-3) == (0.0, 0)
+
+    def test_topology_validation(self, small_cluster):
+        # 8 workers, 2 nodes.
+        with pytest.raises(ConfigurationError):
+            self._injector(small_cluster, FaultSchedule(stragglers=[
+                StragglerFault(worker=8, slowdown=2.0)]))
+        with pytest.raises(ConfigurationError):
+            self._injector(small_cluster, FaultSchedule(crashes=[
+                CrashFault(worker=12, at_iteration=0)]))
+        with pytest.raises(ConfigurationError):
+            self._injector(small_cluster, FaultSchedule(links=[
+                LinkFault(node_a=0, node_b=2, factor=0.5)]))
+        with pytest.raises(ConfigurationError):
+            self._injector(small_cluster, FaultSchedule(nodes=[
+                NodeFault(node=2, factor=0.5)]))
+
+    def test_summary_mentions_schedule(self, small_cluster):
+        inj = self._injector(small_cluster, FaultSchedule(seed=7, nodes=[
+            NodeFault(node=0, factor=0.5)]))
+        assert "faults:" in inj.summary()
+        assert "seed 7" in inj.summary()
+
+
+class TestSimulatorIntegration:
+    def test_empty_schedule_builds_no_injector(self, tiny_model,
+                                               small_cluster):
+        sim = DDPSimulator(tiny_model, small_cluster,
+                           faults=FaultSchedule())
+        assert sim.injector is None
+
+    def test_straggler_slows_the_run(self, resnet50, small_cluster):
+        clean = DDPSimulator(resnet50, small_cluster).run(
+            batch_size=64, iterations=10, warmup=2)
+        hurt = DDPSimulator(resnet50, small_cluster, faults=FaultSchedule(
+            stragglers=[StragglerFault(worker=0, slowdown=3.0)])).run(
+            batch_size=64, iterations=10, warmup=2)
+        assert hurt.mean > clean.mean * 1.2
+
+    def test_nic_fault_slows_communication(self, resnet50, small_cluster):
+        clean = DDPSimulator(resnet50, small_cluster).run(
+            batch_size=64, iterations=10, warmup=2)
+        hurt = DDPSimulator(resnet50, small_cluster, faults=FaultSchedule(
+            nodes=[NodeFault(node=0, factor=0.2)])).run(
+            batch_size=64, iterations=10, warmup=2)
+        assert hurt.mean > clean.mean
+
+    def test_fault_window_span_in_trace(self, resnet50, small_cluster):
+        sim = DDPSimulator(resnet50, small_cluster, faults=FaultSchedule(
+            stragglers=[StragglerFault(worker=0, slowdown=2.0,
+                                       start_iteration=2,
+                                       duration_iterations=1)]))
+        import numpy as np
+        rng = np.random.default_rng(0)
+        clean_trace = sim.simulate_iteration(64, rng, iteration=1)
+        hurt_trace = sim.simulate_iteration(64, rng, iteration=2)
+        assert not [s for s in clean_trace.spans
+                    if s.stream == FAULT_STREAM]
+        fault_spans = [s for s in hurt_trace.spans
+                       if s.stream == FAULT_STREAM]
+        assert fault_spans and fault_spans[0].label == "straggler"
+
+    def test_transient_fault_only_hits_its_window(self, resnet50,
+                                                  small_cluster):
+        faults = FaultSchedule(stragglers=[
+            StragglerFault(worker=0, slowdown=3.0, start_iteration=4,
+                           duration_iterations=2)])
+        sim = DDPSimulator(resnet50, small_cluster, faults=faults)
+        clean_sim = DDPSimulator(resnet50, small_cluster)
+        result = sim.run(batch_size=64, iterations=8, warmup=0)
+        clean = clean_sim.run(batch_size=64, iterations=8, warmup=0)
+        for i in (4, 5):
+            assert result.iteration_times[i] > clean.iteration_times[i] * 1.5
+        for i in (0, 1, 2, 3, 6, 7):
+            assert result.iteration_times[i] == pytest.approx(
+                clean.iteration_times[i])
+
+    def test_restart_crash_charges_stall_once(self, resnet50,
+                                              small_cluster):
+        faults = FaultSchedule(crashes=[
+            CrashFault(worker=0, at_iteration=3, recovery="restart",
+                       stall_s=0.7)])
+        sim = DDPSimulator(resnet50, small_cluster, faults=faults)
+        clean = DDPSimulator(resnet50, small_cluster).run(
+            batch_size=64, iterations=6, warmup=0)
+        result = sim.run(batch_size=64, iterations=6, warmup=0)
+        assert result.iteration_times[3] == pytest.approx(
+            clean.iteration_times[3] + 0.7)
+        assert result.iteration_times[5] == pytest.approx(
+            clean.iteration_times[5])
+
+    def test_retransmits_add_delay_and_count(self, resnet50,
+                                             small_cluster):
+        faults = FaultSchedule(seed=7, retransmits=[
+            RetransmitFault(drop_rate=0.3)])
+        sim = DDPSimulator(resnet50, small_cluster, faults=faults)
+        result = sim.run(batch_size=64, iterations=10, warmup=2)
+        assert sim.injector.retransmits_injected > 0
+        assert sim.injector.retransmit_delay_s > 0
+        assert math.isfinite(result.mean)

@@ -1,0 +1,145 @@
+"""The reliability exhibit and its threshold-analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import EXPERIMENTS, EXTRA_EXPERIMENTS
+from repro.experiments.reliability import run_reliability
+from repro.reporting import (
+    fault_penalty_gap,
+    fault_penalty_threshold,
+    reliability_findings,
+)
+
+
+def _row(fault, scheme, gbps, penalty):
+    return {"fault": fault, "scheme": scheme, "gbps": gbps,
+            "penalty": penalty}
+
+
+#: A synthetic sweep where compression's robustness edge dies at 25:
+#: gaps vs syncsgd are 1.0 / 0.5 / 0.2 / 0.02 at 2 / 5 / 25 / 100.
+SYNTHETIC = [
+    _row("nic", "syncsgd", 2.0, 3.0), _row("nic", "powersgd", 2.0, 2.0),
+    _row("nic", "syncsgd", 5.0, 2.0), _row("nic", "powersgd", 5.0, 1.5),
+    _row("nic", "syncsgd", 25.0, 1.4), _row("nic", "powersgd", 25.0, 1.2),
+    _row("nic", "syncsgd", 100.0, 1.05),
+    _row("nic", "powersgd", 100.0, 1.03),
+]
+
+
+class TestPenaltyGap:
+    def test_gap_ascending_by_bandwidth(self):
+        gaps = fault_penalty_gap(SYNTHETIC, "nic", "powersgd")
+        assert [p["gbps"] for p in gaps] == [2.0, 5.0, 25.0, 100.0]
+        assert gaps[0]["gap"] == pytest.approx(1.0)
+        assert gaps[-1]["gap"] == pytest.approx(0.02)
+
+    def test_nan_rows_skipped(self):
+        rows = SYNTHETIC + [_row("nic", "syncsgd", 50.0, float("nan")),
+                            _row("nic", "powersgd", 50.0, 1.1)]
+        gaps = fault_penalty_gap(rows, "nic", "powersgd")
+        assert 50.0 not in [p["gbps"] for p in gaps]
+
+    def test_missing_scheme_raises(self):
+        with pytest.raises(ConfigurationError):
+            fault_penalty_gap(SYNTHETIC, "nic", "topk")
+        with pytest.raises(ConfigurationError):
+            fault_penalty_gap(SYNTHETIC, "disk-fire", "powersgd")
+
+
+class TestPenaltyThreshold:
+    def test_threshold_is_top_of_contiguous_region(self):
+        assert fault_penalty_threshold(SYNTHETIC, "nic", "powersgd",
+                                       margin=0.10) == 25.0
+        assert fault_penalty_threshold(SYNTHETIC, "nic", "powersgd",
+                                       margin=0.40) == 5.0
+
+    def test_no_edge_returns_none(self):
+        assert fault_penalty_threshold(SYNTHETIC, "nic", "powersgd",
+                                       margin=2.0) is None
+
+    def test_region_must_start_at_lowest_bandwidth(self):
+        # Gap clears the margin only at 5 — not contiguous from the
+        # bottom of the sweep, so there is no "below X" threshold.
+        rows = [
+            _row("nic", "syncsgd", 2.0, 1.0), _row("nic", "powersgd", 2.0, 1.0),
+            _row("nic", "syncsgd", 5.0, 2.0), _row("nic", "powersgd", 5.0, 1.0),
+        ]
+        assert fault_penalty_threshold(rows, "nic", "powersgd",
+                                       margin=0.10) is None
+
+
+class TestFindings:
+    def test_edge_reported_with_threshold(self):
+        notes = reliability_findings(SYNTHETIC, "nic", ["powersgd"])
+        assert len(notes) == 1
+        assert "materially more robust than syncsgd below 25 Gbit/s" \
+            in notes[0]
+
+    def test_no_edge_reported_as_such(self):
+        notes = reliability_findings(SYNTHETIC, "nic", ["powersgd"],
+                                     margin=2.0)
+        assert "no material robustness edge" in notes[0]
+
+
+class TestReliabilityExhibit:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_reliability(num_gpus=8, bandwidths_gbps=(2.0, 100.0),
+                               iterations=10, warmup=2)
+
+    def test_row_shape(self, result):
+        assert result.experiment_id == "reliability"
+        row = result.rows[0]
+        for key in ("fault", "scheme", "gbps", "clean_ms", "faulted_ms",
+                    "penalty"):
+            assert key in row
+        # 2 faults x 4 schemes x 2 bandwidths.
+        assert len(result.rows) == 16
+
+    def test_penalties_are_slowdowns(self, result):
+        for row in result.rows:
+            assert math.isfinite(row["penalty"])
+            assert row["penalty"] >= 0.95  # faults never speed things up
+
+    def test_nic_straggler_hurts_dense_most_at_low_bandwidth(self, result):
+        at_2 = {row["scheme"]: row["penalty"] for row in result.rows
+                if row["fault"] == "nic-straggler" and row["gbps"] == 2.0}
+        assert at_2["syncsgd"] > at_2["powersgd(rank=4)"] + 0.25
+        # ... and the gap closes once bandwidth is plentiful.
+        at_100 = {row["scheme"]: row["penalty"] for row in result.rows
+                  if row["fault"] == "nic-straggler"
+                  and row["gbps"] == 100.0}
+        assert (at_100["syncsgd"] - at_100["powersgd(rank=4)"]
+                < at_2["syncsgd"] - at_2["powersgd(rank=4)"])
+
+    def test_compute_straggler_is_scheme_neutral_at_low_bandwidth(
+            self, result):
+        # The control: a compute straggler gives compression no
+        # comparable edge (if anything, comm-heavy schemes hide it).
+        nic_gap = max(
+            row["penalty"] for row in result.rows
+            if row["fault"] == "nic-straggler" and row["gbps"] == 2.0
+            and row["scheme"] == "syncsgd") - min(
+            row["penalty"] for row in result.rows
+            if row["fault"] == "nic-straggler" and row["gbps"] == 2.0
+            and row["scheme"] == "powersgd(rank=4)")
+        compute_gap = max(
+            row["penalty"] for row in result.rows
+            if row["fault"] == "compute-straggler" and row["gbps"] == 2.0
+            and row["scheme"] == "syncsgd") - min(
+            row["penalty"] for row in result.rows
+            if row["fault"] == "compute-straggler" and row["gbps"] == 2.0
+            and row["scheme"] == "powersgd(rank=4)")
+        assert nic_gap > compute_gap + 0.25
+
+    def test_notes_carry_findings(self, result):
+        assert result.notes
+        assert any("nic-straggler" in note for note in result.notes)
+
+    def test_registered_as_extra_not_core(self):
+        assert "reliability" in EXTRA_EXPERIMENTS
+        assert "reliability" not in EXPERIMENTS

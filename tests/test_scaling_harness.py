@@ -59,3 +59,46 @@ class TestScalingSweep:
         oom = restored.single(model="bert-base", scheme="signsgd",
                               gpus=64)
         assert math.isnan(oom["mean_ms"])
+
+
+class TestFailedJobRows:
+    """Engine failures degrade to NaN rows instead of losing the sweep."""
+
+    @pytest.fixture()
+    def failing_sweep(self):
+        from repro.engine import ExperimentEngine, JobOutcome
+
+        class FailFirstEngine(ExperimentEngine):
+            def run_outcomes(self, batch):
+                outcomes = super().run_outcomes(batch)
+                victim = outcomes[0]
+                outcomes[0] = JobOutcome(job=victim.job,
+                                         error="a pool worker died",
+                                         attempts=3)
+                return outcomes
+
+        return run_scaling_sweep(
+            experiment_id="mini-failed", title="mini failed sweep",
+            schemes=[PowerSGDScheme(4)],
+            workloads=(("resnet50", 64),),
+            gpu_counts=(8, 16),
+            iterations=6, warmup=1,
+            engine=FailFirstEngine())
+
+    def test_failed_row_is_nan_not_oom(self, failing_sweep):
+        failed = [r for r in failing_sweep.rows
+                  if math.isnan(r["mean_ms"])]
+        assert len(failed) == 1
+        assert failed[0]["oom"] is False
+
+    def test_failure_note_explains(self, failing_sweep):
+        notes = [n for n in failing_sweep.notes if n.startswith("failed:")]
+        assert len(notes) == 1
+        assert "after 3 attempt(s)" in notes[0]
+        assert "a pool worker died" in notes[0]
+
+    def test_surviving_rows_intact(self, failing_sweep):
+        ok = [r for r in failing_sweep.rows
+              if not math.isnan(r["mean_ms"])]
+        assert len(ok) == len(failing_sweep.rows) - 1
+        assert all(r["mean_ms"] > 0 for r in ok)

@@ -106,6 +106,36 @@ class TestEventQueue:
         with pytest.raises(SimulationError, match="budget"):
             queue.run(max_events=100)
 
+    def test_pending_counts_queued_events(self):
+        queue = EventQueue()
+        assert queue.pending == 0
+        for t in range(5):
+            queue.schedule(float(t), lambda q: None)
+        assert queue.pending == 5
+        queue.run()
+        assert queue.pending == 0
+
+    def test_budget_error_is_actionable(self):
+        # A runaway loop: every callback reschedules itself.  The error
+        # must say what happened (budget, backlog, virtual time) and
+        # point at both likely causes — a self-rescheduling callback or
+        # a legitimately large workload needing a bigger budget.
+        def reschedule(q):
+            q.schedule(q.now + 1.0, reschedule)
+
+        queue = EventQueue()
+        queue.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError) as excinfo:
+            queue.run(max_events=50)
+        message = str(excinfo.value)
+        assert "event budget exhausted" in message
+        assert "50 events" in message
+        assert "still queued" in message
+        assert "reschedules itself" in message
+        assert "raise max_events" in message
+        # The backlog it reports is live at raise time.
+        assert queue.pending >= 1
+
 
 class TestSpansAndTrace:
     def test_span_duration(self):
