@@ -13,14 +13,18 @@ lint:
 	ruff check src tests examples
 	$(PYTHON) tools/check_docstrings.py
 
-## full-fidelity paper-exhibit regeneration (slow, opt-in)
+## full-fidelity paper-exhibit regeneration (slow, opt-in); refreshes
+## the simulator perf baseline (BENCH_simulator.json) first
 bench:
+	$(PYTHON) tools/bench_simulator.py
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-## one fast figure through the parallel engine + result cache; a second
-## invocation should report a ~100% cache hit rate
+## one fast figure through the parallel engine + result cache (a second
+## invocation should report a ~100% cache hit rate), then the fast-path
+## regression gate against the checked-in BENCH_simulator.json
 bench-smoke:
 	$(PYTHON) -m repro experiment fig7 --jobs 2 --cache .sim-cache
+	$(PYTHON) tools/bench_simulator.py --check --smoke
 
 ## run every example headlessly in smoke mode (trimmed protocols, <60 s
 ## total); CI runs this on every push

@@ -42,7 +42,13 @@ from .faults import FaultSchedule
 from .hardware import cluster_for_gpus
 from .models import available_models, get_model
 from .reporting import render_metrics, to_markdown
-from .simulator import DDPConfig, DDPSimulator, write_run_trace
+from .simulator import (
+    FALLBACK_REASONS,
+    SIM_MODES,
+    DDPConfig,
+    DDPSimulator,
+    write_run_trace,
+)
 from .telemetry import (
     MANIFEST_FILENAME,
     build_manifest,
@@ -93,7 +99,8 @@ def _accepts_engine(runner) -> bool:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     cache = SimulationCache(args.cache) if args.cache else None
-    engine = ExperimentEngine(jobs=args.jobs, cache=cache)
+    engine = ExperimentEngine(jobs=args.jobs, cache=cache,
+                              sim_mode=args.sim_mode)
     # "all" covers only the paper's own exhibits; extras (reliability)
     # run by explicit id so the canonical output stays stable.
     ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
@@ -132,7 +139,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             command=f"experiment {args.id}",
             config={"command": "experiment", "id": args.id,
                     "jobs": args.jobs, "cache": args.cache,
-                    "markdown": bool(args.markdown)},
+                    "markdown": bool(args.markdown),
+                    "sim_mode": args.sim_mode},
             wall_time_s=time.perf_counter() - run_started,
             metrics=telemetry_metrics.get_registry().snapshot(),
             results={"exhibits": exhibits,
@@ -191,13 +199,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     scheme = _parse_scheme(args.scheme) if args.scheme else None
     faults = FaultSchedule.load(args.faults) if args.faults else None
     sim = DDPSimulator(model, cluster, scheme=scheme, faults=faults)
-    result = sim.run(args.batch, iterations=args.iterations, warmup=10)
+    # Resolve the mode up front (a --trace run needs the event path's
+    # spans) so an explicit --sim-mode batch that cannot be honoured
+    # errors out instead of silently degrading.
+    mode, fallback = sim.resolve_mode(args.sim_mode,
+                                      tracing=bool(args.trace))
+    result = sim.run(args.batch, iterations=args.iterations, warmup=10,
+                     mode=mode)
     label = scheme.label if scheme else "syncsgd"
     print(f"{model.name} x {label} on {cluster.describe()}, "
           f"batch {result.batch_size}:")
     print(f"  sync time {result.mean * 1e3:.1f} ms "
           f"(± {result.std * 1e3:.1f}) over "
           f"{len(result.sync_times)} iterations")
+    if fallback is not None:
+        print(f"  sim mode: {sim.last_run_mode} (auto fell back: "
+              f"{FALLBACK_REASONS[fallback]})")
+    else:
+        print(f"  sim mode: {sim.last_run_mode}")
     if sim.injector is not None:
         print(f"  {sim.injector.summary()}")
     quiet = DDPConfig(compute_jitter=0.0, comm_jitter=0.0)
@@ -265,6 +284,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "<cache>/manifest.json when --cache is set)")
     p_exp.add_argument("--metrics", action="store_true",
                        help="print the telemetry snapshot at the end")
+    p_exp.add_argument("--sim-mode", default="auto", choices=SIM_MODES,
+                       help="simulation execution scheme (default: auto "
+                            "— the vectorized fast path whenever "
+                            "results are provably identical)")
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_rec = sub.add_parser("recommend",
@@ -301,6 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "exported trace (default: 2)")
     p_sim.add_argument("--metrics", action="store_true",
                        help="print the telemetry snapshot at the end")
+    p_sim.add_argument("--sim-mode", default="auto", choices=SIM_MODES,
+                       help="simulation execution scheme (default: auto; "
+                            "--faults and --trace force the event path)")
     p_sim.set_defaults(fn=cmd_simulate)
 
     return parser

@@ -3,12 +3,14 @@
 from .cost import (
     TREE_BLOCK_BYTES,
     allgather_time,
+    allgather_time_batch,
     broadcast_time,
     double_tree_allreduce_time,
     parameter_server_time,
     pick_allreduce_time,
     reduce_scatter_time,
     ring_allreduce_time,
+    ring_allreduce_time_batch,
 )
 from .hierarchical import (
     hierarchical_allreduce,
@@ -26,6 +28,7 @@ from .numeric import (
 
 __all__ = [
     "ring_allreduce_time", "double_tree_allreduce_time", "allgather_time",
+    "ring_allreduce_time_batch", "allgather_time_batch",
     "reduce_scatter_time", "broadcast_time", "parameter_server_time",
     "pick_allreduce_time", "TREE_BLOCK_BYTES",
     "ring_allreduce", "tree_allreduce", "allgather", "reduce_scatter",

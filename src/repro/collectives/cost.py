@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..telemetry.metrics import get_registry
 
@@ -112,6 +114,75 @@ def allgather_time(num_bytes: float, p: int, bandwidth: float, alpha: float,
     latency = alpha * (p - 1)
     transfer = num_bytes * (p - 1) / bandwidth * incast_factor
     return latency + transfer
+
+
+def ring_allreduce_time_batch(num_bytes: np.ndarray, p: int,
+                              bandwidth: float, alpha: float) -> np.ndarray:
+    """Vectorized :func:`ring_allreduce_time` over an array of payloads.
+
+    Prices every element of ``num_bytes`` in one broadcasted expression
+    instead of one Python call per payload — the pricing kernel of the
+    batch simulation fast path (:mod:`repro.simulator.batch`), which
+    needs all of a model's gradient buckets costed at once.
+
+    The arithmetic is the scalar function's, applied elementwise (every
+    IEEE-754 elementary operation is exactly rounded, so a batched
+    multiply/divide produces bit-identical doubles to the scalar path);
+    equivalence is pinned by tests.  Telemetry counts one pricing call
+    per element, matching what the scalar loop would have recorded.
+    """
+    payloads = np.asarray(num_bytes, dtype=float)
+    if payloads.size and float(payloads.min()) < 0:
+        raise ConfigurationError(
+            f"num_bytes must be >= 0, got {float(payloads.min())}")
+    _validate(0.0, p, bandwidth, alpha)
+    _record_batch("ring_allreduce", payloads, p)
+    if p == 1:
+        return np.zeros_like(payloads)
+    latency = 2.0 * alpha * (p - 1)
+    transfer = 2.0 * payloads * (p - 1) / (p * bandwidth)
+    return latency + transfer
+
+
+def allgather_time_batch(num_bytes: np.ndarray, p: int, bandwidth: float,
+                         alpha: float,
+                         incast_factor: float = 1.0) -> np.ndarray:
+    """Vectorized :func:`allgather_time` over an array of payloads.
+
+    Same contract as :func:`ring_allreduce_time_batch`: elementwise the
+    scalar formula, bit-identical per payload, one telemetry count per
+    element.
+    """
+    payloads = np.asarray(num_bytes, dtype=float)
+    if payloads.size and float(payloads.min()) < 0:
+        raise ConfigurationError(
+            f"num_bytes must be >= 0, got {float(payloads.min())}")
+    _validate(0.0, p, bandwidth, alpha)
+    if incast_factor < 1.0:
+        raise ConfigurationError(
+            f"incast_factor must be >= 1, got {incast_factor}")
+    _record_batch("allgather", payloads, p, incast_factor)
+    if p == 1:
+        return np.zeros_like(payloads)
+    latency = alpha * (p - 1)
+    transfer = payloads * (p - 1) / bandwidth * incast_factor
+    return latency + transfer
+
+
+def _record_batch(algorithm: str, payloads: np.ndarray, p: int,
+                  incast_factor: float = 1.0) -> None:
+    """Telemetry for one batched pricing call: the counters advance by
+    exactly what the equivalent scalar loop would have recorded."""
+    registry = get_registry()
+    if not registry.enabled or payloads.size == 0:
+        return
+    registry.counter("collective_calls_total",
+                     algorithm=algorithm).inc(payloads.size)
+    registry.counter("collective_bytes_total",
+                     algorithm=algorithm).inc(float(payloads.sum()))
+    if incast_factor > 1.0 and p > 1:
+        registry.counter("collective_incast_degraded_total",
+                         algorithm=algorithm).inc(payloads.size)
 
 
 def reduce_scatter_time(num_bytes: float, p: int, bandwidth: float,

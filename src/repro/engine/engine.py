@@ -38,7 +38,7 @@ from ..faults import FaultSchedule
 from ..hardware import ClusterConfig
 from ..models import ModelSpec
 from ..network import Fabric
-from ..simulator import DDPConfig, DDPSimulator, TimingResult
+from ..simulator import SIM_MODES, DDPConfig, DDPSimulator, TimingResult
 from ..telemetry.logs import get_logger
 from ..telemetry.metrics import get_registry
 from .cache import CacheStats, SimulationCache
@@ -112,12 +112,17 @@ class SimJob:
     warmup: int = 10
     seed: int = 0
     faults: Optional[FaultSchedule] = None
+    sim_mode: str = "auto"
 
     def __post_init__(self) -> None:
         if self.iterations <= self.warmup:
             raise ConfigurationError(
                 f"iterations ({self.iterations}) must exceed warmup "
                 f"({self.warmup})")
+        if self.sim_mode not in SIM_MODES:
+            raise ConfigurationError(
+                f"unknown simulation mode {self.sim_mode!r}; "
+                f"choose one of {', '.join(SIM_MODES)}")
 
     def fingerprint(self) -> str:
         """Content hash identifying this job's outcome.
@@ -126,6 +131,12 @@ class SimJob:
         schedule is attached: fault-free jobs keep the exact keys they
         had before fault injection existed, so no cache directory is
         invalidated by upgrading.
+
+        ``sim_mode`` deliberately stays OUT of the hash: the event and
+        batch paths are bit-identical (tests/test_batch_equivalence.py),
+        so the mode is an execution detail that must not fork the cache
+        — a sweep run under ``--sim-mode batch`` serves a later
+        ``--sim-mode event`` run from cache, and vice versa.
         """
         payload = {
             "version": FINGERPRINT_VERSION,
@@ -221,7 +232,8 @@ def _execute_job(job: SimJob) -> Tuple[str, object, float, float]:
     sim = job.build_simulator()
     try:
         result = sim.run(job.batch_size, iterations=job.iterations,
-                         warmup=job.warmup, seed=job.seed)
+                         warmup=job.warmup, seed=job.seed,
+                         mode=job.sim_mode)
     except OutOfMemoryError as exc:
         return ("oom", (str(exc), exc.required_bytes, exc.budget_bytes),
                 time.perf_counter() - started, started_unix)
@@ -333,13 +345,20 @@ class ExperimentEngine:
             budget is charged per submission wave: a job queued behind
             ``k`` others on the same worker gets ``(k+1)`` budgets, so
             queue wait does not count against it.
+        sim_mode: Execution scheme for the simulations this engine
+            runs (:data:`repro.simulator.SIM_MODES`).  ``"auto"`` (the
+            default) leaves each job's own ``sim_mode`` in force; an
+            explicit ``"event"``/``"batch"`` overrides jobs that did not
+            pick one themselves.  Results — and therefore cache keys —
+            are identical either way.
     """
 
     def __init__(self, jobs: int = 1,
                  cache: Optional[SimulationCache] = None,
                  max_retries: int = 2,
                  retry_backoff_s: float = 0.05,
-                 job_timeout_s: Optional[float] = None):
+                 job_timeout_s: Optional[float] = None,
+                 sim_mode: str = "auto"):
         """Validate and store the execution policy (see class docstring
         for what each knob controls)."""
         if jobs < 1:
@@ -353,11 +372,16 @@ class ExperimentEngine:
         if job_timeout_s is not None and job_timeout_s <= 0:
             raise ConfigurationError(
                 f"job_timeout_s must be positive, got {job_timeout_s}")
+        if sim_mode not in SIM_MODES:
+            raise ConfigurationError(
+                f"unknown simulation mode {sim_mode!r}; "
+                f"choose one of {', '.join(SIM_MODES)}")
         self.jobs = jobs
         self.cache = cache
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
         self.job_timeout_s = job_timeout_s
+        self.sim_mode = sim_mode
         #: Simulations actually executed (cache misses) over the
         #: engine's lifetime.
         self.executed = 0
@@ -407,7 +431,8 @@ class ExperimentEngine:
         else:
             miss_indices = list(range(len(batch)))
 
-        miss_jobs = [batch[i] for i in miss_indices]
+        miss_jobs = [self._job_for_execution(batch[i])
+                     for i in miss_indices]
         workers = 1
         retries_before = self.retries
         timeouts_before = self.timeouts
@@ -447,6 +472,19 @@ class ExperimentEngine:
                            retries_delta=self.retries - retries_before,
                            timeouts_delta=self.timeouts - timeouts_before)
         return [o for o in outcomes if o is not None]
+
+    def _job_for_execution(self, job: SimJob) -> SimJob:
+        """Apply the engine's simulation-mode override to one job.
+
+        An engine-level ``"event"``/``"batch"`` wins over a job that
+        left its own mode at ``"auto"``; a job that chose explicitly
+        keeps its choice.  Fingerprints are unaffected (``sim_mode`` is
+        not hashed), so the cache lookup already done against the
+        original job stays valid.
+        """
+        if self.sim_mode != "auto" and job.sim_mode == "auto":
+            return replace(job, sim_mode=self.sim_mode)
+        return job
 
     # ----- miss execution (serial / pooled, with retries) --------------------
 

@@ -1,7 +1,23 @@
-"""Discrete-event cluster training simulator (the paper's testbed stand-in)."""
+"""Discrete-event cluster training simulator (the paper's testbed stand-in).
 
-from .ddp import DDPConfig, DDPSimulator, TimingResult
+Two execution schemes produce identical results: the per-iteration
+event-queue path (:mod:`.ddp`) and the vectorized batch fast path
+(:mod:`.batch`); ``DDPSimulator.run(mode=...)`` selects between them.
+"""
+
+from .ddp import (
+    FALLBACK_REASONS,
+    SIM_MODES,
+    DDPConfig,
+    DDPSimulator,
+    TimingResult,
+)
 from .events import EventQueue
+
+# batch.py pulls repro.core (for the pipeline recurrence), which in turn
+# imports this package; importing it after the ddp names above are bound
+# keeps that cycle harmless in either entry order.
+from .batch import run_batch  # noqa: E402
 from .export import (
     allocate_track_ids,
     events_to_chrome_json,
@@ -24,6 +40,7 @@ __all__ = [
     "EventQueue", "Span", "IterationTrace", "estimate_gamma",
     "COMPUTE_STREAM", "COMM_STREAM",
     "DDPConfig", "DDPSimulator", "TimingResult",
+    "SIM_MODES", "FALLBACK_REASONS", "run_batch",
     "trace_to_events", "traces_to_events", "run_to_events",
     "allocate_track_ids", "events_to_chrome_json",
     "trace_to_chrome_json", "write_chrome_trace", "write_run_trace",

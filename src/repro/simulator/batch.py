@@ -1,0 +1,362 @@
+"""Vectorized batch evaluation of a full simulation run.
+
+:meth:`DDPSimulator.run <repro.simulator.ddp.DDPSimulator.run>` needs
+only two numbers per iteration — sync time and iteration end — yet the
+event path replays the whole span-producing machinery 110 times in pure
+Python.  This module computes the same numbers for *all* iterations at
+once as NumPy array operations:
+
+* the run's entire jitter sequence is drawn in **one** RNG call: an
+  ``(iterations × draws-per-iteration)`` lognormal matrix whose
+  row-major fill order is exactly the event path's sequential draw
+  order, so both paths consume identical variates from the same seed;
+* per-layer backward times become an ``(iterations × layers)`` product
+  plus a row-wise prefix sum (bucket-ready times);
+* bucket all-reduces are priced once per run through the broadcasting
+  collective costs (:func:`repro.collectives.ring_allreduce_time_batch`)
+  and pushed through the FIFO comm-stream recurrence
+  :func:`repro.core.perf_model.bucket_pipeline_end` — the §4.1 model's
+  ``max(γ·T_comp, (k-1)·T_comm) + T_comm(b̂)`` evaluated exactly;
+* a jitter-free config needs **no** Monte-Carlo axis at all: every
+  iteration is identical, so the kernel runs once (the analytic
+  closed form, O(buckets) with no event queue) and the result is
+  replicated.
+
+Bit-identity with the event path is a hard invariant, not an
+approximation: every elementary IEEE-754 operation is exactly rounded,
+so an elementwise array op equals the scalar op on each element, and
+this module is written so the *sequence* of operations per element —
+multiplication association, ``cumsum`` accumulation order, the
+``max``/``+`` pipeline recurrence — matches the event path's exactly.
+``tests/test_batch_equivalence.py`` pins the invariant across schemes,
+world sizes, algorithms and jitter settings.
+
+What the fast path does not do: fault schedules (per-iteration world
+size / bandwidth / stall rewrites) and span-level traces.  Those runs
+fall back to the event path — see
+:meth:`DDPSimulator.resolve_mode <repro.simulator.ddp.DDPSimulator.resolve_mode>`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..collectives import ring_allreduce_time_batch
+from ..core.perf_model import bucket_pipeline_end
+from ..errors import ConfigurationError
+from ..telemetry.metrics import get_registry
+from .ddp import FALLBACK_REASONS, DDPSimulator, TimingResult
+
+#: A kernel maps the jitter matrix ``J`` (``n`` rows) to the
+#: ``(forward_end, sync_end, iteration_end)`` arrays of all rows.
+Kernel = Callable[[np.ndarray, int], Tuple[np.ndarray, np.ndarray, np.ndarray]]
+
+
+class _DrawPlan:
+    """The per-iteration jitter draw pattern, in event-path order.
+
+    The event path draws a lognormal variate per jittered quantity, in a
+    fixed order per iteration, and skips the draw entirely when the
+    sigma is zero.  Builders register each potential draw here —
+    :meth:`column` returns the matrix column that will hold it, or
+    ``None`` when no draw happens — and :meth:`draw` then materializes
+    the whole run's draws in one RNG call.  ``numpy`` fills the
+    ``(n, k)`` output in row-major order: row ``i`` is iteration ``i``'s
+    draws left to right, exactly the sequence a threaded generator
+    would produce.
+    """
+
+    def __init__(self) -> None:
+        self.sigmas: List[float] = []
+
+    def column(self, sigma: float) -> Optional[int]:
+        """Register one draw; its column index, or ``None`` if skipped."""
+        if sigma <= 0:
+            return None
+        self.sigmas.append(float(sigma))
+        return len(self.sigmas) - 1
+
+    def columns(self, sigma: float, count: int) -> Optional[slice]:
+        """Register ``count`` consecutive draws of the same sigma."""
+        if sigma <= 0 or count == 0:
+            return None
+        start = len(self.sigmas)
+        self.sigmas.extend([float(sigma)] * count)
+        return slice(start, start + count)
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """All of the run's jitter in one call: an ``(n, k)`` matrix."""
+        if not self.sigmas:
+            return np.ones((n, 0))
+        sigma = np.broadcast_to(
+            np.asarray(self.sigmas, dtype=float), (n, len(self.sigmas)))
+        return rng.lognormal(mean=0.0, sigma=sigma)
+
+
+def _col(J: np.ndarray, idx: Optional[int], n: int) -> np.ndarray:
+    """Jitter column ``idx``, or an all-ones vector for a skipped draw
+    (``x * 1.0`` is an exact identity, matching the event path's
+    jitter-of-1.0 shortcut)."""
+    if idx is None:
+        return np.ones(n)
+    return J[:, idx]
+
+
+def _cols(J: np.ndarray, sl: Optional[slice], n: int,
+          count: int) -> np.ndarray:
+    """Jitter column block ``sl``, or all-ones for skipped draws."""
+    if sl is None:
+        return np.ones((n, count))
+    return J[:, sl]
+
+
+def _allreduce_times(sim: DDPSimulator, payloads: np.ndarray,
+                     p: int) -> np.ndarray:
+    """Vectorized ``sim._allreduce_time`` over an array of payloads.
+
+    Ring (the paper's forced algorithm and the default) broadcasts in
+    one expression; the ablation algorithms price per payload through
+    the scalar dispatcher — the bucket count is small, and the scalar
+    path keeps their exact arithmetic without duplicating it here.
+    """
+    if sim.config.allreduce_algorithm == "ring":
+        return ring_allreduce_time_batch(
+            payloads, p, sim.fabric.min_bandwidth(), sim.fabric.alpha_s)
+    return np.asarray(
+        [sim._allreduce_time(float(b), p) for b in payloads], dtype=float)
+
+
+# ----- per-path kernel builders ------------------------------------------------
+#
+# Each builder prices everything iteration-independent once, registers
+# the path's draw pattern on the plan (in the event path's exact draw
+# order), and returns (kernel, wire bytes per iteration).  The kernels
+# replicate the event path's arithmetic operation by operation; the
+# comments flag each ordering constraint.
+
+
+def _plan_baseline(sim: DDPSimulator, bs: int, plan: _DrawPlan,
+                   ) -> Tuple[Kernel, float]:
+    """syncSGD / ddp_overlap schemes: bucketed, overlapped all-reduce."""
+    cfg = sim.config
+    p = sim.cluster.world_size
+    if sim._is_baseline:
+        wire_scale, hook_cost = 1.0, 0.0
+    else:
+        cost = sim._scheme_cost(p)
+        wire_scale = cost.wire_bytes / sim.model.grad_bytes
+        hook_cost = cost.encode_decode_s
+    overlap = cfg.overlap_communication and p > 1
+    stretch = cfg.gamma if overlap else 1.0
+    fwd_base = sim._forward_time(bs)
+    opt_base = sim._optimizer_time()
+    bucket_sizes, close_idx = sim._baseline_bucket_plan()
+    nb = len(bucket_sizes)
+    # (t * stretch) precomputed; the per-iteration jitter multiplies the
+    # product, preserving the event path's (t * stretch) * j association.
+    scaled = np.asarray(sim._backward_base_times(bs), dtype=float) * stretch
+    if p > 1:
+        durs = _allreduce_times(
+            sim, np.asarray(bucket_sizes, dtype=float) * wire_scale, p)
+    else:
+        durs = np.zeros(nb)
+
+    # Event-path draw order: forward, one per backward layer, one per
+    # bucket collective (drawn even at p == 1 — the jitter multiply sits
+    # outside the p > 1 guard there), bucket-cast only when it exists,
+    # optimizer.
+    c_fwd = plan.column(cfg.compute_jitter)
+    sl_layers = plan.columns(cfg.compute_jitter, scaled.size)
+    sl_comm = plan.columns(cfg.comm_jitter, nb)
+    c_hook = plan.column(cfg.compute_jitter) if hook_cost > 0 else None
+    c_opt = plan.column(cfg.compute_jitter)
+    wire = float(sum(bucket_sizes)) * wire_scale if p > 1 else 0.0
+
+    def kernel(J: np.ndarray, n: int):
+        fwd_end = fwd_base * _col(J, c_fwd, n)
+        layers = scaled * _cols(J, sl_layers, n, scaled.size)
+        # Row-wise prefix sum: cumsum accumulates strictly sequentially
+        # (never pairwise), matching the event path's running clock.
+        completion = np.cumsum(layers, axis=1) + fwd_end[:, None]
+        backward_end = completion[:, -1]
+        if overlap:
+            ready = completion[:, close_idx]
+        else:
+            ready = np.broadcast_to(backward_end[:, None], (n, nb))
+        durations = durs * _cols(J, sl_comm, n, nb)
+        sync_end = np.maximum(
+            bucket_pipeline_end(ready, durations, fwd_end), backward_end)
+        if hook_cost > 0:
+            sync_end = sync_end + hook_cost * _col(J, c_hook, n)
+        start = np.maximum(sync_end, backward_end)
+        iter_end = start + opt_base * _col(J, c_opt, n)
+        return fwd_end, sync_end, iter_end
+
+    return kernel, wire
+
+
+def _plan_sequential(sim: DDPSimulator, bs: int, plan: _DrawPlan,
+                     ) -> Tuple[Kernel, float]:
+    """Sequential compression: backward → encode → collective → decode."""
+    cfg = sim.config
+    p = sim.cluster.world_size
+    cost = sim._scheme_cost(p)
+    fwd_base = sim._forward_time(bs)
+    bwd_base = sim._backward_time(bs)
+    enc_base = cost.encode_decode_s + sim._hook_overhead()
+    comm_base = sim._collective_time(cost, p) if p > 1 else 0.0
+    opt_base = sim._optimizer_time()
+
+    # Draw order: forward, backward, encode/decode, collective (only
+    # drawn when p > 1 on this path), optimizer.
+    c_fwd = plan.column(cfg.compute_jitter)
+    c_bwd = plan.column(cfg.compute_jitter)
+    c_enc = plan.column(cfg.compute_jitter)
+    c_comm = plan.column(cfg.comm_jitter) if p > 1 else None
+    c_opt = plan.column(cfg.compute_jitter)
+    wire = cost.wire_bytes if p > 1 else 0.0
+
+    def kernel(J: np.ndarray, n: int):
+        fwd_end = fwd_base * _col(J, c_fwd, n)
+        backward_end = fwd_end + bwd_base * _col(J, c_bwd, n)
+        enc_dec = enc_base * _col(J, c_enc, n)
+        encode_end = backward_end + enc_dec / 2.0
+        if p > 1:
+            comm_end = encode_end + comm_base * _col(J, c_comm, n)
+        else:
+            comm_end = encode_end + 0.0
+        sync_end = comm_end + enc_dec / 2.0
+        start = np.maximum(sync_end, backward_end)
+        iter_end = start + opt_base * _col(J, c_opt, n)
+        return fwd_end, sync_end, iter_end
+
+    return kernel, wire
+
+
+def _plan_overlapped(sim: DDPSimulator, bs: int, plan: _DrawPlan,
+                     ) -> Tuple[Kernel, float]:
+    """Figure 3's losing strategy: encode interleaved with backward."""
+    cfg = sim.config
+    p = sim.cluster.world_size
+    cost = sim._scheme_cost(p)
+    fwd_base = sim._forward_time(bs)
+    bwd_base = sim._backward_time(bs)
+    enc_base = cost.encode_decode_s + sim._hook_overhead()
+    comm_base = 0.0 if p == 1 else sim._collective_time(cost, p)
+    opt_base = sim._optimizer_time()
+    pen = cfg.contention_penalty
+    waves = 4
+
+    # Draw order: forward, backward, encode/decode, the shared wave
+    # collective (drawn even at p == 1 on this path), optimizer.
+    c_fwd = plan.column(cfg.compute_jitter)
+    c_bwd = plan.column(cfg.compute_jitter)
+    c_enc = plan.column(cfg.compute_jitter)
+    c_comm = plan.column(cfg.comm_jitter)
+    c_opt = plan.column(cfg.compute_jitter)
+    wire = cost.wire_bytes if p > 1 else 0.0
+
+    def kernel(J: np.ndarray, n: int):
+        fwd_end = fwd_base * _col(J, c_fwd, n)
+        t_bwd = bwd_base * _col(J, c_bwd, n)
+        enc_dec = enc_base * _col(J, c_enc, n)
+        stretched = (t_bwd + enc_dec / 2.0) * pen
+        compute_end = fwd_end + stretched
+        comm_total = comm_base * _col(J, c_comm, n)
+        sync_end = compute_end
+        if p > 1:
+            ready = np.stack(
+                [fwd_end + stretched * (w + 1) / waves
+                 for w in range(waves)], axis=1)
+            sync_end = bucket_pipeline_end(
+                ready, (comm_total / waves)[:, None], fwd_end)
+        sync_end = np.maximum(sync_end, compute_end) + enc_dec / 2.0
+        start = np.maximum(sync_end, compute_end)
+        iter_end = start + opt_base * _col(J, c_opt, n)
+        return fwd_end, sync_end, iter_end
+
+    return kernel, wire
+
+
+# ----- entry point -------------------------------------------------------------
+
+
+def run_batch(sim: DDPSimulator, batch_size: Optional[int] = None,
+              iterations: int = 110, warmup: int = 10,
+              seed: int = 0) -> TimingResult:
+    """Evaluate a whole measurement run as array operations.
+
+    Produces a :class:`TimingResult` bit-identical to
+    ``sim.run(..., mode="event")`` for any fault-free simulator.  Do not
+    call with a fault-schedule-bearing simulator —
+    :meth:`DDPSimulator.run` routes those to the event path.
+
+    Raises:
+        ConfigurationError: invalid iteration protocol, or a simulator
+            the fast path cannot serve (attached fault injector).
+        OutOfMemoryError: the same deterministic OOM the event path
+            raises on its first iteration (checked once — it cannot
+            vary across iterations).
+    """
+    if iterations <= warmup:
+        raise ConfigurationError(
+            f"iterations ({iterations}) must exceed warmup ({warmup})")
+    reason = sim.batch_fallback_reason()
+    if reason is not None:
+        raise ConfigurationError(
+            f"batch fast path cannot serve this simulator: "
+            f"{FALLBACK_REASONS[reason]}")
+    bs = batch_size if batch_size is not None else sim.model.default_batch_size
+    if sim.config.check_memory:
+        sim.check_memory(bs)
+
+    plan = _DrawPlan()
+    if sim._is_baseline or sim.scheme.ddp_overlap:
+        kernel, wire = _plan_baseline(sim, bs, plan)
+    elif sim.config.overlap_compression:
+        kernel, wire = _plan_overlapped(sim, bs, plan)
+    else:
+        kernel, wire = _plan_sequential(sim, bs, plan)
+
+    # The analytic closed form: with every sigma zero there is nothing
+    # stochastic — no draws happen on either path — so one kernel row
+    # is the whole run.
+    n = iterations if plan.sigmas else 1
+    J = plan.draw(np.random.default_rng(seed), n)
+    fwd_end, sync_end, iter_end = kernel(J, n)
+    sync = sync_end - fwd_end
+
+    measured = iterations - warmup
+    if n == 1:
+        sync_times = (float(sync[0]),) * measured
+        iter_times = (float(iter_end[0]),) * measured
+    else:
+        sync_times = tuple(float(x) for x in sync[warmup:])
+        iter_times = tuple(float(x) for x in iter_end[warmup:])
+
+    registry = get_registry()
+    if registry.enabled:
+        label = sim.scheme.label
+        registry.counter("sim_iterations_total",
+                         scheme=label).inc(iterations)
+        hist = registry.histogram("sim_sync_time_s", scheme=label)
+        if n == 1:
+            for _ in range(iterations):
+                hist.observe(float(sync[0]))
+        else:
+            for value in sync:
+                hist.observe(float(value))
+        if wire > 0:
+            registry.counter("sim_wire_bytes_total",
+                             scheme=label).inc(wire * iterations)
+
+    return TimingResult(
+        model=sim.model.name,
+        scheme=sim.scheme.label,
+        world_size=sim.cluster.world_size,
+        batch_size=bs,
+        sync_times=sync_times,
+        iteration_times=iter_times,
+    )

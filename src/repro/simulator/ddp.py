@@ -55,6 +55,23 @@ from ..units import MIB
 from .events import EventQueue
 from .trace import COMM_STREAM, COMPUTE_STREAM, IterationTrace, Span
 
+#: Execution schemes :meth:`DDPSimulator.run` accepts.  ``"event"`` is
+#: the per-iteration event-queue loop above; ``"batch"`` is the
+#: vectorized NumPy kernel in :mod:`repro.simulator.batch` (bit-identical
+#: results, no per-iteration Python loop); ``"auto"`` picks the fast
+#: path whenever it is available.
+SIM_MODES = ("auto", "event", "batch")
+
+#: Why ``mode="auto"`` falls back to the event path, keyed by the slug
+#: :meth:`DDPSimulator.batch_fallback_reason` returns.
+FALLBACK_REASONS = {
+    "fault-schedule": ("a fault schedule rewrites per-iteration state "
+                       "(world size, bandwidth, stalls, retransmits) "
+                       "that the vectorized kernel does not model"),
+    "trace-export": ("span-level timeline traces only exist on the "
+                     "event path"),
+}
+
 
 @dataclass(frozen=True)
 class DDPConfig:
@@ -195,6 +212,21 @@ class DDPSimulator:
         self._cost_cache: dict = {}
         self._bucket_plan: Optional[Tuple[List[float], List[int]]] = None
         self._bwd_base_cache: dict = {}
+        # Construction-time model walks (reversed layer tuple, per-layer
+        # flop sums, hook overhead) are likewise computed at most once
+        # per simulator instead of once per iteration.
+        self._backward_layers: Tuple = model.backward_layers()
+        self._fwd_time_cache: dict = {}
+        self._full_bwd_time_cache: dict = {}
+        self._opt_time: Optional[float] = None
+        self._hook_cost: Optional[float] = None
+        #: Mode the most recent :meth:`run` actually executed
+        #: (``"event"`` / ``"batch"``; ``None`` before any run).
+        self.last_run_mode: Optional[str] = None
+        #: Fallback-reason slug when an ``"auto"`` run was forced onto
+        #: the event path (``None`` when the fast path ran or the event
+        #: path was requested explicitly).
+        self.last_run_fallback: Optional[str] = None
 
     def _scheme_cost(self, world_size: Optional[int] = None) -> SchemeCost:
         """The scheme's cost for this simulator's model at a world size
@@ -215,7 +247,7 @@ class DDPSimulator:
             bucket_sizes = [
                 float(sum(l.grad_bytes for l in b)) for b in buckets]
             name_to_idx = {
-                l.name: i for i, l in enumerate(self.model.backward_layers())}
+                l.name: i for i, l in enumerate(self._backward_layers)}
             bucket_close_idx = [
                 max(name_to_idx[l.name] for l in bucket)
                 for bucket in buckets]
@@ -381,18 +413,49 @@ class DDPSimulator:
 
     def _hook_overhead(self) -> float:
         """Per-iteration framework cost of running a compression hook over
-        every trainable layer (gradient extraction + copy-back)."""
-        return (self.config.hook_overhead_per_layer_s
-                * len(self.model.trainable_layers))
+        every trainable layer (gradient extraction + copy-back);
+        memoized — it depends only on construction-time state."""
+        if self._hook_cost is None:
+            self._hook_cost = (self.config.hook_overhead_per_layer_s
+                               * len(self.model.trainable_layers))
+        return self._hook_cost
+
+    def _forward_time(self, bs: int) -> float:
+        """Un-jittered forward duration, memoized per batch size."""
+        t = self._fwd_time_cache.get(bs)
+        if t is None:
+            t = self.compute.forward_time(bs)
+            self._fwd_time_cache[bs] = t
+        return t
+
+    def _backward_time(self, bs: int) -> float:
+        """Un-jittered whole-backward duration, memoized per batch size."""
+        t = self._full_bwd_time_cache.get(bs)
+        if t is None:
+            t = self.compute.backward_time(bs)
+            self._full_bwd_time_cache[bs] = t
+        return t
+
+    def _optimizer_time(self) -> float:
+        """Un-jittered optimizer duration (batch-size independent)."""
+        if self._opt_time is None:
+            self._opt_time = self.compute.optimizer_time()
+        return self._opt_time
+
+    def _backward_base_times(self, bs: int) -> List[float]:
+        """Un-jittered per-layer backward durations in backward order,
+        memoized per batch size."""
+        base = self._bwd_base_cache.get(bs)
+        if base is None:
+            base = [self.compute.layer_backward_time(layer, bs)
+                    for layer in self._backward_layers]
+            self._bwd_base_cache[bs] = base
+        return base
 
     def _backward_layer_times(self, bs: int, stretch: float,
                               rng: np.random.Generator) -> List[float]:
         sigma = self.config.compute_jitter
-        base = self._bwd_base_cache.get(bs)
-        if base is None:
-            base = [self.compute.layer_backward_time(layer, bs)
-                    for layer in self.model.backward_layers()]
-            self._bwd_base_cache[bs] = base
+        base = self._backward_base_times(bs)
         # One scalar jitter draw per layer, in layer order, so the rng
         # stream is identical to the pre-cache implementation.
         return [t * stretch * self._jitter(rng, sigma) for t in base]
@@ -455,7 +518,7 @@ class DDPSimulator:
         overlap = cfg.overlap_communication and p > 1
         stretch = cfg.gamma if overlap else 1.0
 
-        t_fwd = (self.compute.forward_time(bs) * slow
+        t_fwd = (self._forward_time(bs) * slow
                  * self._jitter(rng, cfg.compute_jitter))
         trace.add(Span(COMPUTE_STREAM, "forward", t0, t0 + t_fwd))
         trace.forward_end = t0 + t_fwd
@@ -527,12 +590,12 @@ class DDPSimulator:
         t0 = self._start_stall(trace, ifaults)
         cost = self._scheme_cost(p)
 
-        t_fwd = (self.compute.forward_time(bs) * slow
+        t_fwd = (self._forward_time(bs) * slow
                  * self._jitter(rng, cfg.compute_jitter))
         trace.add(Span(COMPUTE_STREAM, "forward", t0, t0 + t_fwd))
         trace.forward_end = t0 + t_fwd
 
-        t_bwd = (self.compute.backward_time(bs) * slow
+        t_bwd = (self._backward_time(bs) * slow
                  * self._jitter(rng, cfg.compute_jitter))
         trace.backward_end = trace.forward_end + t_bwd
         trace.add(Span(COMPUTE_STREAM, "backward", trace.forward_end,
@@ -578,13 +641,13 @@ class DDPSimulator:
         t0 = self._start_stall(trace, ifaults)
         cost = self._scheme_cost(p)
 
-        t_fwd = (self.compute.forward_time(bs) * slow
+        t_fwd = (self._forward_time(bs) * slow
                  * self._jitter(rng, cfg.compute_jitter))
         fwd_end = t0 + t_fwd
         trace.add(Span(COMPUTE_STREAM, "forward", t0, fwd_end))
         trace.forward_end = fwd_end
 
-        t_bwd = (self.compute.backward_time(bs) * slow
+        t_bwd = (self._backward_time(bs) * slow
                  * self._jitter(rng, cfg.compute_jitter))
         enc_dec = ((cost.encode_decode_s + self._hook_overhead()) * slow
                    * self._jitter(rng, cfg.compute_jitter))
@@ -630,20 +693,90 @@ class DDPSimulator:
                           rng: np.random.Generator,
                           slowdown: float = 1.0) -> None:
         start = max(trace.sync_end, trace.backward_end)
-        t_opt = (self.compute.optimizer_time() * slowdown
+        t_opt = (self._optimizer_time() * slowdown
                  * self._jitter(rng, self.config.compute_jitter))
         trace.add(Span(COMPUTE_STREAM, "optimizer", start, start + t_opt))
         trace.iteration_end = start + t_opt
 
     # ----- multi-iteration runs -------------------------------------------------
 
+    def batch_fallback_reason(self, tracing: bool = False) -> Optional[str]:
+        """Why the batch fast path cannot serve this simulator, as a
+        :data:`FALLBACK_REASONS` slug — or ``None`` when it can.
+
+        ``tracing=True`` asks whether a run that needs span-level
+        timeline traces could take the fast path (it cannot: the batch
+        kernel computes iteration instants, not spans).
+        """
+        if self._injector is not None:
+            return "fault-schedule"
+        if tracing:
+            return "trace-export"
+        return None
+
+    def resolve_mode(self, mode: str = "auto", tracing: bool = False,
+                     ) -> Tuple[str, Optional[str]]:
+        """Resolve a requested simulation mode to the one that will run.
+
+        Returns ``(resolved mode, fallback reason)`` where the reason is
+        a :data:`FALLBACK_REASONS` slug when ``"auto"`` was forced onto
+        the event path and ``None`` otherwise.
+
+        Raises:
+            ConfigurationError: for an unknown mode, or for an explicit
+                ``"batch"`` request the fast path cannot honour —
+                silently degrading an explicit request would make the
+                mode flag a lie.
+        """
+        if mode not in SIM_MODES:
+            raise ConfigurationError(
+                f"unknown simulation mode {mode!r}; "
+                f"choose one of {', '.join(SIM_MODES)}")
+        if mode == "event":
+            return "event", None
+        reason = self.batch_fallback_reason(tracing)
+        if reason is None:
+            return "batch", None
+        if mode == "batch":
+            raise ConfigurationError(
+                f"simulation mode 'batch' is unavailable here: "
+                f"{FALLBACK_REASONS[reason]} (use 'event' or 'auto')")
+        return "event", reason
+
     def run(self, batch_size: Optional[int] = None, iterations: int = 110,
-            warmup: int = 10, seed: int = 0) -> TimingResult:
+            warmup: int = 10, seed: int = 0,
+            mode: str = "auto") -> TimingResult:
         """Run the paper's measurement protocol: ``iterations`` simulated
-        iterations, discard the first ``warmup``, report the rest."""
+        iterations, discard the first ``warmup``, report the rest.
+
+        ``mode`` selects the execution scheme (:data:`SIM_MODES`):
+        ``"event"`` runs the per-iteration event loop, ``"batch"`` the
+        vectorized kernel of :mod:`repro.simulator.batch`, and
+        ``"auto"`` (the default) the fast path unless a fault schedule
+        forces the event path.  The two paths are bit-identical — same
+        RNG draws, same floating-point operation order — so the choice
+        never changes the returned :class:`TimingResult` (and therefore
+        stays out of the engine's cache fingerprints).  The mode that
+        actually ran is recorded on :attr:`last_run_mode` /
+        :attr:`last_run_fallback`.
+        """
         if iterations <= warmup:
             raise ConfigurationError(
                 f"iterations ({iterations}) must exceed warmup ({warmup})")
+        resolved, fallback = self.resolve_mode(mode)
+        self.last_run_mode = resolved
+        self.last_run_fallback = fallback
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("sim_run_mode_total", mode=resolved).inc()
+            if fallback is not None:
+                registry.counter("sim_fastpath_fallback_total",
+                                 reason=fallback).inc()
+        if resolved == "batch":
+            # Deferred import: batch.py imports TimingResult from here.
+            from .batch import run_batch
+            return run_batch(self, batch_size, iterations=iterations,
+                             warmup=warmup, seed=seed)
         bs = batch_size if batch_size is not None else self.model.default_batch_size
         rng = np.random.default_rng(seed)
         sync_times: List[float] = []

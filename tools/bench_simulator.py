@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Simulator performance baseline: measure, record, and gate.
+
+Measures the cold wall time and simulated-iteration throughput of the
+simulator-bound paper exhibits under both execution schemes (event loop
+vs the vectorized batch fast path) and writes ``BENCH_simulator.json``
+at the repository root — the perf trajectory future PRs regress
+against.
+
+Two entry modes:
+
+``--output PATH`` (default)
+    Measure and (re)write the baseline file.  ``make bench`` runs this
+    before the full pytest benchmark suite.
+
+``--check``
+    Measure again and compare against the checked-in baseline,
+    failing (exit 1) when the fast path's *relative* advantage decayed
+    by more than ``--tolerance`` (default 2x).  The gate compares the
+    auto/event wall-time **ratio**, not absolute seconds, so a slower
+    CI machine cannot fail it — only a genuinely regressed fast path
+    can.  ``make bench-smoke`` and the CI ``bench-smoke`` job run this
+    over a two-exhibit subset (``--smoke``).
+
+Measurements run serial, cache-less, telemetry-off — the worst-case
+cold configuration a first ``repro experiment`` run pays.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.engine import ExperimentEngine, JobOutcome, SimJob  # noqa: E402
+from repro.experiments import EXPERIMENTS  # noqa: E402
+
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_simulator.json")
+
+#: Simulator-bound exhibits (their cost is ``DDPSimulator.run`` grids;
+#: the analytic figures cost milliseconds and would only add noise).
+DEFAULT_EXHIBITS = ["fig3", "fig4", "fig5", "fig6", "fig7"]
+SMOKE_EXHIBITS = ["fig4", "fig7"]
+
+MODES = ["event", "auto"]
+
+#: Cold event-path wall seconds measured at the commit immediately
+#: before the batch fast path landed — the "before" column of the
+#: trajectory this baseline starts.  Absolute numbers are
+#: machine-specific; the --check gate never reads them.
+PRE_FASTPATH_EVENT_WALL_S = {
+    "fig3": 0.05, "fig4": 0.42, "fig5": 0.39, "fig6": 0.24, "fig7": 0.09,
+}
+
+
+class _CountingEngine(ExperimentEngine):
+    """Serial engine that counts the simulated iterations it executed,
+    so the baseline can report throughput, not just wall time."""
+
+    def __init__(self, sim_mode: str):
+        super().__init__(jobs=1, cache=None, sim_mode=sim_mode)
+        self.sim_iterations = 0
+
+    def run_outcomes(self, batch) -> List[JobOutcome]:
+        outcomes = super().run_outcomes(batch)
+        for outcome in outcomes:
+            if outcome.result is not None:
+                self.sim_iterations += outcome.job.iterations
+        return outcomes
+
+
+def measure(exhibits: List[str]) -> Dict[str, dict]:
+    """Time each exhibit cold under every mode; returns the report rows."""
+    rows: Dict[str, dict] = {}
+    for exp_id in exhibits:
+        runner = EXPERIMENTS[exp_id]
+        if "engine" not in inspect.signature(runner).parameters:
+            print(f"  [skip] {exp_id}: not an engine-backed exhibit")
+            continue
+        row: Dict[str, dict] = {}
+        for mode in MODES:
+            engine = _CountingEngine(sim_mode=mode)
+            started = time.perf_counter()
+            runner(engine=engine)
+            wall = time.perf_counter() - started
+            iters = engine.sim_iterations
+            row[mode] = {
+                "wall_s": round(wall, 4),
+                "sim_iterations": iters,
+                "iters_per_s": round(iters / wall, 1) if wall > 0 else 0.0,
+            }
+        speedup = (row["event"]["wall_s"] / row["auto"]["wall_s"]
+                   if row["auto"]["wall_s"] > 0 else float("inf"))
+        row["speedup"] = round(speedup, 2)
+        rows[exp_id] = row
+        print(f"  [{exp_id}] event {row['event']['wall_s']:.3f} s, "
+              f"auto {row['auto']['wall_s']:.3f} s "
+              f"({row['speedup']:.1f}x, "
+              f"{row['auto']['iters_per_s']:.0f} iters/s)")
+    return rows
+
+
+def build_report(rows: Dict[str, dict]) -> dict:
+    """Wrap measured rows in the BENCH_simulator.json schema."""
+    return {
+        "schema": 1,
+        "generated_by": "tools/bench_simulator.py",
+        "protocol": {
+            "modes": MODES,
+            "engine": "serial, no cache, telemetry off (cold worst case)",
+            "note": ("speedup = event wall / auto wall; the --check gate "
+                     "compares this machine-independent ratio"),
+        },
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "before": {
+            "event_wall_s": PRE_FASTPATH_EVENT_WALL_S,
+            "note": ("cold event-path walls measured before the batch "
+                     "fast path and call-site memoization landed"),
+        },
+        "exhibits": rows,
+    }
+
+
+def check(baseline_path: str, exhibits: List[str],
+          tolerance: float) -> int:
+    """Re-measure and gate against the checked-in baseline ratios."""
+    if not os.path.exists(baseline_path):
+        print(f"error: no baseline at {baseline_path}; "
+              f"run tools/bench_simulator.py first", file=sys.stderr)
+        return 1
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base_rows = baseline.get("exhibits", {})
+    exhibits = [e for e in exhibits if e in base_rows]
+    print(f"re-measuring {', '.join(exhibits)} against {baseline_path} "
+          f"(tolerance {tolerance:g}x on the auto/event ratio)")
+    rows = measure(exhibits)
+    failed = []
+    for exp_id, row in rows.items():
+        base = base_rows[exp_id]
+        base_ratio = (base["auto"]["wall_s"] / base["event"]["wall_s"]
+                      if base["event"]["wall_s"] > 0 else 1.0)
+        cur_ratio = (row["auto"]["wall_s"] / row["event"]["wall_s"]
+                     if row["event"]["wall_s"] > 0 else 1.0)
+        limit = base_ratio * tolerance
+        verdict = "ok" if cur_ratio <= limit else "REGRESSED"
+        print(f"  [{exp_id}] auto/event ratio {cur_ratio:.3f} "
+              f"(baseline {base_ratio:.3f}, limit {limit:.3f}) {verdict}")
+        if cur_ratio > limit:
+            failed.append(exp_id)
+    if failed:
+        print(f"FAIL: fast-path regression on {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print("bench check passed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: write the baseline or gate against it."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=DEFAULT_BASELINE,
+                        metavar="PATH",
+                        help="where to write the baseline JSON "
+                             "(default: BENCH_simulator.json at repo root)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the checked-in baseline "
+                             "instead of rewriting it")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="allowed auto/event ratio inflation before "
+                             "--check fails (default: 2.0)")
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"only measure {', '.join(SMOKE_EXHIBITS)} "
+                             f"(the CI smoke subset)")
+    parser.add_argument("--exhibits", nargs="*", default=None,
+                        help="explicit exhibit ids to measure")
+    args = parser.parse_args(argv)
+
+    if args.tolerance <= 0:
+        parser.error("--tolerance must be positive")
+    exhibits = (args.exhibits if args.exhibits
+                else SMOKE_EXHIBITS if args.smoke else DEFAULT_EXHIBITS)
+    unknown = [e for e in exhibits if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown exhibits: {', '.join(unknown)}")
+
+    if args.check:
+        return check(args.output, exhibits, args.tolerance)
+
+    print(f"measuring {', '.join(exhibits)} (cold, serial, both modes)")
+    report = build_report(measure(exhibits))
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
