@@ -100,7 +100,8 @@ def _accepts_engine(runner) -> bool:
 def cmd_experiment(args: argparse.Namespace) -> int:
     cache = SimulationCache(args.cache) if args.cache else None
     engine = ExperimentEngine(jobs=args.jobs, cache=cache,
-                              sim_mode=args.sim_mode)
+                              sim_mode=args.sim_mode,
+                              chunking=not args.no_chunking)
     # "all" covers only the paper's own exhibits; extras (reliability)
     # run by explicit id so the canonical output stays stable.
     ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
@@ -140,7 +141,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             config={"command": "experiment", "id": args.id,
                     "jobs": args.jobs, "cache": args.cache,
                     "markdown": bool(args.markdown),
-                    "sim_mode": args.sim_mode},
+                    "sim_mode": args.sim_mode,
+                    "chunking": not args.no_chunking},
             wall_time_s=time.perf_counter() - run_started,
             metrics=telemetry_metrics.get_registry().snapshot(),
             results={"exhibits": exhibits,
@@ -287,7 +289,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--sim-mode", default="auto", choices=SIM_MODES,
                        help="simulation execution scheme (default: auto "
                             "— the vectorized fast path whenever "
-                            "results are provably identical)")
+                            "results are provably identical). "
+                            "Independent of chunking: with --jobs N the "
+                            "engine groups compatible jobs (model-eval "
+                            "families into single grid calls, pooled "
+                            "simulations into chunks); per-point cache "
+                            "keys and cached bytes are unchanged, so "
+                            "--cache directories are shared freely "
+                            "across modes, job counts, and chunking "
+                            "settings")
+    p_exp.add_argument("--no-chunking", action="store_true",
+                       help="disable job chunking/family grouping and "
+                            "run one execution per job (identical rows "
+                            "and cache entries, only slower)")
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_rec = sub.add_parser("recommend",

@@ -169,6 +169,95 @@ def allgather_time_batch(num_bytes: np.ndarray, p: int, bandwidth: float,
     return latency + transfer
 
 
+def ring_allreduce_time_grid(num_bytes, p, bandwidth,
+                             alpha) -> np.ndarray:
+    """N-D broadcasting :func:`ring_allreduce_time`.
+
+    Unlike :func:`ring_allreduce_time_batch` (array payloads, scalar
+    world size and bandwidth), every argument here may be an array, and
+    they broadcast against each other — the pricing kernel of the
+    grid-vectorized what-if engine (:mod:`repro.core.grid`), which
+    sweeps payload x world size x bandwidth in one call.
+
+    Elementwise the arithmetic is the scalar function's (IEEE-754
+    elementary operations are exactly rounded, so each grid cell is
+    bit-identical to the scalar call with the same operands); world
+    sizes of 1 price to exactly 0.0, like the scalar early return.
+    Telemetry counts one pricing call per grid cell.
+    """
+    payloads = np.asarray(num_bytes, dtype=float)
+    p_arr = np.asarray(p)
+    bw = np.asarray(bandwidth, dtype=float)
+    alpha_arr = np.asarray(alpha, dtype=float)
+    _validate_grid(payloads, p_arr, bw, alpha_arr)
+    _record_grid("ring_allreduce", payloads, p_arr, bw, alpha_arr)
+    latency = 2.0 * alpha_arr * (p_arr - 1)
+    transfer = 2.0 * payloads * (p_arr - 1) / (p_arr * bw)
+    return np.where(p_arr == 1, 0.0, latency + transfer)
+
+
+def allgather_time_grid(num_bytes, p, bandwidth, alpha,
+                        incast_factor: float = 1.0) -> np.ndarray:
+    """N-D broadcasting :func:`allgather_time` (same contract as
+    :func:`ring_allreduce_time_grid`: every argument may be an array,
+    cells are bit-identical to the scalar formula, p == 1 prices to
+    0.0)."""
+    payloads = np.asarray(num_bytes, dtype=float)
+    p_arr = np.asarray(p)
+    bw = np.asarray(bandwidth, dtype=float)
+    alpha_arr = np.asarray(alpha, dtype=float)
+    _validate_grid(payloads, p_arr, bw, alpha_arr)
+    if incast_factor < 1.0:
+        raise ConfigurationError(
+            f"incast_factor must be >= 1, got {incast_factor}")
+    _record_grid("allgather", payloads, p_arr, bw, alpha_arr,
+                 incast_factor)
+    latency = alpha_arr * (p_arr - 1)
+    transfer = payloads * (p_arr - 1) / bw * incast_factor
+    return np.where(p_arr == 1, 0.0, latency + transfer)
+
+
+def _validate_grid(payloads: np.ndarray, p_arr: np.ndarray,
+                   bw: np.ndarray, alpha_arr: np.ndarray) -> None:
+    """Array-aware form of :func:`_validate` (reports the worst value)."""
+    if payloads.size and float(payloads.min()) < 0:
+        raise ConfigurationError(
+            f"num_bytes must be >= 0, got {float(payloads.min())}")
+    if p_arr.size and int(p_arr.min()) < 1:
+        raise ConfigurationError(
+            f"world size must be >= 1, got {int(p_arr.min())}")
+    if bw.size and float(bw.min()) <= 0:
+        raise ConfigurationError(
+            f"bandwidth must be > 0, got {float(bw.min())}")
+    if alpha_arr.size and float(alpha_arr.min()) < 0:
+        raise ConfigurationError(
+            f"alpha must be >= 0, got {float(alpha_arr.min())}")
+
+
+def _record_grid(algorithm: str, payloads: np.ndarray, p_arr: np.ndarray,
+                 bw: np.ndarray, alpha_arr: np.ndarray,
+                 incast_factor: float = 1.0) -> None:
+    """Telemetry for one grid pricing call: advance the counters by what
+    the equivalent nest of scalar calls would have recorded."""
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    shape = np.broadcast_shapes(payloads.shape, p_arr.shape, bw.shape,
+                                alpha_arr.shape)
+    cells = int(np.prod(shape))
+    if cells == 0:
+        return
+    registry.counter("collective_calls_total",
+                     algorithm=algorithm).inc(cells)
+    registry.counter("collective_bytes_total", algorithm=algorithm).inc(
+        float(np.broadcast_to(payloads, shape).sum()))
+    if incast_factor > 1.0:
+        degraded = int((np.broadcast_to(p_arr, shape) > 1).sum())
+        if degraded:
+            registry.counter("collective_incast_degraded_total",
+                             algorithm=algorithm).inc(degraded)
+
+
 def _record_batch(algorithm: str, payloads: np.ndarray, p: int,
                   incast_factor: float = 1.0) -> None:
     """Telemetry for one batched pricing call: the counters advance by

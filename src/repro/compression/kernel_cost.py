@@ -84,7 +84,10 @@ class KernelProfile:
                            "orth_elems_per_s", "select_elems_per_s",
                            "pack_elems_per_s", "elementwise_elems_per_s",
                            "svd_flops_per_s"):
-            if getattr(self, field_name) <= 0:
+            # np.any instead of a plain comparison: the grid engine
+            # (repro.core.grid) carries a compute-factor *axis* through
+            # these fields as NumPy arrays.
+            if np.any(np.asarray(getattr(self, field_name)) <= 0):
                 raise ConfigurationError(
                     f"{self.name}: {field_name} must be > 0, "
                     f"got {getattr(self, field_name)}")

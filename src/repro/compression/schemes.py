@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..models import ModelSpec
 from ..units import FLOAT32_BYTES
@@ -52,7 +54,10 @@ class SchemeCost:
     gather_stack_bytes: float
 
     def __post_init__(self) -> None:
-        if self.wire_bytes <= 0:
+        # np.any instead of plain comparisons: the grid engine
+        # (repro.core.grid) prices schemes with array-valued kernel
+        # profiles, making encode_decode_s an array along the swept axis.
+        if np.any(np.asarray(self.wire_bytes) <= 0):
             raise ConfigurationError(
                 f"scheme produced non-positive wire bytes "
                 f"({self.wire_bytes})")
@@ -60,10 +65,10 @@ class SchemeCost:
             raise ConfigurationError(
                 f"messages must be a positive integer, got "
                 f"{self.messages!r}")
-        if self.encode_decode_s < 0:
+        if np.any(np.asarray(self.encode_decode_s) < 0):
             raise ConfigurationError(
                 f"encode_decode_s must be >= 0, got {self.encode_decode_s}")
-        if self.gather_stack_bytes < 0:
+        if np.any(np.asarray(self.gather_stack_bytes) < 0):
             raise ConfigurationError(
                 f"gather_stack_bytes must be >= 0, "
                 f"got {self.gather_stack_bytes}")

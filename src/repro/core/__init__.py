@@ -14,12 +14,20 @@ from .advisor import (
     recommend_for_inputs,
 )
 from .calibration import CalibrationReport, calibrate
+from .grid import (
+    TimingGrid,
+    backward_time_grid,
+    compressed_time_grid,
+    syncsgd_time_grid,
+    tradeoff_time_grid,
+)
 from .ideal import (
     HeadroomPoint,
     RequiredCompression,
     communicable_bytes,
     headroom_curve,
     required_compression,
+    required_compression_curve,
 )
 from .perf_model import (
     PerfModelInputs,
@@ -41,12 +49,16 @@ from .planning import (
 )
 from .validation import ValidationCurve, ValidationPoint, validate_scheme
 from .whatif import (
+    Crossing,
     TradeoffPoint,
     WhatIfPoint,
     bandwidth_sweep,
     compute_sweep,
     encode_tradeoff_grid,
     find_crossover_gbps,
+    solve_crossover,
+    sweep_crossings,
+    tradeoff_time,
 )
 
 __all__ = [
@@ -55,9 +67,13 @@ __all__ = [
     "CalibrationReport", "calibrate",
     "ValidationPoint", "ValidationCurve", "validate_scheme",
     "RequiredCompression", "communicable_bytes", "required_compression",
+    "required_compression_curve",
     "HeadroomPoint", "headroom_curve",
+    "TimingGrid", "backward_time_grid", "syncsgd_time_grid",
+    "compressed_time_grid", "tradeoff_time_grid",
     "WhatIfPoint", "bandwidth_sweep", "compute_sweep", "TradeoffPoint",
-    "encode_tradeoff_grid", "find_crossover_gbps",
+    "encode_tradeoff_grid", "tradeoff_time",
+    "Crossing", "sweep_crossings", "find_crossover_gbps", "solve_crossover",
     "Recommendation", "CandidateVerdict", "recommend",
     "recommend_for_inputs", "default_candidates",
     "EpochEstimate", "epoch_time", "batch_size_plan",

@@ -19,13 +19,16 @@ for ResNet-50, ~100 ms for ResNet-101, ~200 ms for BERT at 10 Gbit/s.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..compute import ComputeModel
 from ..errors import ConfigurationError
 from ..hardware import GPUSpec, V100
 from ..models import ModelSpec
-from .perf_model import PerfModelInputs, syncsgd_time
+from .grid import backward_time_grid, syncsgd_time_grid
+from .perf_model import PerfModelInputs
 
 
 @dataclass(frozen=True)
@@ -87,6 +90,59 @@ def required_compression(model: ModelSpec, batch_size: int,
     )
 
 
+def required_compression_curve(model: ModelSpec,
+                               batch_sizes: Sequence[int],
+                               world_size: int,
+                               bandwidth_bytes_per_s: float,
+                               gpu: GPUSpec = V100,
+                               alpha_s: float = 10e-6,
+                               ) -> Tuple[RequiredCompression, ...]:
+    """Figure 9 over a whole batch-size sweep in one grid-kernel call.
+
+    Each returned row is bit-identical to
+    :func:`required_compression` at the same batch size: the backward
+    times come from :func:`repro.core.grid.backward_time_grid` (the
+    vectorized twin of the scalar compute model) and the
+    Equation-(1) inversion is applied elementwise in the scalar
+    function's operation order.
+    """
+    batches = [int(b) for b in batch_sizes]
+    if not batches:
+        return ()
+    bs = np.asarray(batches)
+    if int(bs.min()) < 1:
+        raise ConfigurationError(
+            f"{model.name}: batch_size must be >= 1, got {int(bs.min())}")
+    t_comp = backward_time_grid(model, gpu, bs, np.asarray(1.0))
+
+    if world_size < 2:
+        g_hat = np.full(t_comp.shape, float("inf"))
+    else:
+        p = world_size
+        budget = t_comp - 2.0 * alpha_s * (p - 1)
+        with np.errstate(divide="ignore"):
+            g_hat = np.where(
+                budget <= 0, 0.0,
+                budget * p * bandwidth_bytes_per_s / (2.0 * (p - 1)))
+    grad = model.grad_bytes
+    with np.errstate(divide="ignore"):
+        ratio = np.where(
+            g_hat == 0.0, float("inf"),
+            np.where(g_hat >= grad, 1.0,
+                     grad / np.where(g_hat == 0.0, 1.0, g_hat)))
+    return tuple(
+        RequiredCompression(
+            model=model.name,
+            batch_size=batch,
+            world_size=world_size,
+            bandwidth_bytes_per_s=bandwidth_bytes_per_s,
+            compute_time_s=float(t_comp[i]),
+            communicable_bytes=float(g_hat[i]),
+            required_ratio=float(ratio[i]),
+        )
+        for i, batch in enumerate(batches))
+
+
 @dataclass(frozen=True)
 class HeadroomPoint:
     """Figure-10 style result: syncSGD's gap to ideal at one scale."""
@@ -116,12 +172,17 @@ def headroom_curve(model: ModelSpec, world_sizes: Sequence[int],
     compute = ComputeModel(model, gpu)
     bs = batch_size if batch_size is not None else model.default_batch_size
     ideal = compute.backward_time(bs)
-    points: List[HeadroomPoint] = []
-    for p in world_sizes:
-        inputs = PerfModelInputs(
-            world_size=p, bandwidth_bytes_per_s=bandwidth_bytes_per_s,
-            alpha_s=alpha_s, gamma=gamma, batch_size=bs)
-        predicted = syncsgd_time(model, inputs, gpu).total
-        points.append(HeadroomPoint(
-            world_size=p, ideal_s=ideal, syncsgd_s=predicted))
-    return tuple(points)
+    sizes = [int(p) for p in world_sizes]
+    if not sizes:
+        return ()
+    # One grid-kernel call over the world-size axis; each cell is
+    # bit-identical to the scalar syncsgd_time at that scale.
+    inputs = PerfModelInputs(
+        world_size=sizes[0], bandwidth_bytes_per_s=bandwidth_bytes_per_s,
+        alpha_s=alpha_s, gamma=gamma, batch_size=bs)
+    grid = syncsgd_time_grid(model, inputs, gpu,
+                             world_size=np.asarray(sizes))
+    return tuple(
+        HeadroomPoint(world_size=p, ideal_s=ideal,
+                      syncsgd_s=float(grid.total[i]))
+        for i, p in enumerate(sizes))

@@ -3,6 +3,9 @@
 The substrate under ``python -m repro experiment all --jobs N --cache
 DIR`` and the experiment modules' grids: build :class:`SimJob` values,
 hand them to an :class:`ExperimentEngine`, get outcomes back in order.
+Closed-form what-if evaluations ride the same engine as
+:class:`ModelEvalJob` batches — cached per point, evaluated per family
+through the grid kernel.
 """
 
 from .cache import CacheStats, SimulationCache
@@ -17,10 +20,12 @@ from .fingerprint import (
     profile_fingerprint,
     scheme_fingerprint,
 )
+from .modeljobs import ModelEvalJob, ModelEvalOutcome, evaluate_family
 
 __all__ = [
     "CacheStats", "SimulationCache",
     "EngineStats", "ExperimentEngine", "JobOutcome", "SimJob",
+    "ModelEvalJob", "ModelEvalOutcome", "evaluate_family",
     "FINGERPRINT_VERSION", "digest",
     "model_fingerprint", "scheme_fingerprint", "cluster_fingerprint",
     "fabric_fingerprint", "config_fingerprint", "profile_fingerprint",

@@ -21,13 +21,15 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from ..core.perf_model import PredictedTime
 from ..errors import ConfigurationError, OutOfMemoryError
 from ..simulator import TimingResult
 from ..telemetry.logs import get_logger
 from ..telemetry.metrics import get_registry
 
-#: What a cache lookup can yield: a result, or the deterministic OOM.
-CachedOutcome = Union[TimingResult, OutOfMemoryError]
+#: What a cache lookup can yield: a simulated result, the deterministic
+#: OOM, or a closed-form model prediction (``ModelEvalJob`` entries).
+CachedOutcome = Union[TimingResult, OutOfMemoryError, PredictedTime]
 
 
 @dataclass
@@ -116,6 +118,31 @@ def payload_to_oom(payload: dict) -> OutOfMemoryError:
     )
 
 
+def predicted_to_payload(predicted: PredictedTime) -> dict:
+    """JSON-serializable form of a model-prediction cache entry.
+
+    Floats survive the JSON round trip exactly (``repr`` rendering), so
+    a warm-cache sweep reproduces its cold run byte for byte.
+    """
+    return {
+        "kind": "predicted",
+        "total": predicted.total,
+        "compute": predicted.compute,
+        "encode_decode": predicted.encode_decode,
+        "comm_exposed": predicted.comm_exposed,
+    }
+
+
+def payload_to_predicted(payload: dict) -> PredictedTime:
+    """Inverse of :func:`predicted_to_payload`."""
+    return PredictedTime(
+        total=payload["total"],
+        compute=payload["compute"],
+        encode_decode=payload["encode_decode"],
+        comm_exposed=payload["comm_exposed"],
+    )
+
+
 class SimulationCache:
     """Maps fingerprint keys to simulation outcomes, one file per key."""
 
@@ -152,6 +179,8 @@ class SimulationCache:
                 outcome: CachedOutcome = payload_to_result(payload)
             elif payload.get("kind") == "oom":
                 outcome = payload_to_oom(payload)
+            elif payload.get("kind") == "predicted":
+                outcome = payload_to_predicted(payload)
             else:
                 raise KeyError(payload.get("kind"))
         except FileNotFoundError:
@@ -190,6 +219,8 @@ class SimulationCache:
         so a killed process can never leave a half-written entry."""
         if isinstance(outcome, TimingResult):
             payload = result_to_payload(outcome)
+        elif isinstance(outcome, PredictedTime):
+            payload = predicted_to_payload(outcome)
         else:
             payload = oom_to_payload(outcome)
         fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")

@@ -23,16 +23,18 @@ default to when no engine is passed.
 
 from __future__ import annotations
 
+import math
 import os
 import signal
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..compression.kernel_cost import KernelProfile
 from ..compression.schemes import Scheme
+from ..core.perf_model import PredictedTime
 from ..errors import ConfigurationError, EngineError, OutOfMemoryError
 from ..faults import FaultSchedule
 from ..hardware import ClusterConfig
@@ -52,6 +54,12 @@ from .fingerprint import (
     model_fingerprint,
     profile_fingerprint,
     scheme_fingerprint,
+)
+from .modeljobs import (
+    ModelEvalJob,
+    ModelEvalOutcome,
+    _execute_model_family,
+    evaluate_family,
 )
 
 #: Environment variable for chaos testing the engine itself: set it to a
@@ -240,6 +248,38 @@ def _execute_job(job: SimJob) -> Tuple[str, object, float, float]:
     return ("ok", result, time.perf_counter() - started, started_unix)
 
 
+@dataclass(frozen=True)
+class _JobChunk:
+    """Several consecutive misses bundled into one pool submission.
+
+    Chunking amortizes per-task IPC (pickling the model and cluster
+    once per chunk instead of once per job) on large sweeps; each job
+    inside still executes — and tags its outcome — individually, so
+    fan-out back to per-job outcomes is exact.
+    """
+
+    jobs: Tuple[SimJob, ...]
+
+    def describe(self) -> str:
+        """Short human label for logs and error messages."""
+        return (f"chunk of {len(self.jobs)} jobs "
+                f"[{self.jobs[0].describe()}, ...]")
+
+
+def _execute_job_chunk(chunk: _JobChunk) -> Tuple[str, object, float, float]:
+    """Process-pool entry point for a chunk: run members in order.
+
+    The payload is the list of per-job tagged outcomes, each carrying
+    its own wall time and start instant, so the parent rehydrates them
+    exactly as it would unchunked ones.  An unexpected exception fails
+    the whole chunk back to the parent, which retries it wholesale.
+    """
+    started_unix = time.time()
+    started = time.perf_counter()
+    tags = [_execute_job(job) for job in chunk.jobs]
+    return ("chunk", tags, time.perf_counter() - started, started_unix)
+
+
 def _outcome_from_tagged(job: SimJob, tagged: Tuple[str, object, float, float],
                          submitted_unix: float,
                          cached: bool = False,
@@ -281,6 +321,7 @@ class EngineStats:
     retries: int = 0
     failures: int = 0
     timeouts: int = 0
+    jobs_chunked: int = 0
 
     @property
     def mean_exec_s(self) -> float:
@@ -313,6 +354,7 @@ class EngineStats:
             "retries": self.retries,
             "failures": self.failures,
             "timeouts": self.timeouts,
+            "jobs_chunked": self.jobs_chunked,
         }
 
     def describe(self) -> str:
@@ -351,6 +393,14 @@ class ExperimentEngine:
             explicit ``"event"``/``"batch"`` overrides jobs that did not
             pick one themselves.  Results — and therefore cache keys —
             are identical either way.
+        chunking: Collapse compatible work into fewer executions:
+            large pooled :class:`SimJob` batches are submitted in
+            chunks (amortizing per-task IPC), and
+            :class:`~repro.engine.modeljobs.ModelEvalJob` families run
+            one grid-kernel call each.  Rows, fingerprints, and cached
+            bytes are identical either way — chunking is purely an
+            execution detail.  ``False`` restores one execution per
+            job.
     """
 
     def __init__(self, jobs: int = 1,
@@ -358,7 +408,8 @@ class ExperimentEngine:
                  max_retries: int = 2,
                  retry_backoff_s: float = 0.05,
                  job_timeout_s: Optional[float] = None,
-                 sim_mode: str = "auto"):
+                 sim_mode: str = "auto",
+                 chunking: bool = True):
         """Validate and store the execution policy (see class docstring
         for what each knob controls)."""
         if jobs < 1:
@@ -382,6 +433,7 @@ class ExperimentEngine:
         self.retry_backoff_s = retry_backoff_s
         self.job_timeout_s = job_timeout_s
         self.sim_mode = sim_mode
+        self.chunking = chunking
         #: Simulations actually executed (cache misses) over the
         #: engine's lifetime.
         self.executed = 0
@@ -401,6 +453,9 @@ class ExperimentEngine:
         self.failures = 0
         #: Executions killed for exceeding ``job_timeout_s``.
         self.timeouts = 0
+        #: Jobs that ran as part of a collapsed execution (a pooled
+        #: SimJob chunk, or a model-eval family of more than one job).
+        self.jobs_chunked = 0
         self._log = get_logger("engine")
 
     # ----- execution ---------------------------------------------------------
@@ -441,8 +496,13 @@ class ExperimentEngine:
             if self.jobs > 1 and len(miss_jobs) > 1:
                 workers = min(self.jobs, len(miss_jobs),
                               (os.cpu_count() or 1))
-                tagged_results, attempt_counts = self._run_parallel(
-                    miss_jobs, workers)
+                chunk_size = self._chunk_size(len(miss_jobs), workers)
+                if chunk_size > 1:
+                    tagged_results, attempt_counts = self._run_chunked(
+                        miss_jobs, workers, chunk_size)
+                else:
+                    tagged_results, attempt_counts = self._run_parallel(
+                        miss_jobs, workers)
             else:
                 tagged_results, attempt_counts = self._run_serial(miss_jobs)
             self.executed += len(miss_jobs)
@@ -486,6 +546,161 @@ class ExperimentEngine:
             return replace(job, sim_mode=self.sim_mode)
         return job
 
+    # ----- closed-form model evaluations -------------------------------------
+
+    def run_model_outcomes(self, batch: Sequence[ModelEvalJob],
+                           ) -> List[ModelEvalOutcome]:
+        """Evaluate model jobs; outcomes come back in input order.
+
+        Cache hits are served per point.  Misses are grouped into
+        *families* (equal :meth:`ModelEvalJob.family_key` — jobs that
+        differ only along vectorizable axes) and each family runs the
+        grid kernel **once**: in-process when serial, one pool task per
+        family when ``jobs > 1``.  Results fan back out to per-point
+        outcomes and per-point cache entries, so fingerprints and
+        cached bytes are exactly what per-job evaluation would have
+        produced; ``chunking=False`` falls back to evaluating each job
+        individually.
+        """
+        start = time.perf_counter()
+        jobs = list(batch)
+        outcomes: List[Optional[ModelEvalOutcome]] = [None] * len(jobs)
+        keys: List[Optional[str]] = [None] * len(jobs)
+        miss_indices: List[int] = []
+        for i, job in enumerate(jobs):
+            if self.cache is not None:
+                key = job.fingerprint()
+                keys[i] = key
+                hit = self.cache.get(key)
+                if isinstance(hit, PredictedTime):
+                    outcomes[i] = ModelEvalOutcome(job=job, result=hit,
+                                                   cached=True)
+                    continue
+            miss_indices.append(i)
+
+        groups: List[List[int]]
+        if self.chunking:
+            families: Dict[str, List[int]] = {}
+            for i in miss_indices:
+                families.setdefault(jobs[i].family_key(), []).append(i)
+            groups = list(families.values())
+        else:
+            groups = [[i] for i in miss_indices]
+        chunked = sum(len(group) for group in groups if len(group) > 1)
+
+        workers = 1
+        if groups:
+            if self.jobs > 1 and len(groups) > 1:
+                workers = min(self.jobs, len(groups), (os.cpu_count() or 1))
+                evaluated = self._eval_families_pooled(jobs, groups, workers)
+            else:
+                evaluated = [self._eval_family_inprocess(jobs, group)
+                             for group in groups]
+            self.executed += len(miss_indices)
+            self.jobs_chunked += chunked
+            for group, (results, errors, elapsed) in zip(groups, evaluated):
+                share = elapsed / len(group)
+                for offset, i in enumerate(group):
+                    outcome = ModelEvalOutcome(
+                        job=jobs[i], result=results[offset],
+                        error=errors[offset], exec_s=share)
+                    outcomes[i] = outcome
+                    self.exec_s_total += share
+                    # Evaluation failures (bad configurations) are never
+                    # cached; re-running reports them afresh.
+                    if self.cache is not None and outcome.ok:
+                        key = keys[i]
+                        assert key is not None
+                        self.cache.put(key, outcome.result)
+
+        batch_wall = time.perf_counter() - start
+        self.busy_s += batch_wall
+        if miss_indices:
+            self.worker_s_total += workers * batch_wall
+        self.jobs_completed += len(jobs)
+        self._record_model_batch(outcomes, chunked)
+        return [o for o in outcomes if o is not None]
+
+    def _eval_family_inprocess(self, jobs: Sequence[ModelEvalJob],
+                               group: Sequence[int],
+                               ) -> Tuple[List[Optional[PredictedTime]],
+                                          List[Optional[Exception]], float]:
+        """One family, one grid call, in this process.
+
+        If the family call raises, fall back to per-point evaluation so
+        only the offending job(s) fail — the rest of the family still
+        produces results.
+        """
+        members = [jobs[i] for i in group]
+        started = time.perf_counter()
+        try:
+            results: List[Optional[PredictedTime]] = list(
+                evaluate_family(members))
+            errors: List[Optional[Exception]] = [None] * len(members)
+        except Exception:  # noqa: BLE001 - isolated per point below
+            results, errors = [], []
+            for job in members:
+                try:
+                    results.append(job.evaluate())
+                    errors.append(None)
+                except Exception as exc:  # noqa: BLE001 - reported per job
+                    results.append(None)
+                    errors.append(exc)
+                    self.failures += 1
+                    self._log.warning(
+                        "engine.model_job_failed", job=job.describe(),
+                        reason=f"{type(exc).__name__}: {exc}")
+        return results, errors, time.perf_counter() - started
+
+    def _eval_families_pooled(self, jobs: Sequence[ModelEvalJob],
+                              groups: Sequence[Sequence[int]], workers: int,
+                              ) -> List[Tuple[List[Optional[PredictedTime]],
+                                              List[Optional[Exception]],
+                                              float]]:
+        """One pool task per family; any failed task (a died worker, a
+        bad configuration) falls back to in-process evaluation of that
+        family, so pooled evaluation can only add speed, not failure
+        modes."""
+        evaluated = []
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = [pool.submit(_execute_model_family,
+                                   tuple(jobs[i] for i in group))
+                       for group in groups]
+            for group, future in zip(groups, futures):
+                try:
+                    results, elapsed = future.result()
+                except Exception as exc:  # noqa: BLE001 - incl. broken pool
+                    self._log.warning(
+                        "engine.model_family_retry", size=len(group),
+                        reason=f"{type(exc).__name__}: {exc}")
+                    evaluated.append(
+                        self._eval_family_inprocess(jobs, group))
+                    continue
+                evaluated.append((list(results), [None] * len(group),
+                                  elapsed))
+        finally:
+            self._kill_pool(pool)
+        return evaluated
+
+    def _record_model_batch(self,
+                            outcomes: Sequence[Optional[ModelEvalOutcome]],
+                            chunked: int) -> None:
+        """Mirror one model-eval batch's outcomes into telemetry."""
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        for outcome in outcomes:
+            if outcome is None:
+                continue
+            registry.counter(
+                "engine_jobs_total",
+                cached=str(outcome.cached).lower()).inc()
+            if outcome.error is not None:
+                registry.counter("engine_failed_jobs_total").inc()
+        if chunked:
+            registry.counter("engine_jobs_chunked_total").inc(chunked)
+
     # ----- miss execution (serial / pooled, with retries) --------------------
 
     def _run_serial(self, miss_jobs: Sequence[SimJob],
@@ -525,7 +740,48 @@ class ExperimentEngine:
             attempt_counts.append(attempt)
         return tagged, attempt_counts
 
-    def _run_parallel(self, miss_jobs: Sequence[SimJob], workers: int,
+    def _chunk_size(self, n_misses: int, workers: int) -> int:
+        """How many consecutive misses one pool submission should carry.
+
+        Targets ~4 chunks per worker (enough slack for load balancing)
+        and degrades to 1 — no chunking — for small batches, when
+        chunking is disabled, or under a per-job timeout (whose budget
+        accounting is per submission and must keep meaning per job).
+        """
+        if not self.chunking or self.job_timeout_s is not None:
+            return 1
+        return max(1, math.ceil(n_misses / (workers * 4)))
+
+    def _run_chunked(self, miss_jobs: Sequence[SimJob], workers: int,
+                     chunk_size: int) -> Tuple[List[tuple], List[int]]:
+        """Pool path for large batches: submit misses in chunks.
+
+        Retry/failure machinery operates on whole chunks (a crashed
+        worker retries its chunk's jobs together; a chunk that exhausts
+        the retry budget degrades every member to an error outcome).
+        Per-job tags come back exactly as on the unchunked path, in
+        order.
+        """
+        chunks = [_JobChunk(tuple(miss_jobs[i:i + chunk_size]))
+                  for i in range(0, len(miss_jobs), chunk_size)]
+        chunk_tags, chunk_attempts = self._run_parallel(
+            chunks, workers, execute_fn=_execute_job_chunk)
+        tagged: List[tuple] = []
+        attempt_counts: List[int] = []
+        for chunk, tag, attempts in zip(chunks, chunk_tags, chunk_attempts):
+            if tag[0] == "chunk":
+                tagged.extend(tag[1])
+            else:  # whole-chunk failure: members share the error tag
+                tagged.extend([tag] * len(chunk.jobs))
+            attempt_counts.extend([attempts] * len(chunk.jobs))
+        self.jobs_chunked += len(miss_jobs)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("engine_jobs_chunked_total").inc(len(miss_jobs))
+        return tagged, attempt_counts
+
+    def _run_parallel(self, miss_jobs: Sequence, workers: int,
+                      execute_fn: Callable = _execute_job,
                       ) -> Tuple[List[tuple], List[int]]:
         """Execute misses on a process pool that survives dying workers.
 
@@ -554,7 +810,7 @@ class ExperimentEngine:
                 now = time.monotonic()
                 for k, idx in enumerate(pending):
                     attempt_counts[idx] += 1
-                    future = pool.submit(_execute_job, miss_jobs[idx])
+                    future = pool.submit(execute_fn, miss_jobs[idx])
                     future_to_idx[future] = idx
                     if self.job_timeout_s is not None:
                         # Queue position k lands ~(k // workers) jobs
@@ -627,7 +883,7 @@ class ExperimentEngine:
         return tagged, attempt_counts  # type: ignore[return-value]
 
     def _register_failure(self, idx: int, attempt_counts: List[int],
-                          miss_jobs: Sequence[SimJob],
+                          miss_jobs: Sequence,
                           tagged: List[Optional[tuple]],
                           retry: List[int], reason: str) -> None:
         """Route one failed execution: resubmit it, or give up and
@@ -707,4 +963,5 @@ class ExperimentEngine:
             retries=self.retries,
             failures=self.failures,
             timeouts=self.timeouts,
+            jobs_chunked=self.jobs_chunked,
         )

@@ -35,8 +35,14 @@ FIG11_WORKLOADS: Tuple[Tuple[str, int], ...] = (
 def run_fig11(num_gpus: int = 64, rank: int = 4,
               bandwidths_gbps: Sequence[float] = FIG11_BANDWIDTHS,
               workloads: Sequence[Tuple[str, int]] = FIG11_WORKLOADS,
-              ) -> ExperimentResult:
-    """syncSGD vs PowerSGD across the bandwidth sweep."""
+              engine=None) -> ExperimentResult:
+    """syncSGD vs PowerSGD across the bandwidth sweep.
+
+    The sweep evaluates the closed-form model through the grid kernel;
+    passing an ``engine`` routes it through the engine's model-eval
+    path instead (per-point caching, family chunking) with byte-
+    identical rows.
+    """
     rows: List[Dict[str, Any]] = []
     notes: List[str] = []
     for model_name, batch_size in workloads:
@@ -46,7 +52,8 @@ def run_fig11(num_gpus: int = 64, rank: int = 4,
             bandwidth_bytes_per_s=gbps_to_bytes_per_s(10.0),
             batch_size=batch_size)
         points = bandwidth_sweep(
-            model, PowerSGDScheme(rank=rank), bandwidths_gbps, inputs)
+            model, PowerSGDScheme(rank=rank), bandwidths_gbps, inputs,
+            engine=engine)
         crossover = find_crossover_gbps(points)
         notes.append(
             f"{model_name}: crossover at "

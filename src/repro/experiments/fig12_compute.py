@@ -33,8 +33,12 @@ def run_fig12(num_gpus: int = 64, rank: int = 4,
               bandwidth_gbps: float = 10.0,
               factors: Sequence[float] = FIG12_FACTORS,
               workloads: Sequence[Tuple[str, int]] = FIG12_WORKLOADS,
-              ) -> ExperimentResult:
-    """syncSGD vs PowerSGD as compute speeds up, network fixed."""
+              engine=None) -> ExperimentResult:
+    """syncSGD vs PowerSGD as compute speeds up, network fixed.
+
+    Grid-kernel evaluated; an ``engine`` adds per-point caching and
+    family chunking with byte-identical rows.
+    """
     rows: List[Dict[str, Any]] = []
     for model_name, batch_size in workloads:
         model = get_model(model_name)
@@ -43,7 +47,8 @@ def run_fig12(num_gpus: int = 64, rank: int = 4,
             bandwidth_bytes_per_s=gbps_to_bytes_per_s(bandwidth_gbps),
             batch_size=batch_size)
         for point in compute_sweep(
-                model, PowerSGDScheme(rank=rank), factors, inputs):
+                model, PowerSGDScheme(rank=rank), factors, inputs,
+                engine=engine):
             rows.append({
                 "model": model_name,
                 "compute_factor": point.x,

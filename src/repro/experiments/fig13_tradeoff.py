@@ -34,8 +34,12 @@ def run_fig13(num_gpus: int = 64, rank: int = 4,
               ks: Sequence[float] = FIG13_KS,
               ls: Sequence[float] = FIG13_LS,
               workloads: Sequence[Tuple[str, int]] = FIG13_WORKLOADS,
-              ) -> ExperimentResult:
-    """Encode-time/ratio trade-off grid, per workload."""
+              engine=None) -> ExperimentResult:
+    """Encode-time/ratio trade-off grid, per workload.
+
+    Grid-kernel evaluated; an ``engine`` adds per-point caching and
+    family chunking with byte-identical rows.
+    """
     rows: List[Dict[str, Any]] = []
     for model_name, batch_size in workloads:
         model = get_model(model_name)
@@ -44,7 +48,8 @@ def run_fig13(num_gpus: int = 64, rank: int = 4,
             bandwidth_bytes_per_s=gbps_to_bytes_per_s(bandwidth_gbps),
             batch_size=batch_size)
         for point in encode_tradeoff_grid(
-                model, PowerSGDScheme(rank=rank), ks, ls, inputs):
+                model, PowerSGDScheme(rank=rank), ks, ls, inputs,
+                engine=engine):
             rows.append({
                 "model": model_name,
                 "k": point.k,

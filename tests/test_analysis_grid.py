@@ -1,0 +1,142 @@
+"""Analysis subsystem against the grid kernel.
+
+The sensitivity elasticities are central differences of the scalar
+closed-form model; the grid kernel is bit-identical to that model, so
+elasticities recomputed from one grid call must equal
+:func:`repro.analysis.model_sensitivities` exactly — not approximately.
+The bottleneck analysis simulates counterfactuals; its qualitative
+verdicts must agree with the closed-form breakdown the grid reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import blocked_time_analysis, model_sensitivities
+from repro.analysis.sensitivity import DEFAULT_EPSILON, Sensitivities
+from repro.compression import (
+    PowerSGDScheme,
+    SignSGDScheme,
+    SyncSGDScheme,
+    TopKScheme,
+)
+from repro.core import PerfModelInputs, compressed_time_grid
+from repro.hardware import cluster_for_gpus
+from repro.models import get_model
+from repro.units import gbps_to_bytes_per_s
+
+SCHEMES = [SyncSGDScheme(), PowerSGDScheme(rank=4), TopKScheme(0.01),
+           SignSGDScheme()]
+
+
+def inputs_at(gbps=10.0, p=64, bs=32, **kw):
+    return PerfModelInputs(world_size=p,
+                           bandwidth_bytes_per_s=gbps_to_bytes_per_s(gbps),
+                           batch_size=bs, **kw)
+
+
+def grid_bandwidth_elasticity(model, scheme, inputs,
+                              epsilon=DEFAULT_EPSILON):
+    """The sensitivity module's bandwidth elasticity, recomputed from a
+    single three-point grid call (base, -eps, +eps)."""
+    bw = inputs.bandwidth_bytes_per_s
+    axis = np.asarray([bw * (1 - epsilon), bw, bw * (1 + epsilon)])
+    grid = compressed_time_grid(model, scheme, inputs,
+                                bandwidth_bytes_per_s=axis)
+    f_minus, base, f_plus = (float(t) for t in grid.total)
+    return (f_plus - f_minus) / (2.0 * epsilon * base)
+
+
+class TestSensitivityGridEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.label)
+    @pytest.mark.parametrize("model_name", ["resnet50", "bert-base"])
+    def test_bandwidth_elasticity_exact(self, model_name, scheme):
+        model = get_model(model_name)
+        inputs = inputs_at()
+        sens = model_sensitivities(model, scheme, inputs)
+        assert sens.bandwidth == grid_bandwidth_elasticity(
+            model, scheme, inputs)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_inputs_exact(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        model = get_model(
+            str(rng.choice(["resnet50", "resnet101", "bert-base"])))
+        scheme = SCHEMES[int(rng.integers(len(SCHEMES)))]
+        inputs = PerfModelInputs(
+            world_size=int(rng.choice([2, 8, 16, 64])),
+            bandwidth_bytes_per_s=float(rng.uniform(2e8, 4e9)),
+            alpha_s=float(rng.uniform(0.0, 1e-4)),
+            gamma=float(rng.uniform(1.0, 1.3)),
+            batch_size=int(rng.integers(1, 65)))
+        epsilon = float(rng.uniform(0.005, 0.1))
+        sens = model_sensitivities(model, scheme, inputs, epsilon=epsilon)
+        assert sens.bandwidth == grid_bandwidth_elasticity(
+            model, scheme, inputs, epsilon=epsilon)
+
+    def test_syncsgd_compute_elasticity_from_factor_axis(self):
+        """For syncSGD (no kernel profile in play) the compute-factor
+        grid axis reproduces the scalar gpu.scaled perturbation, so the
+        compute elasticity is exactly recomputable from one grid call."""
+        model = get_model("resnet50")
+        inputs = inputs_at()
+        eps = DEFAULT_EPSILON
+        grid = compressed_time_grid(
+            model, SyncSGDScheme(), inputs,
+            compute_factor=np.asarray([1 - eps, 1.0, 1 + eps]))
+        f_minus, base, f_plus = (float(t) for t in grid.total)
+        elasticity = -(f_plus - f_minus) / (2.0 * eps * base)
+        sens = model_sensitivities(model, SyncSGDScheme(), inputs)
+        assert sens.compute == elasticity
+
+    def test_sensitivities_helpers(self):
+        sens = Sensitivities(bandwidth=-0.4, alpha=-0.01, gamma=0.1,
+                             compute=0.8, encode=0.05)
+        assert sens.most_sensitive() == "compute"
+        assert set(sens.as_dict()) == {"bandwidth", "alpha", "gamma",
+                                       "compute", "encode"}
+        assert "compute" in sens.render()
+
+    def test_zero_alpha_has_zero_alpha_sensitivity(self):
+        sens = model_sensitivities(get_model("resnet50"), SyncSGDScheme(),
+                                   inputs_at(alpha_s=0.0))
+        assert sens.alpha == 0.0
+
+
+class TestBottleneckAgainstGrid:
+    def agreement(self, model_name, gpus, scheme, bs):
+        """Simulated counterfactual verdict + closed-form breakdown."""
+        model = get_model(model_name)
+        report = blocked_time_analysis(model, cluster_for_gpus(gpus),
+                                       scheme=scheme, batch_size=bs)
+        grid = compressed_time_grid(
+            model, scheme if scheme is not None else SyncSGDScheme(),
+            inputs_at(p=gpus, bs=bs))
+        cell = grid.at(())
+        return report, cell
+
+    def test_comm_bound_syncsgd_agrees(self):
+        report, cell = self.agreement("bert-base", 64, None, 12)
+        # Simulated counterfactual: removing the network helps a lot.
+        assert report.speedup_if("network") > 0.10
+        # The closed-form model agrees: communication is exposed and
+        # encode plays no role in either view.
+        assert cell.comm_exposed > 0.1 * cell.total
+        assert cell.encode_decode == 0.0
+        assert report.speedup_if("encode") == pytest.approx(0.0, abs=0.01)
+
+    def test_encode_bound_powersgd_agrees(self):
+        report, cell = self.agreement("bert-base", 64,
+                                      PowerSGDScheme(rank=4), 12)
+        assert report.speedup_if("encode") > report.speedup_if("network")
+        assert cell.encode_decode > cell.comm_exposed
+
+    def test_speedup_if_consistent_with_baseline(self):
+        report, _ = self.agreement("resnet50", 32, PowerSGDScheme(rank=4),
+                                   64)
+        for what in ("network", "encode", "compute"):
+            assert report.speedup_if(what) == pytest.approx(
+                1.0 - {
+                    "network": report.free_network_s,
+                    "encode": report.free_encode_s,
+                    "compute": report.fast_compute_s,
+                }[what] / report.baseline_s)

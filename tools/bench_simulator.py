@@ -22,6 +22,19 @@ Two entry modes:
     can.  ``make bench-smoke`` and the CI ``bench-smoke`` job run this
     over a two-exhibit subset (``--smoke``).
 
+Besides the simulator exhibits, both modes measure the **what-if
+section**: dense (512-point) closed-form sweeps on the fig11/fig12
+workloads, evaluated once through the vectorized grid kernel
+(:mod:`repro.core.grid`) and once as a scalar per-point loop.  The
+recorded ``speedup`` (scalar wall / grid wall) is the grid kernel's
+advantage; ``--check`` gates on the same machine-independent ratio
+plus a hard 5x floor.
+
+Every baseline rewrite appends a timestamped entry to the ``history``
+list (exhibit + what-if rows and the host that measured them), so the
+file accumulates the perf trajectory instead of forgetting it; the
+``before`` block from the original baseline is carried over verbatim.
+
 Measurements run serial, cache-less, telemetry-off — the worst-case
 cold configuration a first ``repro experiment`` run pays.
 """
@@ -42,8 +55,21 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 import numpy as np  # noqa: E402
 
+from dataclasses import replace  # noqa: E402
+
+from repro.compression.kernel_cost import v100_kernel_profile  # noqa: E402
+from repro.compression.schemes import PowerSGDScheme  # noqa: E402
+from repro.core import PerfModelInputs  # noqa: E402
+from repro.core.grid import (  # noqa: E402
+    compressed_time_grid,
+    syncsgd_time_grid,
+)
+from repro.core.perf_model import compressed_time, syncsgd_time  # noqa: E402
 from repro.engine import ExperimentEngine, JobOutcome, SimJob  # noqa: E402
 from repro.experiments import EXPERIMENTS  # noqa: E402
+from repro.hardware.gpus import V100  # noqa: E402
+from repro.models import get_model  # noqa: E402
+from repro.units import gbps_to_bytes_per_s  # noqa: E402
 
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_simulator.json")
 
@@ -53,6 +79,15 @@ DEFAULT_EXHIBITS = ["fig3", "fig4", "fig5", "fig6", "fig7"]
 SMOKE_EXHIBITS = ["fig4", "fig7"]
 
 MODES = ["event", "auto"]
+
+#: Dense point count for the what-if grid-vs-scalar section.  The
+#: exhibits' own sweeps (a dozen points) finish in microseconds either
+#: way; a dense sweep is what makes the comparison measurable.
+WHATIF_POINTS = 512
+
+#: Hard floor on the what-if ``speedup`` (scalar wall / grid wall); a
+#: machine-independent ratio, so the gate holds on any host.
+WHATIF_MIN_SPEEDUP = 5.0
 
 #: Cold event-path wall seconds measured at the commit immediately
 #: before the batch fast path landed — the "before" column of the
@@ -110,28 +145,117 @@ def measure(exhibits: List[str]) -> Dict[str, dict]:
     return rows
 
 
-def build_report(rows: Dict[str, dict]) -> dict:
-    """Wrap measured rows in the BENCH_simulator.json schema."""
+def _best_wall(fn, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` — the repeatable floor,
+    which keeps the gated ratios stable on noisy CI machines."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_whatif(points: int = WHATIF_POINTS) -> Dict[str, dict]:
+    """Time dense what-if sweeps through the grid kernel vs a scalar
+    per-point loop on the fig11/fig12 ResNet-50 workload."""
+    model = get_model("resnet50")
+    scheme = PowerSGDScheme(rank=4)
+    profile = v100_kernel_profile()
+    inputs = PerfModelInputs(
+        world_size=64,
+        bandwidth_bytes_per_s=gbps_to_bytes_per_s(10.0),
+        batch_size=64)
+    bandwidths = np.linspace(gbps_to_bytes_per_s(1.0),
+                             gbps_to_bytes_per_s(30.0), points)
+    factors = np.linspace(1.0, 4.0, points)
+
+    def grid_bandwidth() -> None:
+        syncsgd_time_grid(model, inputs, bandwidth_bytes_per_s=bandwidths)
+        compressed_time_grid(model, scheme, inputs,
+                             bandwidth_bytes_per_s=bandwidths)
+
+    def scalar_bandwidth() -> None:
+        for bw in bandwidths:
+            point = replace(inputs, bandwidth_bytes_per_s=float(bw))
+            syncsgd_time(model, point)
+            compressed_time(model, scheme, point)
+
+    def grid_compute() -> None:
+        syncsgd_time_grid(model, inputs, compute_factor=factors)
+        compressed_time_grid(model, scheme, inputs, compute_factor=factors)
+
+    def scalar_compute() -> None:
+        for factor in factors:
+            gpu = V100.scaled(float(factor))
+            syncsgd_time(model, inputs, gpu)
+            compressed_time(model, scheme, inputs, gpu,
+                            profile.scaled(float(factor)))
+
+    sweeps = {
+        "fig11_bandwidth": (grid_bandwidth, scalar_bandwidth),
+        "fig12_compute": (grid_compute, scalar_compute),
+    }
+    rows: Dict[str, dict] = {}
+    for name, (grid_fn, scalar_fn) in sweeps.items():
+        grid_wall = _best_wall(grid_fn)
+        scalar_wall = _best_wall(scalar_fn)
+        speedup = (scalar_wall / grid_wall if grid_wall > 0
+                   else float("inf"))
+        rows[name] = {
+            "points": points,
+            "grid": {"wall_s": round(grid_wall, 5)},
+            "scalar": {"wall_s": round(scalar_wall, 5)},
+            "speedup": round(speedup, 2),
+        }
+        print(f"  [{name}] scalar {scalar_wall:.4f} s, "
+              f"grid {grid_wall:.4f} s ({speedup:.1f}x over "
+              f"{points} points)")
+    return rows
+
+
+def build_report(rows: Dict[str, dict], whatif_rows: Dict[str, dict],
+                 previous: Optional[dict] = None) -> dict:
+    """Wrap measured rows in the BENCH_simulator.json schema.
+
+    ``previous`` is the baseline being replaced (if any): its
+    ``before`` block is carried over verbatim and its ``history`` list
+    extended with this run, so rewriting the baseline accumulates the
+    trajectory instead of erasing it.
+    """
+    previous = previous or {}
+    host = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    before = previous.get("before") or {
+        "event_wall_s": PRE_FASTPATH_EVENT_WALL_S,
+        "note": ("cold event-path walls measured before the batch "
+                 "fast path and call-site memoization landed"),
+    }
+    history = list(previous.get("history", []))
+    history.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": host,
+        "exhibits": rows,
+        "whatif": whatif_rows,
+    })
     return {
-        "schema": 1,
+        "schema": 2,
         "generated_by": "tools/bench_simulator.py",
         "protocol": {
             "modes": MODES,
             "engine": "serial, no cache, telemetry off (cold worst case)",
-            "note": ("speedup = event wall / auto wall; the --check gate "
-                     "compares this machine-independent ratio"),
+            "note": ("speedup = event wall / auto wall (exhibits) or "
+                     "scalar wall / grid wall (whatif); the --check "
+                     "gate compares these machine-independent ratios"),
         },
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
-        "before": {
-            "event_wall_s": PRE_FASTPATH_EVENT_WALL_S,
-            "note": ("cold event-path walls measured before the batch "
-                     "fast path and call-site memoization landed"),
-        },
+        "host": host,
+        "before": before,
         "exhibits": rows,
+        "whatif": whatif_rows,
+        "history": history,
     }
 
 
@@ -162,6 +286,25 @@ def check(baseline_path: str, exhibits: List[str],
               f"(baseline {base_ratio:.3f}, limit {limit:.3f}) {verdict}")
         if cur_ratio > limit:
             failed.append(exp_id)
+
+    base_whatif = baseline.get("whatif", {})
+    print(f"re-measuring what-if sweeps (floor "
+          f"{WHATIF_MIN_SPEEDUP:g}x grid-vs-scalar)")
+    for name, row in measure_whatif().items():
+        cur_ratio = (row["grid"]["wall_s"] / row["scalar"]["wall_s"]
+                     if row["scalar"]["wall_s"] > 0 else 1.0)
+        limits = [1.0 / WHATIF_MIN_SPEEDUP]
+        base = base_whatif.get(name)
+        if base is not None and base["scalar"]["wall_s"] > 0:
+            limits.append(tolerance * base["grid"]["wall_s"]
+                          / base["scalar"]["wall_s"])
+        limit = min(limits)
+        verdict = "ok" if cur_ratio <= limit else "REGRESSED"
+        print(f"  [{name}] grid/scalar ratio {cur_ratio:.4f} "
+              f"(limit {limit:.4f}) {verdict}")
+        if cur_ratio > limit:
+            failed.append(f"whatif:{name}")
+
     if failed:
         print(f"FAIL: fast-path regression on {', '.join(failed)}",
               file=sys.stderr)
@@ -201,8 +344,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.check:
         return check(args.output, exhibits, args.tolerance)
 
+    previous = None
+    if os.path.exists(args.output):
+        with open(args.output) as fh:
+            previous = json.load(fh)
     print(f"measuring {', '.join(exhibits)} (cold, serial, both modes)")
-    report = build_report(measure(exhibits))
+    rows = measure(exhibits)
+    print("measuring what-if grid-vs-scalar sweeps")
+    report = build_report(rows, measure_whatif(), previous)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
