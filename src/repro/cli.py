@@ -339,8 +339,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--metrics", action="store_true",
                        help="print the telemetry snapshot at the end")
     p_sim.add_argument("--sim-mode", default="auto", choices=SIM_MODES,
-                       help="simulation execution scheme (default: auto; "
-                            "--faults and --trace force the event path)")
+                       help="simulation execution scheme (default: auto — "
+                            "the vectorized fast path, including under "
+                            "--faults, whose schedules it applies as "
+                            "array masks; only --trace forces the event "
+                            "path, since span timelines exist only there)")
     p_sim.set_defaults(fn=cmd_simulate)
 
     return parser

@@ -117,13 +117,18 @@ def allgather_time(num_bytes: float, p: int, bandwidth: float, alpha: float,
 
 
 def ring_allreduce_time_batch(num_bytes: np.ndarray, p: int,
-                              bandwidth: float, alpha: float) -> np.ndarray:
+                              bandwidth, alpha: float) -> np.ndarray:
     """Vectorized :func:`ring_allreduce_time` over an array of payloads.
 
     Prices every element of ``num_bytes`` in one broadcasted expression
     instead of one Python call per payload — the pricing kernel of the
     batch simulation fast path (:mod:`repro.simulator.batch`), which
     needs all of a model's gradient buckets costed at once.
+
+    ``bandwidth`` may itself be an array (broadcast against the
+    payloads): the faulted fast path prices per-iteration *degraded*
+    bandwidths — link and NIC faults scale the fabric's minimum — in
+    the same call.
 
     The arithmetic is the scalar function's, applied elementwise (every
     IEEE-754 elementary operation is exactly rounded, so a batched
@@ -132,40 +137,53 @@ def ring_allreduce_time_batch(num_bytes: np.ndarray, p: int,
     per element, matching what the scalar loop would have recorded.
     """
     payloads = np.asarray(num_bytes, dtype=float)
+    bw = np.asarray(bandwidth, dtype=float)
     if payloads.size and float(payloads.min()) < 0:
         raise ConfigurationError(
             f"num_bytes must be >= 0, got {float(payloads.min())}")
-    _validate(0.0, p, bandwidth, alpha)
+    if bw.size and float(bw.min()) <= 0:
+        raise ConfigurationError(
+            f"bandwidth must be > 0, got {float(bw.min())}")
+    _validate(0.0, p, float(bw.max()) if bw.size else 1.0, alpha)
     _record_batch("ring_allreduce", payloads, p)
     if p == 1:
-        return np.zeros_like(payloads)
+        return np.zeros(np.broadcast_shapes(payloads.shape, bw.shape))
     latency = 2.0 * alpha * (p - 1)
-    transfer = 2.0 * payloads * (p - 1) / (p * bandwidth)
+    transfer = 2.0 * payloads * (p - 1) / (p * bw)
     return latency + transfer
 
 
-def allgather_time_batch(num_bytes: np.ndarray, p: int, bandwidth: float,
+def allgather_time_batch(num_bytes: np.ndarray, p: int, bandwidth,
                          alpha: float,
-                         incast_factor: float = 1.0) -> np.ndarray:
+                         incast_factor=1.0) -> np.ndarray:
     """Vectorized :func:`allgather_time` over an array of payloads.
 
     Same contract as :func:`ring_allreduce_time_batch`: elementwise the
     scalar formula, bit-identical per payload, one telemetry count per
-    element.
+    element.  ``bandwidth`` and ``incast_factor`` may be arrays
+    (broadcast against the payloads) for per-iteration degraded
+    fabrics.
     """
     payloads = np.asarray(num_bytes, dtype=float)
+    bw = np.asarray(bandwidth, dtype=float)
+    incast = np.asarray(incast_factor, dtype=float)
     if payloads.size and float(payloads.min()) < 0:
         raise ConfigurationError(
             f"num_bytes must be >= 0, got {float(payloads.min())}")
-    _validate(0.0, p, bandwidth, alpha)
-    if incast_factor < 1.0:
+    if bw.size and float(bw.min()) <= 0:
         raise ConfigurationError(
-            f"incast_factor must be >= 1, got {incast_factor}")
-    _record_batch("allgather", payloads, p, incast_factor)
+            f"bandwidth must be > 0, got {float(bw.min())}")
+    _validate(0.0, p, float(bw.max()) if bw.size else 1.0, alpha)
+    if incast.size and float(incast.min()) < 1.0:
+        raise ConfigurationError(
+            f"incast_factor must be >= 1, got {float(incast.min())}")
+    _record_batch("allgather", payloads, p,
+                  float(incast.max()) if incast.size else 1.0)
     if p == 1:
-        return np.zeros_like(payloads)
+        return np.zeros(np.broadcast_shapes(
+            payloads.shape, bw.shape, incast.shape))
     latency = alpha * (p - 1)
-    transfer = payloads * (p - 1) / bandwidth * incast_factor
+    transfer = payloads * (p - 1) / bw * incast
     return latency + transfer
 
 

@@ -164,6 +164,38 @@ class SimJob:
             payload["faults"] = fault_payload
         return digest(payload)
 
+    def family_key(self) -> str:
+        """Grouping key for cross-config batch execution.
+
+        Jobs with equal keys share every structural input — model,
+        cluster, scheme, fabric, config, profile, batch size and
+        iteration protocol — and differ at most in fault schedule and
+        seed, which is exactly the axis
+        :func:`repro.simulator.batch.run_batch_many` stacks into one
+        kernel call.  The key is *not* a cache key (it deliberately
+        drops ``faults`` and ``seed``); outcomes are still cached per
+        job under :meth:`fingerprint`.  Memoized per instance — the
+        engine recomputes it for every miss in every batch.
+        """
+        cached = self.__dict__.get("_family_key")
+        if cached is not None:
+            return cached
+        payload = {
+            "version": FINGERPRINT_VERSION,
+            "model": model_fingerprint(self.model),
+            "cluster": cluster_fingerprint(self.cluster),
+            "scheme": scheme_fingerprint(self.scheme),
+            "fabric": fabric_fingerprint(self.fabric),
+            "config": config_fingerprint(self.config),
+            "profile": profile_fingerprint(self.profile),
+            "batch_size": self.batch_size,
+            "iterations": self.iterations,
+            "warmup": self.warmup,
+        }
+        key = digest(payload)
+        object.__setattr__(self, "_family_key", key)
+        return key
+
     def build_simulator(self) -> DDPSimulator:
         """Construct the fully-configured simulator this job describes."""
         return DDPSimulator(
@@ -280,6 +312,61 @@ def _execute_job_chunk(chunk: _JobChunk) -> Tuple[str, object, float, float]:
     return ("chunk", tags, time.perf_counter() - started, started_unix)
 
 
+@dataclass(frozen=True)
+class _SimFamily:
+    """Jobs sharing a :meth:`SimJob.family_key`, bundled for one
+    stacked kernel call.
+
+    Unlike a :class:`_JobChunk` (an IPC-amortization grouping of
+    unrelated jobs), a family's members are structurally identical —
+    the batch kernel prices their shared state once and evaluates all
+    members' iterations as one array computation.
+    """
+
+    jobs: Tuple[SimJob, ...]
+
+    def describe(self) -> str:
+        """Short human label for logs and error messages."""
+        return (f"family of {len(self.jobs)} jobs "
+                f"[{self.jobs[0].describe()}]")
+
+
+def _execute_sim_family(family: _SimFamily) -> Tuple[str, object, float, float]:
+    """Process-pool entry point for a family: one stacked kernel call.
+
+    The payload mirrors :func:`_execute_job_chunk`'s — a list of
+    per-job tagged outcomes — so the parent fans results back out with
+    the same machinery.  A family the batch kernel cannot serve (a
+    deterministic OOM, which is per-member data, or a configuration it
+    rejects) falls back to executing members individually, so family
+    batching can only add speed, never failure modes; unexpected
+    exceptions still propagate for the parent to retry.
+    """
+    _chaos_hook()
+    started_unix = time.time()
+    started = time.perf_counter()
+    jobs = family.jobs
+    lead = jobs[0]
+    try:
+        # Deferred import: batch.py sits below the simulator package
+        # this module already imports.
+        from ..simulator.batch import run_batch_many
+        sims = [job.build_simulator() for job in jobs]
+        for sim in sims:
+            if sim._injector is not None:
+                sim._injector.reset_run_counters()
+        results = run_batch_many(
+            sims, lead.batch_size, iterations=lead.iterations,
+            warmup=lead.warmup, seeds=[job.seed for job in jobs])
+    except (OutOfMemoryError, ConfigurationError):
+        tags = [_execute_job(job) for job in jobs]
+        return ("chunk", tags, time.perf_counter() - started, started_unix)
+    elapsed = time.perf_counter() - started
+    share = elapsed / len(jobs)
+    tags = [("ok", result, share, started_unix) for result in results]
+    return ("chunk", tags, elapsed, started_unix)
+
+
 def _outcome_from_tagged(job: SimJob, tagged: Tuple[str, object, float, float],
                          submitted_unix: float,
                          cached: bool = False,
@@ -322,6 +409,7 @@ class EngineStats:
     failures: int = 0
     timeouts: int = 0
     jobs_chunked: int = 0
+    jobs_batched: int = 0
 
     @property
     def mean_exec_s(self) -> float:
@@ -355,6 +443,7 @@ class EngineStats:
             "failures": self.failures,
             "timeouts": self.timeouts,
             "jobs_chunked": self.jobs_chunked,
+            "jobs_batched": self.jobs_batched,
         }
 
     def describe(self) -> str:
@@ -456,6 +545,9 @@ class ExperimentEngine:
         #: Jobs that ran as part of a collapsed execution (a pooled
         #: SimJob chunk, or a model-eval family of more than one job).
         self.jobs_chunked = 0
+        #: Jobs evaluated through a stacked cross-config kernel call
+        #: (a :class:`_SimFamily` of more than one job).
+        self.jobs_batched = 0
         self._log = get_logger("engine")
 
     # ----- execution ---------------------------------------------------------
@@ -493,18 +585,8 @@ class ExperimentEngine:
         timeouts_before = self.timeouts
         if miss_jobs:
             submitted_unix = time.time()
-            if self.jobs > 1 and len(miss_jobs) > 1:
-                workers = min(self.jobs, len(miss_jobs),
-                              (os.cpu_count() or 1))
-                chunk_size = self._chunk_size(len(miss_jobs), workers)
-                if chunk_size > 1:
-                    tagged_results, attempt_counts = self._run_chunked(
-                        miss_jobs, workers, chunk_size)
-                else:
-                    tagged_results, attempt_counts = self._run_parallel(
-                        miss_jobs, workers)
-            else:
-                tagged_results, attempt_counts = self._run_serial(miss_jobs)
+            tagged_results, attempt_counts, workers = \
+                self._execute_misses(miss_jobs)
             self.executed += len(miss_jobs)
             for i, tagged, attempts in zip(miss_indices, tagged_results,
                                            attempt_counts):
@@ -532,6 +614,107 @@ class ExperimentEngine:
                            retries_delta=self.retries - retries_before,
                            timeouts_delta=self.timeouts - timeouts_before)
         return [o for o in outcomes if o is not None]
+
+    def _execute_misses(self, miss_jobs: Sequence[SimJob],
+                        ) -> Tuple[List[tuple], List[int], int]:
+        """Execute cache misses, family-batching where profitable.
+
+        Misses whose effective mode allows the batch kernel are grouped
+        by :meth:`SimJob.family_key`; families of two or more run as one
+        stacked kernel call each (:func:`_execute_sim_family`), pooled
+        one-per-task when ``jobs > 1``.  Everything else — explicit
+        event-mode jobs, family singletons, all misses under
+        ``chunking=False`` — flows through the existing serial /
+        chunked / parallel machinery.  Returns ``(tagged results,
+        attempt counts, peak worker count)`` aligned with
+        ``miss_jobs``.
+        """
+        families, leftover = self._sim_families(miss_jobs)
+        tagged: List[Optional[tuple]] = [None] * len(miss_jobs)
+        attempts: List[int] = [1] * len(miss_jobs)
+        workers = 1
+        if families:
+            fams = [_SimFamily(tuple(miss_jobs[k] for k in group))
+                    for group in families]
+            if self.jobs > 1:
+                # A pooled engine keeps pool semantics even for a lone
+                # family: execution (and the chaos hooks) must never
+                # run in the parent process.
+                fam_workers = min(self.jobs, len(fams),
+                                  (os.cpu_count() or 1))
+                workers = max(workers, fam_workers)
+                fam_tags, fam_attempts = self._run_parallel(
+                    fams, fam_workers, execute_fn=_execute_sim_family)
+            else:
+                fam_tags, fam_attempts = self._run_serial(
+                    fams, execute_fn=_execute_sim_family)
+            batched = 0
+            for group, tag, att in zip(families, fam_tags, fam_attempts):
+                if tag[0] == "chunk":
+                    for k, member_tag in zip(group, tag[1]):
+                        tagged[k] = member_tag
+                else:  # whole-family failure: members share the error
+                    for k in group:
+                        tagged[k] = tag
+                    # The run paths count one failure per *item*; a
+                    # family item degrades every member job.
+                    self.failures += len(group) - 1
+                for k in group:
+                    attempts[k] = att
+                batched += len(group)
+            self.jobs_batched += batched
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("engine_jobs_batched_total").inc(batched)
+        if leftover:
+            rest = [miss_jobs[k] for k in leftover]
+            if self.jobs > 1 and len(rest) > 1:
+                rest_workers = min(self.jobs, len(rest),
+                                   (os.cpu_count() or 1))
+                workers = max(workers, rest_workers)
+                chunk_size = self._chunk_size(len(rest), rest_workers)
+                if chunk_size > 1:
+                    rest_tags, rest_attempts = self._run_chunked(
+                        rest, rest_workers, chunk_size)
+                else:
+                    rest_tags, rest_attempts = self._run_parallel(
+                        rest, rest_workers)
+            else:
+                rest_tags, rest_attempts = self._run_serial(rest)
+            for k, tag, att in zip(leftover, rest_tags, rest_attempts):
+                tagged[k] = tag
+                attempts[k] = att
+        return tagged, attempts, workers  # type: ignore[return-value]
+
+    def _sim_families(self, miss_jobs: Sequence[SimJob],
+                      ) -> Tuple[List[List[int]], List[int]]:
+        """Partition miss positions into batchable families and the rest.
+
+        Only jobs whose *effective* mode permits the batch kernel are
+        candidates (an explicit ``"event"`` job — its own or the
+        engine's override — must run the event loop it asked for), and
+        only families of two or more are worth a stacked call.
+        """
+        if not self.chunking or self.job_timeout_s is not None:
+            # Like chunking, family batching is incompatible with a
+            # per-job timeout: the budget is per pool submission and
+            # must keep meaning per job.
+            return [], list(range(len(miss_jobs)))
+        groups: Dict[str, List[int]] = {}
+        leftover: List[int] = []
+        for k, job in enumerate(miss_jobs):
+            if job.sim_mode == "event":
+                leftover.append(k)
+            else:
+                groups.setdefault(job.family_key(), []).append(k)
+        families: List[List[int]] = []
+        for members in groups.values():
+            if len(members) >= 2:
+                families.append(members)
+            else:
+                leftover.extend(members)
+        leftover.sort()
+        return families, leftover
 
     def _job_for_execution(self, job: SimJob) -> SimJob:
         """Apply the engine's simulation-mode override to one job.
@@ -703,7 +886,8 @@ class ExperimentEngine:
 
     # ----- miss execution (serial / pooled, with retries) --------------------
 
-    def _run_serial(self, miss_jobs: Sequence[SimJob],
+    def _run_serial(self, miss_jobs: Sequence,
+                    execute_fn: Optional[Callable] = None,
                     ) -> Tuple[List[tuple], List[int]]:
         """Execute misses in-process, retrying unexpected exceptions.
 
@@ -713,13 +897,17 @@ class ExperimentEngine:
         fresh attempts with exponential backoff before degrading to an
         ``("error", ...)`` tag.
         """
+        if execute_fn is None:
+            # Resolved at call time so tests can monkeypatch the
+            # module-level _execute_job.
+            execute_fn = _execute_job
         tagged: List[tuple] = []
         attempt_counts: List[int] = []
         for job in miss_jobs:
             attempt = 1
             while True:
                 try:
-                    result = _execute_job(job)
+                    result = execute_fn(job)
                     break
                 except Exception as exc:  # noqa: BLE001 - retried below
                     reason = f"{type(exc).__name__}: {exc}"
@@ -781,7 +969,7 @@ class ExperimentEngine:
         return tagged, attempt_counts
 
     def _run_parallel(self, miss_jobs: Sequence, workers: int,
-                      execute_fn: Callable = _execute_job,
+                      execute_fn: Optional[Callable] = None,
                       ) -> Tuple[List[tuple], List[int]]:
         """Execute misses on a process pool that survives dying workers.
 
@@ -795,6 +983,10 @@ class ExperimentEngine:
         come back aligned with ``miss_jobs`` regardless of completion
         order.
         """
+        if execute_fn is None:
+            # Resolved at call time so tests can monkeypatch the
+            # module-level _execute_job.
+            execute_fn = _execute_job
         tagged: List[Optional[tuple]] = [None] * len(miss_jobs)
         attempt_counts = [0] * len(miss_jobs)
         pending = list(range(len(miss_jobs)))
@@ -964,4 +1156,5 @@ class ExperimentEngine:
             failures=self.failures,
             timeouts=self.timeouts,
             jobs_chunked=self.jobs_chunked,
+            jobs_batched=self.jobs_batched,
         )

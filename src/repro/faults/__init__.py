@@ -23,7 +23,12 @@ bit-identical to no schedule at all** — no extra RNG draws, no changed
 cache keys.
 """
 
-from .injector import FAULT_STREAM, FaultInjector, IterationFaults
+from .injector import (
+    FAULT_STREAM,
+    FaultInjector,
+    IterationFaults,
+    ResolvedFaults,
+)
 from .schedule import (
     CrashFault,
     FaultSchedule,
@@ -37,5 +42,5 @@ __all__ = [
     "FaultSchedule",
     "StragglerFault", "LinkFault", "NodeFault",
     "RetransmitFault", "CrashFault",
-    "FaultInjector", "IterationFaults", "FAULT_STREAM",
+    "FaultInjector", "IterationFaults", "ResolvedFaults", "FAULT_STREAM",
 ]

@@ -72,6 +72,45 @@ class IterationFaults:
         return bool(self.active) or self.stall_s > 0
 
 
+@dataclass(frozen=True)
+class ResolvedFaults:
+    """A contiguous range of iterations' fault state, as arrays.
+
+    The batch simulation fast path consumes fault state as masks and
+    broadcasts rather than one :class:`IterationFaults` at a time; this
+    is the array form :meth:`FaultInjector.resolve_range` returns.  The
+    arrays are parallel over iterations ``start .. start + n - 1`` and
+    each element is exactly the corresponding scalar field of
+    :meth:`FaultInjector.faults_for` — same memoized resolution, just
+    packed.
+
+    Attributes:
+        start: First (0-based absolute) iteration of the range.
+        states: The per-iteration :class:`IterationFaults` records (for
+            retransmit policies and telemetry mirroring).
+        compute_slowdown: ``(n,)`` compute stretch factors (>= 1).
+        bandwidth_scale: ``(n,)`` min-bandwidth multipliers (<= 1).
+        world_size: ``(n,)`` surviving world sizes (int).
+        stall_s: ``(n,)`` start-of-iteration recovery stalls.
+    """
+
+    start: int
+    states: Tuple[IterationFaults, ...]
+    compute_slowdown: np.ndarray
+    bandwidth_scale: np.ndarray
+    world_size: np.ndarray
+    stall_s: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    @property
+    def has_retransmits(self) -> bool:
+        """Whether any iteration in the range can drop transfers."""
+        return any(s.retransmit is not None and s.retransmit.drop_rate > 0
+                   for s in self.states)
+
+
 class FaultInjector:
     """Binds a :class:`FaultSchedule` to one cluster + fabric.
 
@@ -90,8 +129,22 @@ class FaultInjector:
         self._validate_topology()
         self._base_min_bw = fabric.min_bandwidth()
         self._cache: Dict[int, IterationFaults] = {}
+        self._bw_cache: Dict[tuple, float] = {}
         #: Counters the CLI prints after a faulted run; mirrored into
-        #: telemetry when a registry is enabled.
+        #: telemetry when a registry is enabled.  They describe the most
+        #: recent run: :meth:`reset_run_counters` zeroes them at the
+        #: start of every :meth:`DDPSimulator.run
+        #: <repro.simulator.ddp.DDPSimulator.run>`.
+        self.retransmits_injected = 0
+        self.retransmit_delay_s = 0.0
+
+    def reset_run_counters(self) -> None:
+        """Zero the per-run retransmit counters.
+
+        The simulator calls this at the start of every run; without it,
+        repeated ``run()`` calls on one simulator accumulate and the
+        post-run :meth:`summary` overcounts on reruns.
+        """
         self.retransmits_injected = 0
         self.retransmit_delay_s = 0.0
 
@@ -114,10 +167,24 @@ class FaultInjector:
                 raise ConfigurationError(
                     f"link fault ({link.node_a}, {link.node_b}) out of "
                     f"range for {n} nodes")
+            # Defense in depth: LinkFault's constructor rejects these
+            # too, but a self-link that slips through (hand-built or
+            # deserialized records) would have its factor applied to the
+            # same matrix cell twice (factor²) in _bandwidth_scale.
+            if link.node_a == link.node_b:
+                raise ConfigurationError(
+                    f"link fault endpoints must differ, got node "
+                    f"{link.node_a} twice")
+            if link.factor <= 0:
+                raise ConfigurationError(
+                    f"link factor must be > 0, got {link.factor}")
         for node in self.schedule.nodes:
             if node.node >= n:
                 raise ConfigurationError(
                     f"node fault {node.node} out of range for {n} nodes")
+            if node.factor <= 0:
+                raise ConfigurationError(
+                    f"node factor must be > 0, got {node.factor}")
 
     # ----- per-iteration resolution ----------------------------------------
 
@@ -128,6 +195,29 @@ class FaultInjector:
             state = self._resolve(iteration)
             self._cache[iteration] = state
         return state
+
+    def resolve_range(self, start: int, stop: int) -> ResolvedFaults:
+        """Resolve iterations ``[start, stop)`` into parallel arrays.
+
+        The array API of :meth:`faults_for`: one pass over the memoized
+        per-iteration resolution, packed into the :class:`ResolvedFaults`
+        form the batch fast path applies as masks and broadcasts.
+        """
+        if stop < start:
+            raise ConfigurationError(
+                f"resolve_range: stop ({stop}) must be >= start ({start})")
+        states = tuple(self.faults_for(i) for i in range(start, stop))
+        return ResolvedFaults(
+            start=start,
+            states=states,
+            compute_slowdown=np.array(
+                [s.compute_slowdown for s in states], dtype=float),
+            bandwidth_scale=np.array(
+                [s.bandwidth_scale for s in states], dtype=float),
+            world_size=np.array(
+                [s.world_size for s in states], dtype=np.int64),
+            stall_s=np.array([s.stall_s for s in states], dtype=float),
+        )
 
     def _resolve(self, iteration: int) -> IterationFaults:
         """Compute one iteration's fault state from the schedule."""
@@ -147,8 +237,15 @@ class FaultInjector:
         world = self.cluster.world_size
         stall_s = 0.0
         stall_label = None
+        elastic_gone: set = set()
         for c in self.schedule.crashes:
-            if c.recovery == "elastic" and iteration >= c.at_iteration:
+            if (c.recovery == "elastic" and iteration >= c.at_iteration
+                    and c.worker not in elastic_gone):
+                # Decrement once per *departed worker*, not per entry:
+                # the schedule validates against duplicate elastic
+                # crashes, but a hand-built duplicate must not shrink
+                # the world twice for one physical departure.
+                elastic_gone.add(c.worker)
                 world -= 1
             if iteration == c.at_iteration:
                 stall_s += c.stall_s
@@ -192,17 +289,23 @@ class FaultInjector:
         pairwise matrix and re-takes the minimum — exactly the paper's
         probe-and-take-minimum methodology, run against the degraded
         fabric.  Clusters are small (<= a few dozen nodes), so the
-        O(n^2) copy per *distinct* fault pattern is negligible.
+        O(n^2) copy per *distinct* fault pattern is negligible — the
+        scale is memoized by active-fault pattern, since a schedule
+        spends whole windows in the same handful of patterns.
         """
         n = self.cluster.num_nodes
         if n <= 1:
             return 1.0
-        active_links = [f for f in self.schedule.links
-                        if f.active(iteration)]
-        active_nodes = [f for f in self.schedule.nodes
-                        if f.active(iteration)]
+        active_links = tuple(f for f in self.schedule.links
+                             if f.active(iteration))
+        active_nodes = tuple(f for f in self.schedule.nodes
+                             if f.active(iteration))
         if not active_links and not active_nodes:
             return 1.0
+        pattern = (active_links, active_nodes)
+        cached = self._bw_cache.get(pattern)
+        if cached is not None:
+            return cached
         matrix = np.array(
             [[self.fabric.pair_bandwidth(a, b) if a != b else np.inf
               for b in range(n)] for a in range(n)])
@@ -214,7 +317,9 @@ class FaultInjector:
                 if other != node.node:
                     matrix[node.node, other] *= node.factor
                     matrix[other, node.node] *= node.factor
-        return float(matrix.min()) / self._base_min_bw
+        scale = float(matrix.min()) / self._base_min_bw
+        self._bw_cache[pattern] = scale
+        return scale
 
     # ----- retransmits ------------------------------------------------------
 
@@ -253,6 +358,63 @@ class FaultInjector:
                 registry.histogram("sim_fault_retransmit_delay_s").observe(
                     delay)
         return delay, replays
+
+    def retransmit_delay_range(self, start: int, stop: int,
+                               transfer_index: int,
+                               base_durations_s: np.ndarray,
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`retransmit_delay` over ``[start, stop)``
+        for one transfer index.
+
+        Returns ``(delay_s, replays)`` arrays of length ``stop - start``
+        whose elements are bit-identical to the scalar call: each
+        iteration's draws come from the same
+        ``(schedule seed, iteration, transfer_index)``-seeded generator
+        (batched draws consume the stream in the same order as the
+        scalar loop's sequential ones), and the per-retry delay terms
+        accumulate in the scalar loop's order.
+
+        Unlike the scalar method this is *pure*: the run counters and
+        telemetry are untouched — the batch path mirrors them itself
+        after assembling every transfer, preserving the event path's
+        accumulation order.
+        """
+        n = stop - start
+        durs = np.asarray(base_durations_s, dtype=float)
+        delays = np.zeros(n)
+        replays = np.zeros(n, dtype=np.int64)
+        # Group rows by active policy: draws vectorize per policy (its
+        # drop rate and retry schedule are shared), while each row keeps
+        # its own seeded stream.
+        groups: Dict[RetransmitFault, list] = {}
+        for row in range(n):
+            policy = self.faults_for(start + row).retransmit
+            # The event path never rolls the dice for an idle policy or
+            # a zero-length transfer (duration <= 0 skips retransmits).
+            if policy is None or policy.drop_rate == 0.0 or durs[row] <= 0:
+                continue
+            groups.setdefault(policy, []).append(row)
+        for policy, rows in groups.items():
+            draws = np.stack([
+                np.random.default_rng(
+                    (self.schedule.seed, start + row, transfer_index)
+                ).random(policy.max_retries)
+                for row in rows])
+            delivered = draws >= policy.drop_rate
+            reps = np.where(delivered.any(axis=1),
+                            delivered.argmax(axis=1), policy.max_retries)
+            row_durs = durs[rows]
+            delay = np.zeros(len(rows))
+            for k in range(int(reps.max()) if len(reps) else 0):
+                # Same association as the scalar loop: timeout term
+                # (python-float scalar) plus the replayed transfer,
+                # added onto the running delay.
+                term = policy.timeout_s * policy.backoff ** k
+                delay = np.where(reps > k, delay + (term + row_durs),
+                                 delay)
+            delays[rows] = delay
+            replays[rows] = reps
+        return delays, replays
 
     # ----- reporting --------------------------------------------------------
 

@@ -318,12 +318,36 @@ class FaultSchedule:
                 # Accept lists for ergonomic construction; store tuples
                 # so the schedule stays hashable and immutable.
                 object.__setattr__(self, name, tuple(value))
-        crashed = [c.worker for c in self.crashes]
-        if len(crashed) != len(set(crashed)):
-            raise ConfigurationError(
-                "at most one crash per worker (a restarted worker "
-                "crashing again is a second schedule entry away from "
-                "being ambiguous about ordering)")
+        self._validate_crash_sequences()
+
+    def _validate_crash_sequences(self) -> None:
+        """Reject crash sequences with no physical interpretation.
+
+        A worker may crash more than once only when an intervening
+        ``"restart"`` recovery brought it back.  Two crashes at the same
+        iteration are a duplicate entry, and any crash *after* an
+        elastic departure references a worker that is no longer in the
+        job — the injector used to double-decrement the surviving world
+        size for exactly that case.
+        """
+        by_worker: Dict[int, list] = {}
+        for c in self.crashes:
+            by_worker.setdefault(c.worker, []).append(c)
+        for worker, entries in by_worker.items():
+            entries.sort(key=lambda c: c.at_iteration)
+            for earlier, later in zip(entries, entries[1:]):
+                if earlier.at_iteration == later.at_iteration:
+                    raise ConfigurationError(
+                        f"worker {worker} crashes twice at iteration "
+                        f"{earlier.at_iteration}; at most one crash per "
+                        f"worker per iteration")
+                if earlier.recovery == "elastic":
+                    raise ConfigurationError(
+                        f"worker {worker} crashes at iteration "
+                        f"{later.at_iteration} but already left the job "
+                        f"elastically at iteration {earlier.at_iteration}; "
+                        f"only an intervening \"restart\" recovery brings "
+                        f"a worker back")
 
     # ----- introspection ----------------------------------------------------
 

@@ -31,23 +31,34 @@ multiplication association, ``cumsum`` accumulation order, the
 ``tests/test_batch_equivalence.py`` pins the invariant across schemes,
 world sizes, algorithms and jitter settings.
 
-What the fast path does not do: fault schedules (per-iteration world
-size / bandwidth / stall rewrites) and span-level traces.  Those runs
-fall back to the event path — see
+Fault schedules are served here too: :func:`run_batch_many` resolves
+the whole :class:`~repro.faults.FaultSchedule` once into per-iteration
+arrays (:meth:`FaultInjector.resolve_range
+<repro.faults.FaultInjector.resolve_range>`) and applies them as masks
+and broadcasts — compute stretch and stalls scale rows, degraded
+bandwidths and surviving world sizes regroup the collective pricing,
+and retransmit delays are drawn vectorized from the same
+``(seed, iteration, transfer_index)``-seeded streams the event path
+uses.  The same machinery stacks *several* simulators sharing one
+model/topology (an engine job family) into a single kernel call.
+
+What the fast path does not do: span-level timeline traces.  Those
+runs fall back to the event path — see
 :meth:`DDPSimulator.resolve_mode <repro.simulator.ddp.DDPSimulator.resolve_mode>`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..collectives import ring_allreduce_time_batch
 from ..core.perf_model import bucket_pipeline_end
 from ..errors import ConfigurationError
+from ..faults import ResolvedFaults
 from ..telemetry.metrics import get_registry
-from .ddp import FALLBACK_REASONS, DDPSimulator, TimingResult
+from .ddp import DDPSimulator, TimingResult
 
 #: A kernel maps the jitter matrix ``J`` (``n`` rows) to the
 #: ``(forward_end, sync_end, iteration_end)`` arrays of all rows.
@@ -113,19 +124,23 @@ def _cols(J: np.ndarray, sl: Optional[slice], n: int,
 
 
 def _allreduce_times(sim: DDPSimulator, payloads: np.ndarray,
-                     p: int) -> np.ndarray:
+                     p: int, bw_scale: float = 1.0) -> np.ndarray:
     """Vectorized ``sim._allreduce_time`` over an array of payloads.
 
     Ring (the paper's forced algorithm and the default) broadcasts in
     one expression; the ablation algorithms price per payload through
     the scalar dispatcher — the bucket count is small, and the scalar
     path keeps their exact arithmetic without duplicating it here.
+    ``bw_scale`` is the fault injector's degraded-bandwidth multiplier
+    (1.0 healthy), applied exactly as the scalar dispatcher applies it.
     """
     if sim.config.allreduce_algorithm == "ring":
         return ring_allreduce_time_batch(
-            payloads, p, sim.fabric.min_bandwidth(), sim.fabric.alpha_s)
+            payloads, p, sim.fabric.min_bandwidth() * bw_scale,
+            sim.fabric.alpha_s)
     return np.asarray(
-        [sim._allreduce_time(float(b), p) for b in payloads], dtype=float)
+        [sim._allreduce_time(float(b), p, bw_scale) for b in payloads],
+        dtype=float)
 
 
 # ----- per-path kernel builders ------------------------------------------------
@@ -280,6 +295,486 @@ def _plan_overlapped(sim: DDPSimulator, bs: int, plan: _DrawPlan,
     return kernel, wire
 
 
+# ----- faulted path ------------------------------------------------------------
+#
+# Fault schedules rewrite per-iteration state — compute stretch,
+# degraded bandwidth, surviving world size, recovery stalls, retransmit
+# risk — so the fault-free builders' run-constant scalars become per-row
+# arrays here.  Two extra mechanisms keep bit-identity:
+#
+# * a _SlotLayout instead of a _DrawPlan: the event path's draw count
+#   varies per iteration (the sequential path skips its comm draw when
+#   an elastic crash shrinks the world to 1; the bucket-cast draw only
+#   happens when the hook cost at that iteration's world size is
+#   positive), so each registered slot carries a per-row *presence*
+#   mask and one flat lognormal call replays exactly the draws the
+#   event path would have made, in its order;
+# * per-(world size, bandwidth-scale) combo pricing: collective costs
+#   are computed once per distinct degraded state through the *scalar*
+#   dispatchers (exact for every algorithm) and scattered to rows.
+
+
+class _SlotLayout:
+    """Per-iteration draw slots with row-varying presence.
+
+    Like :class:`_DrawPlan`, builders register each potential draw in
+    event-path order; unlike it, a registered slot may be *absent* on
+    some rows (iterations) — the presence mask decides.  Absent cells
+    hold 1.0 (the event path's jitter-of-1.0 shortcut) and consume no
+    RNG stream.
+    """
+
+    def __init__(self) -> None:
+        self.sigmas: List[float] = []
+
+    def slot(self, sigma: float) -> Optional[int]:
+        """Register one draw; its slot index, or ``None`` if the sigma
+        is zero (never drawn on any row)."""
+        if sigma <= 0:
+            return None
+        self.sigmas.append(float(sigma))
+        return len(self.sigmas) - 1
+
+    def slots(self, sigma: float, count: int) -> Optional[slice]:
+        """Register ``count`` consecutive draws of the same sigma."""
+        if sigma <= 0 or count == 0:
+            return None
+        start = len(self.sigmas)
+        self.sigmas.extend([float(sigma)] * count)
+        return slice(start, start + count)
+
+    def draw(self, rng: np.random.Generator,
+             present: np.ndarray) -> np.ndarray:
+        """One member's jitter: an ``(n, S)`` matrix, 1.0 where absent.
+
+        The present cells are drawn in one flat lognormal call; boolean
+        masking walks the matrix row-major, so the stream consumption
+        order is exactly the event path's sequential per-iteration
+        draws (and identical to :meth:`_DrawPlan.draw` when every cell
+        is present).
+        """
+        n = present.shape[0]
+        S = len(self.sigmas)
+        if S == 0:
+            return np.ones((n, 0))
+        J = np.ones((n, S))
+        sigma = np.broadcast_to(np.asarray(self.sigmas, dtype=float),
+                                (n, S))
+        flat = sigma[present]
+        if flat.size:
+            J[present] = rng.lognormal(mean=0.0, sigma=flat)
+        return J
+
+
+class _FaultRows:
+    """Stacked per-row fault state across a batch call's members."""
+
+    def __init__(self, slow: np.ndarray, bw: np.ndarray, p: np.ndarray,
+                 stall: np.ndarray):
+        self.slow = slow    # compute slowdown (>= 1)
+        self.bw = bw        # bandwidth scale (<= 1)
+        self.p = p          # surviving world size (int)
+        self.stall = stall  # start-of-iteration stall seconds
+
+
+#: One member of a stacked batch call: its simulator, its row slice,
+#: and its resolved fault range (``None`` for a fault-free member).
+_Member = Tuple[DDPSimulator, slice, Optional[ResolvedFaults]]
+
+
+def _stack_member_faults(sims: Sequence[DDPSimulator],
+                         n: int) -> Tuple[_FaultRows, List[_Member]]:
+    """Resolve every member's fault schedule into stacked row arrays."""
+    slows, bws, ps, stalls = [], [], [], []
+    members: List[_Member] = []
+    row = 0
+    for sim in sims:
+        sl = slice(row, row + n)
+        if sim._injector is None:
+            slows.append(np.ones(n))
+            bws.append(np.ones(n))
+            ps.append(np.full(n, sim.cluster.world_size, dtype=np.int64))
+            stalls.append(np.zeros(n))
+            resolved = None
+        else:
+            resolved = sim._injector.resolve_range(0, n)
+            slows.append(resolved.compute_slowdown)
+            bws.append(resolved.bandwidth_scale)
+            ps.append(resolved.world_size)
+            stalls.append(resolved.stall_s)
+        members.append((sim, sl, resolved))
+        row += n
+    F = _FaultRows(np.concatenate(slows), np.concatenate(bws),
+                   np.concatenate(ps), np.concatenate(stalls))
+    return F, members
+
+
+def _combos(F: _FaultRows) -> List[Tuple[Tuple[int, float], np.ndarray]]:
+    """Rows grouped by distinct (world size, bandwidth scale) state.
+
+    Fault schedules produce a handful of distinct degraded states over
+    a run, so pricing once per combo through the scalar dispatchers is
+    both exact and cheap."""
+    groups: Dict[Tuple[int, float], List[int]] = {}
+    for i in range(F.p.size):
+        groups.setdefault((int(F.p[i]), float(F.bw[i])), []).append(i)
+    return [(key, np.asarray(rows)) for key, rows in groups.items()]
+
+
+def _per_p(F: _FaultRows, fn: Callable[[int], float]) -> np.ndarray:
+    """Map a per-world-size scalar onto rows (one call per distinct p)."""
+    out = np.empty(F.p.size)
+    for p in np.unique(F.p):
+        out[F.p == p] = fn(int(p))
+    return out
+
+
+def _retransmit_arrays(members: Sequence[_Member], durations: np.ndarray,
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Retransmit delays/replays for every (row, transfer) cell.
+
+    ``durations`` is the jittered transfer-duration matrix ``(N, T)``;
+    members without retransmit risk contribute zeros without touching
+    any RNG (exactly like the event path, which never rolls the dice
+    for them)."""
+    N, T = durations.shape
+    delays = np.zeros((N, T))
+    replays = np.zeros((N, T), dtype=np.int64)
+    for sim, sl, resolved in members:
+        if resolved is None or not resolved.has_retransmits:
+            continue
+        injector = sim._injector
+        assert injector is not None
+        for t in range(T):
+            d, r = injector.retransmit_delay_range(
+                0, len(resolved), t, durations[sl, t])
+            delays[sl, t] = d
+            replays[sl, t] = r
+    return delays, replays
+
+
+#: A faulted kernel maps (jitter matrix, fault rows, members) to the
+#: per-row (forward_end, sync_end, iteration_end, wire bytes,
+#: retransmit delays, retransmit replays).
+FaultedKernel = Callable[
+    [np.ndarray, _FaultRows, Sequence[_Member]],
+    Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+          np.ndarray]]
+
+#: A presence function maps fault rows to the (N, S) draw-presence mask.
+PresenceFn = Callable[[_FaultRows], np.ndarray]
+
+
+def _plan_baseline_faulted(lead: DDPSimulator, bs: int,
+                           layout: _SlotLayout,
+                           ) -> Tuple[PresenceFn, FaultedKernel]:
+    """Faulted syncSGD / ddp_overlap: bucketed, overlapped all-reduce."""
+    cfg = lead.config
+    fwd_base = lead._forward_time(bs)
+    opt_base = lead._optimizer_time()
+    bucket_sizes, close_idx = lead._baseline_bucket_plan()
+    sizes = np.asarray(bucket_sizes, dtype=float)
+    nb = len(bucket_sizes)
+    base_layers = np.asarray(lead._backward_base_times(bs), dtype=float)
+    overlap_enabled = cfg.overlap_communication
+    has_hook = not lead._is_baseline
+
+    def wire_scale_at(p: int) -> float:
+        if lead._is_baseline:
+            return 1.0
+        return lead._scheme_cost(p).wire_bytes / lead.model.grad_bytes
+
+    def hook_at(p: int) -> float:
+        if lead._is_baseline:
+            return 0.0
+        return lead._scheme_cost(p).encode_decode_s
+
+    # Event-path draw order: forward, per layer, per bucket collective
+    # (drawn even at p == 1), bucket-cast when the hook cost at that
+    # iteration's world size is positive, optimizer.
+    c_fwd = layout.slot(cfg.compute_jitter)
+    sl_layers = layout.slots(cfg.compute_jitter, base_layers.size)
+    sl_comm = layout.slots(cfg.comm_jitter, nb)
+    c_hook = layout.slot(cfg.compute_jitter) if has_hook else None
+    c_opt = layout.slot(cfg.compute_jitter)
+
+    def presence(F: _FaultRows) -> np.ndarray:
+        pres = np.ones((F.p.size, len(layout.sigmas)), dtype=bool)
+        if c_hook is not None:
+            pres[:, c_hook] = _per_p(F, hook_at) > 0
+        return pres
+
+    def kernel(J: np.ndarray, F: _FaultRows, members: Sequence[_Member]):
+        N = F.p.size
+        fwd_end = F.stall + (fwd_base * F.slow) * _col(J, c_fwd, N)
+        overlap_row = (F.p > 1) if overlap_enabled \
+            else np.zeros(N, dtype=bool)
+        # The event path passes (stretch * slow) into the layer times;
+        # (t * ss) * j preserves its association.
+        ss = np.where(overlap_row, cfg.gamma, 1.0) * F.slow
+        layers = ((base_layers[None, :] * ss[:, None])
+                  * _cols(J, sl_layers, N, base_layers.size))
+        completion = np.cumsum(layers, axis=1) + fwd_end[:, None]
+        backward_end = completion[:, -1]
+        ready = np.where(overlap_row[:, None], completion[:, close_idx],
+                         backward_end[:, None])
+        wire_row = _per_p(F, wire_scale_at)
+        durs = np.zeros((N, nb))
+        for (p, bw), rows in _combos(F):
+            if p > 1:
+                durs[rows] = _allreduce_times(
+                    lead, sizes * wire_scale_at(p), p, bw)
+        durations = durs * _cols(J, sl_comm, N, nb)
+        delays, replays = _retransmit_arrays(members, durations)
+        # The FIFO comm-stream recurrence, with each bucket's
+        # retransmit penalty appended after its transfer (the event
+        # path's comm_free update order).
+        end = fwd_end
+        for k in range(nb):
+            end = np.maximum(ready[:, k], end) + durations[:, k]
+            end = end + delays[:, k]
+        sync_end = np.maximum(end, backward_end)
+        if has_hook:
+            hook_row = _per_p(F, hook_at)
+            sync_end = sync_end + (hook_row * F.slow) * _col(J, c_hook, N)
+        start = np.maximum(sync_end, backward_end)
+        iter_end = start + (opt_base * F.slow) * _col(J, c_opt, N)
+        wire = np.where(F.p > 1, float(sizes.sum()) * wire_row, 0.0)
+        wire = wire + (sizes[None, :] * wire_row[:, None]
+                       * replays).sum(axis=1)
+        return fwd_end, sync_end, iter_end, wire, delays, replays
+
+    return presence, kernel
+
+
+def _plan_sequential_faulted(lead: DDPSimulator, bs: int,
+                             layout: _SlotLayout,
+                             ) -> Tuple[PresenceFn, FaultedKernel]:
+    """Faulted sequential compression: encode → collective → decode."""
+    cfg = lead.config
+    fwd_base = lead._forward_time(bs)
+    bwd_base = lead._backward_time(bs)
+    hook_over = lead._hook_overhead()
+    opt_base = lead._optimizer_time()
+
+    # Draw order: forward, backward, encode/decode, collective (only
+    # when that iteration's world size exceeds 1), optimizer.
+    c_fwd = layout.slot(cfg.compute_jitter)
+    c_bwd = layout.slot(cfg.compute_jitter)
+    c_enc = layout.slot(cfg.compute_jitter)
+    c_comm = layout.slot(cfg.comm_jitter)
+    c_opt = layout.slot(cfg.compute_jitter)
+
+    def presence(F: _FaultRows) -> np.ndarray:
+        pres = np.ones((F.p.size, len(layout.sigmas)), dtype=bool)
+        if c_comm is not None:
+            pres[:, c_comm] = F.p > 1
+        return pres
+
+    def kernel(J: np.ndarray, F: _FaultRows, members: Sequence[_Member]):
+        N = F.p.size
+        enc_row = _per_p(
+            F, lambda p: lead._scheme_cost(p).encode_decode_s + hook_over)
+        wire_row = _per_p(F, lambda p: lead._scheme_cost(p).wire_bytes)
+        comm_base = np.zeros(N)
+        for (p, bw), rows in _combos(F):
+            if p > 1:
+                comm_base[rows] = lead._collective_time(
+                    lead._scheme_cost(p), p, bw)
+        fwd_end = F.stall + (fwd_base * F.slow) * _col(J, c_fwd, N)
+        backward_end = fwd_end + (bwd_base * F.slow) * _col(J, c_bwd, N)
+        enc_dec = (enc_row * F.slow) * _col(J, c_enc, N)
+        encode_end = backward_end + enc_dec / 2.0
+        comm = comm_base * _col(J, c_comm, N)
+        comm_end = encode_end + comm
+        delays, replays = _retransmit_arrays(members, comm[:, None])
+        comm_end = comm_end + delays[:, 0]
+        sync_end = comm_end + enc_dec / 2.0
+        start = np.maximum(sync_end, backward_end)
+        iter_end = start + (opt_base * F.slow) * _col(J, c_opt, N)
+        wire = np.where(comm > 0, wire_row, 0.0) + wire_row * replays[:, 0]
+        return fwd_end, sync_end, iter_end, wire, delays, replays
+
+    return presence, kernel
+
+
+def _plan_overlapped_faulted(lead: DDPSimulator, bs: int,
+                             layout: _SlotLayout,
+                             ) -> Tuple[PresenceFn, FaultedKernel]:
+    """Faulted Figure-3 strategy: encode interleaved with backward."""
+    cfg = lead.config
+    fwd_base = lead._forward_time(bs)
+    bwd_base = lead._backward_time(bs)
+    hook_over = lead._hook_overhead()
+    opt_base = lead._optimizer_time()
+    pen = cfg.contention_penalty
+    waves = 4
+
+    # Draw order: forward, backward, encode/decode, the shared wave
+    # collective (drawn even at p == 1 on this path), optimizer.
+    c_fwd = layout.slot(cfg.compute_jitter)
+    c_bwd = layout.slot(cfg.compute_jitter)
+    c_enc = layout.slot(cfg.compute_jitter)
+    c_comm = layout.slot(cfg.comm_jitter)
+    c_opt = layout.slot(cfg.compute_jitter)
+
+    def presence(F: _FaultRows) -> np.ndarray:
+        return np.ones((F.p.size, len(layout.sigmas)), dtype=bool)
+
+    def kernel(J: np.ndarray, F: _FaultRows, members: Sequence[_Member]):
+        N = F.p.size
+        enc_row = _per_p(
+            F, lambda p: lead._scheme_cost(p).encode_decode_s + hook_over)
+        wire_row = _per_p(F, lambda p: lead._scheme_cost(p).wire_bytes)
+        comm_base = np.zeros(N)
+        for (p, bw), rows in _combos(F):
+            if p > 1:
+                comm_base[rows] = lead._collective_time(
+                    lead._scheme_cost(p), p, bw)
+        fwd_end = F.stall + (fwd_base * F.slow) * _col(J, c_fwd, N)
+        t_bwd = (bwd_base * F.slow) * _col(J, c_bwd, N)
+        enc_dec = (enc_row * F.slow) * _col(J, c_enc, N)
+        stretched = (t_bwd + enc_dec / 2.0) * pen
+        compute_end = fwd_end + stretched
+        comm_total = comm_base * _col(J, c_comm, N)
+        per_wave = comm_total / waves
+        wave_durs = np.broadcast_to(per_wave[:, None], (N, waves))
+        delays, replays = _retransmit_arrays(members, wave_durs)
+        end = fwd_end
+        for w in range(waves):
+            ready = fwd_end + stretched * (w + 1) / waves
+            end = np.maximum(ready, end) + per_wave
+            end = end + delays[:, w]
+        # Single-worker iterations never enter the wave loop on the
+        # event path: their sync end is the stretched compute end.
+        sync_end = np.where(F.p > 1, end, compute_end)
+        sync_end = np.maximum(sync_end, compute_end) + enc_dec / 2.0
+        start = np.maximum(sync_end, compute_end)
+        iter_end = start + (opt_base * F.slow) * _col(J, c_opt, N)
+        wire = np.where(F.p > 1, wire_row, 0.0)
+        wire = wire + (wire_row[:, None] / waves * replays).sum(axis=1)
+        return fwd_end, sync_end, iter_end, wire, delays, replays
+
+    return presence, kernel
+
+
+def run_batch_many(sims: Sequence[DDPSimulator],
+                   batch_size: Optional[int] = None,
+                   iterations: int = 110, warmup: int = 10,
+                   seeds: Sequence[int] = (0,)) -> List[TimingResult]:
+    """Evaluate one or more runs — faulted or not — in one kernel call.
+
+    Every simulator must share the structural state the kernel prices
+    once (model, cluster size, scheme, config); members may differ in
+    fault schedule and seed.  This is the cross-config batch dimension:
+    an engine job family (for example the reliability exhibit's
+    clean/NIC-straggler/compute-straggler triplets) evaluates as one
+    stacked array computation instead of one kernel call per job.
+
+    Each member's :class:`TimingResult` is bit-identical to its own
+    ``sim.run(..., mode="event")``; members' RNG streams are fully
+    independent (per-member jitter seed, per-member schedule seed), so
+    stacking changes nothing but wall-clock time.
+
+    Raises:
+        ConfigurationError: invalid protocol, mismatched members, or a
+            seed count that does not match the member count.
+        OutOfMemoryError: the same deterministic OOM the event path
+            raises (memory state is structural, so it is shared by
+            every member).
+    """
+    if not sims:
+        raise ConfigurationError("run_batch_many needs >= 1 simulator")
+    if len(seeds) != len(sims):
+        raise ConfigurationError(
+            f"got {len(sims)} simulators but {len(seeds)} seeds")
+    if iterations <= warmup:
+        raise ConfigurationError(
+            f"iterations ({iterations}) must exceed warmup ({warmup})")
+    lead = sims[0]
+    for sim in sims[1:]:
+        if (sim.model.name != lead.model.name
+                or sim.cluster.world_size != lead.cluster.world_size
+                or sim.scheme.label != lead.scheme.label
+                or sim.config != lead.config):
+            raise ConfigurationError(
+                "run_batch_many members must share model, cluster size, "
+                "scheme and config (only faults and seeds may differ)")
+    bs = batch_size if batch_size is not None else lead.model.default_batch_size
+    # Memory is structural (model, batch size, config) — one check
+    # covers every member, raising the same deterministic OOM each
+    # member's own event run would.
+    if lead.config.check_memory:
+        lead.check_memory(bs)
+
+    layout = _SlotLayout()
+    if lead._is_baseline or lead.scheme.ddp_overlap:
+        presence_fn, kernel = _plan_baseline_faulted(lead, bs, layout)
+    elif lead.config.overlap_compression:
+        presence_fn, kernel = _plan_overlapped_faulted(lead, bs, layout)
+    else:
+        presence_fn, kernel = _plan_sequential_faulted(lead, bs, layout)
+
+    n = iterations
+    F, members = _stack_member_faults(sims, n)
+    pres = presence_fn(F)
+    J = np.ones((F.p.size, len(layout.sigmas)))
+    for (sim, sl, _), seed in zip(members, seeds):
+        J[sl] = layout.draw(np.random.default_rng(seed), pres[sl])
+    fwd_end, sync_end, iter_end, wire, delays, replays = kernel(
+        J, F, members)
+    sync = sync_end - fwd_end
+
+    registry = get_registry()
+    results: List[TimingResult] = []
+    for sim, sl, resolved in members:
+        member_sync = sync[sl]
+        member_iter = iter_end[sl]
+        injector = sim._injector
+        if injector is not None:
+            # Rebuild the event path's per-run counters: total replays,
+            # and the delay accumulated in its (iteration, transfer)
+            # visit order (cumsum is strictly sequential, and the
+            # event path's skipped zero-delay calls add exactly 0.0).
+            injector.reset_run_counters()
+            member_delays = delays[sl].ravel()
+            member_replays = replays[sl].ravel()
+            total_replays = int(member_replays.sum())
+            if total_replays:
+                injector.retransmits_injected = total_replays
+                injector.retransmit_delay_s = float(
+                    np.cumsum(member_delays)[-1])
+            if registry.enabled:
+                for idx in np.flatnonzero(member_replays):
+                    registry.counter("sim_fault_retransmits_total").inc(
+                        int(member_replays[idx]))
+                    registry.histogram(
+                        "sim_fault_retransmit_delay_s").observe(
+                        float(member_delays[idx]))
+                for state in resolved.states:
+                    injector.record_iteration(state)
+        if registry.enabled:
+            label = sim.scheme.label
+            registry.counter("sim_iterations_total",
+                             scheme=label).inc(iterations)
+            hist = registry.histogram("sim_sync_time_s", scheme=label)
+            for value in member_sync:
+                hist.observe(float(value))
+            wire_total = float(wire[sl].sum())
+            if wire_total > 0:
+                registry.counter("sim_wire_bytes_total",
+                                 scheme=label).inc(wire_total)
+        results.append(TimingResult(
+            model=sim.model.name,
+            scheme=sim.scheme.label,
+            world_size=sim.cluster.world_size,
+            batch_size=bs,
+            sync_times=tuple(float(x) for x in member_sync[warmup:]),
+            iteration_times=tuple(float(x) for x in member_iter[warmup:]),
+        ))
+    return results
+
+
 # ----- entry point -------------------------------------------------------------
 
 
@@ -289,13 +784,12 @@ def run_batch(sim: DDPSimulator, batch_size: Optional[int] = None,
     """Evaluate a whole measurement run as array operations.
 
     Produces a :class:`TimingResult` bit-identical to
-    ``sim.run(..., mode="event")`` for any fault-free simulator.  Do not
-    call with a fault-schedule-bearing simulator —
-    :meth:`DDPSimulator.run` routes those to the event path.
+    ``sim.run(..., mode="event")`` for any simulator, faulted or not;
+    fault-schedule-bearing simulators route through
+    :func:`run_batch_many`'s masked kernels.
 
     Raises:
-        ConfigurationError: invalid iteration protocol, or a simulator
-            the fast path cannot serve (attached fault injector).
+        ConfigurationError: invalid iteration protocol.
         OutOfMemoryError: the same deterministic OOM the event path
             raises on its first iteration (checked once — it cannot
             vary across iterations).
@@ -303,11 +797,9 @@ def run_batch(sim: DDPSimulator, batch_size: Optional[int] = None,
     if iterations <= warmup:
         raise ConfigurationError(
             f"iterations ({iterations}) must exceed warmup ({warmup})")
-    reason = sim.batch_fallback_reason()
-    if reason is not None:
-        raise ConfigurationError(
-            f"batch fast path cannot serve this simulator: "
-            f"{FALLBACK_REASONS[reason]}")
+    if sim._injector is not None:
+        return run_batch_many([sim], batch_size, iterations=iterations,
+                              warmup=warmup, seeds=(seed,))[0]
     bs = batch_size if batch_size is not None else sim.model.default_batch_size
     if sim.config.check_memory:
         sim.check_memory(bs)

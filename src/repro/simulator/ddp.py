@@ -65,9 +65,6 @@ SIM_MODES = ("auto", "event", "batch")
 #: Why ``mode="auto"`` falls back to the event path, keyed by the slug
 #: :meth:`DDPSimulator.batch_fallback_reason` returns.
 FALLBACK_REASONS = {
-    "fault-schedule": ("a fault schedule rewrites per-iteration state "
-                       "(world size, bandwidth, stalls, retransmits) "
-                       "that the vectorized kernel does not model"),
     "trace-export": ("span-level timeline traces only exist on the "
                      "event path"),
 }
@@ -706,10 +703,10 @@ class DDPSimulator:
 
         ``tracing=True`` asks whether a run that needs span-level
         timeline traces could take the fast path (it cannot: the batch
-        kernel computes iteration instants, not spans).
+        kernel computes iteration instants, not spans).  Fault schedules
+        no longer force a fallback — the batch kernel applies resolved
+        fault state as array masks, bit-identical to the event loop.
         """
-        if self._injector is not None:
-            return "fault-schedule"
         if tracing:
             return "trace-export"
         return None
@@ -752,17 +749,22 @@ class DDPSimulator:
         ``mode`` selects the execution scheme (:data:`SIM_MODES`):
         ``"event"`` runs the per-iteration event loop, ``"batch"`` the
         vectorized kernel of :mod:`repro.simulator.batch`, and
-        ``"auto"`` (the default) the fast path unless a fault schedule
-        forces the event path.  The two paths are bit-identical — same
-        RNG draws, same floating-point operation order — so the choice
-        never changes the returned :class:`TimingResult` (and therefore
-        stays out of the engine's cache fingerprints).  The mode that
-        actually ran is recorded on :attr:`last_run_mode` /
+        ``"auto"`` (the default) the fast path whenever it is available
+        — including under fault schedules, which the kernel applies as
+        array masks.  The two paths are bit-identical — same RNG draws,
+        same floating-point operation order — so the choice never
+        changes the returned :class:`TimingResult` (and therefore stays
+        out of the engine's cache fingerprints).  The mode that actually
+        ran is recorded on :attr:`last_run_mode` /
         :attr:`last_run_fallback`.
         """
         if iterations <= warmup:
             raise ConfigurationError(
                 f"iterations ({iterations}) must exceed warmup ({warmup})")
+        if self._injector is not None:
+            # Retransmit tallies describe one run, not the simulator's
+            # lifetime; reset before either path re-accumulates them.
+            self._injector.reset_run_counters()
         resolved, fallback = self.resolve_mode(mode)
         self.last_run_mode = resolved
         self.last_run_fallback = fallback

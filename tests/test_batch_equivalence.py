@@ -133,21 +133,26 @@ class TestModeResolution:
         with pytest.raises(ConfigurationError):
             sim.run(iterations=12, warmup=2, mode="vectorised")
 
-    def test_faults_force_event_fallback(self, rn50):
+    def test_faults_take_batch_path(self, rn50):
         faults = FaultSchedule(stragglers=(
             StragglerFault(worker=0, slowdown=2.0, start_iteration=3,
                            duration_iterations=4),))
         sim = make_sim(rn50, SyncSGDScheme(), 8, faults=faults)
         sim.run(iterations=12, warmup=2, mode="auto")
-        assert sim.last_run_mode == "event"
-        assert sim.last_run_fallback == "fault-schedule"
+        assert sim.last_run_mode == "batch"
+        assert sim.last_run_fallback is None
 
-    def test_explicit_batch_with_faults_raises(self, rn50):
+    def test_explicit_batch_with_faults_matches_event(self, rn50):
         faults = FaultSchedule(stragglers=(
             StragglerFault(worker=0, slowdown=2.0, start_iteration=3),))
-        sim = make_sim(rn50, SyncSGDScheme(), 8, faults=faults)
-        with pytest.raises(ConfigurationError):
-            sim.run(iterations=12, warmup=2, mode="batch")
+        sim_b = make_sim(rn50, SyncSGDScheme(), 8, faults=faults)
+        sim_e = make_sim(rn50, SyncSGDScheme(), 8, faults=faults)
+        assert sim_b.run(iterations=12, warmup=2, mode="batch") == \
+            sim_e.run(iterations=12, warmup=2, mode="event")
+
+    def test_fallback_taxonomy_is_trace_only(self):
+        from repro.simulator.ddp import FALLBACK_REASONS
+        assert set(FALLBACK_REASONS) == {"trace-export"}
 
     def test_empty_fault_schedule_takes_batch(self, rn50):
         sim = make_sim(rn50, SyncSGDScheme(), 8, faults=FaultSchedule())

@@ -37,6 +37,9 @@ class TestPolicyValidation:
 
 
 class TestSerialRetry:
+    # chunking=False keeps these jobs (which differ only by seed, so
+    # they would otherwise batch as one kernel family) on the per-job
+    # serial path whose retry loop is under test.
     def test_transient_failure_is_retried(self, small_jobs, monkeypatch):
         calls = {"n": 0}
         real = engine_module._execute_job
@@ -48,7 +51,8 @@ class TestSerialRetry:
             return real(job)
 
         monkeypatch.setattr(engine_module, "_execute_job", flaky)
-        engine = ExperimentEngine(max_retries=2, retry_backoff_s=0.0)
+        engine = ExperimentEngine(max_retries=2, retry_backoff_s=0.0,
+                                  chunking=False)
         outcomes = engine.run_outcomes(small_jobs[:2])
         assert all(o.ok for o in outcomes)
         assert outcomes[0].attempts == 2
@@ -62,7 +66,8 @@ class TestSerialRetry:
             raise RuntimeError("the disk is on fire")
 
         monkeypatch.setattr(engine_module, "_execute_job", doomed)
-        engine = ExperimentEngine(max_retries=1, retry_backoff_s=0.0)
+        engine = ExperimentEngine(max_retries=1, retry_backoff_s=0.0,
+                                  chunking=False)
         outcomes = engine.run_outcomes(small_jobs[:3])
         assert all(o.failed for o in outcomes)
         assert all(o.attempts == 2 for o in outcomes)
@@ -82,6 +87,29 @@ class TestSerialRetry:
         outcomes = engine.run_outcomes(small_jobs[:1])
         assert outcomes[0].failed and outcomes[0].attempts == 1
         assert engine.stats().retries == 0
+
+    def test_family_failure_is_retried_wholesale(self, small_jobs,
+                                                 monkeypatch):
+        # Jobs differing only by seed batch into one kernel family;
+        # an unexpected failure there retries the whole family.
+        import repro.simulator.batch as batch_module
+        calls = {"n": 0}
+        real = batch_module.run_batch_many
+
+        def flaky(sims, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient kernel blip")
+            return real(sims, *args, **kwargs)
+
+        monkeypatch.setattr(batch_module, "run_batch_many", flaky)
+        engine = ExperimentEngine(max_retries=2, retry_backoff_s=0.0)
+        outcomes = engine.run_outcomes(small_jobs)
+        assert all(o.ok for o in outcomes)
+        assert all(o.attempts == 2 for o in outcomes)
+        assert engine.stats().retries == 1
+        assert engine.stats().failures == 0
+        assert engine.jobs_batched == len(small_jobs)
 
     def test_failures_are_never_cached(self, small_jobs, monkeypatch,
                                        tmp_path):

@@ -66,11 +66,29 @@ class TestScheduleValidation:
         with pytest.raises(ConfigurationError):
             CrashFault(worker=0, at_iteration=5, recovery="reboot")
 
-    def test_one_crash_per_worker(self):
+    def test_crash_again_after_restart_is_allowed(self):
+        # A "restart" recovery brings the worker back, so a later crash
+        # of the same worker is a coherent (if unlucky) history.
+        FaultSchedule(crashes=[
+            CrashFault(worker=3, at_iteration=5),
+            CrashFault(worker=3, at_iteration=9),
+        ])
+
+    def test_crash_after_elastic_departure_rejected(self):
+        # An elastically-departed worker is gone for the rest of the
+        # run; crashing it again has no physical interpretation (and
+        # used to double-decrement the surviving world size).
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(crashes=[
+                CrashFault(worker=3, at_iteration=5, recovery="elastic"),
+                CrashFault(worker=3, at_iteration=9),
+            ])
+
+    def test_duplicate_crash_iteration_rejected(self):
         with pytest.raises(ConfigurationError):
             FaultSchedule(crashes=[
                 CrashFault(worker=3, at_iteration=5),
-                CrashFault(worker=3, at_iteration=9),
+                CrashFault(worker=3, at_iteration=5, recovery="elastic"),
             ])
 
     def test_window_activity(self):
@@ -338,3 +356,162 @@ class TestSimulatorIntegration:
         assert sim.injector.retransmits_injected > 0
         assert sim.injector.retransmit_delay_s > 0
         assert math.isfinite(result.mean)
+
+
+def _forge(cls, **fields):
+    """Build a fault dataclass bypassing ``__post_init__`` validation,
+    to prove the injector's defense-in-depth checks stand on their own."""
+    import dataclasses
+    obj = object.__new__(cls)
+    values = {}
+    for f in dataclasses.fields(cls):
+        if f.default is not dataclasses.MISSING:
+            values[f.name] = f.default
+    values.update(fields)
+    for name, value in values.items():
+        object.__setattr__(obj, name, value)
+    return obj
+
+
+class TestInjectorHardening:
+    """Regression tests for the injector correctness fixes: topology
+    defense-in-depth, elastic dedup, and per-run counter reset."""
+
+    def _injector(self, cluster, schedule):
+        return FaultInjector(schedule, cluster, Fabric(cluster))
+
+    def test_self_link_rejected_even_when_forged(self, small_cluster):
+        # LinkFault's own constructor rejects self-links; the injector
+        # must too, so a forged instance cannot slip a no-op fault in.
+        link = _forge(LinkFault, node_a=1, node_b=1, factor=0.5)
+        schedule = FaultSchedule()
+        object.__setattr__(schedule, "links", (link,))
+        with pytest.raises(ConfigurationError, match="must differ"):
+            self._injector(small_cluster, schedule)
+
+    def test_nonpositive_link_factor_rejected_when_forged(
+            self, small_cluster):
+        link = _forge(LinkFault, node_a=0, node_b=1, factor=0.0)
+        schedule = FaultSchedule()
+        object.__setattr__(schedule, "links", (link,))
+        with pytest.raises(ConfigurationError, match="factor"):
+            self._injector(small_cluster, schedule)
+
+    def test_nonpositive_node_factor_rejected_when_forged(
+            self, small_cluster):
+        node = _forge(NodeFault, node=0, factor=-0.5)
+        schedule = FaultSchedule()
+        object.__setattr__(schedule, "nodes", (node,))
+        with pytest.raises(ConfigurationError, match="factor"):
+            self._injector(small_cluster, schedule)
+
+    def test_forged_duplicate_elastic_crash_decrements_once(
+            self, small_cluster):
+        # The schedule validates against duplicate elastic departures;
+        # a forged duplicate must still shrink the world only once.
+        crash = CrashFault(worker=1, at_iteration=2, recovery="elastic")
+        schedule = FaultSchedule(crashes=[crash])
+        object.__setattr__(schedule, "crashes", (crash, crash))
+        inj = self._injector(small_cluster, schedule)
+        assert inj.faults_for(5).world_size == \
+            small_cluster.world_size - 1
+
+    def test_restart_then_elastic_sequence_resolves(self, small_cluster):
+        schedule = FaultSchedule(crashes=[
+            CrashFault(worker=0, at_iteration=2, recovery="restart",
+                       stall_s=0.5),
+            CrashFault(worker=0, at_iteration=6, recovery="elastic"),
+        ])
+        inj = self._injector(small_cluster, schedule)
+        assert inj.faults_for(3).world_size == small_cluster.world_size
+        assert inj.faults_for(7).world_size == \
+            small_cluster.world_size - 1
+
+    def test_counters_reset_between_runs(self, resnet50, small_cluster):
+        faults = FaultSchedule(seed=7, retransmits=[
+            RetransmitFault(drop_rate=0.3)])
+        sim = DDPSimulator(resnet50, small_cluster, faults=faults)
+        sim.run(batch_size=64, iterations=10, warmup=2, mode="event")
+        first = (sim.injector.retransmits_injected,
+                 sim.injector.retransmit_delay_s)
+        assert first[0] > 0
+        sim.run(batch_size=64, iterations=10, warmup=2, mode="event")
+        # Identical run, identical counters — not doubled.
+        assert (sim.injector.retransmits_injected,
+                sim.injector.retransmit_delay_s) == first
+
+    def test_counters_reset_on_batch_path_too(self, resnet50,
+                                              small_cluster):
+        faults = FaultSchedule(seed=7, retransmits=[
+            RetransmitFault(drop_rate=0.3)])
+        sim = DDPSimulator(resnet50, small_cluster, faults=faults)
+        sim.run(batch_size=64, iterations=10, warmup=2, mode="batch")
+        first = (sim.injector.retransmits_injected,
+                 sim.injector.retransmit_delay_s)
+        assert first[0] > 0
+        sim.run(batch_size=64, iterations=10, warmup=2, mode="batch")
+        assert (sim.injector.retransmits_injected,
+                sim.injector.retransmit_delay_s) == first
+
+
+class TestResolveRange:
+    """The injector's array API mirrors the scalar one exactly."""
+
+    def _injector(self, cluster, schedule):
+        return FaultInjector(schedule, cluster, Fabric(cluster))
+
+    def test_matches_faults_for(self, small_cluster):
+        schedule = FaultSchedule(
+            seed=3,
+            stragglers=[StragglerFault(worker=0, slowdown=2.0,
+                                       start_iteration=2,
+                                       duration_iterations=4)],
+            nodes=[NodeFault(node=0, factor=0.5, start_iteration=5)],
+            crashes=[CrashFault(worker=1, at_iteration=7,
+                                recovery="elastic", stall_s=0.25)])
+        inj = self._injector(small_cluster, schedule)
+        resolved = inj.resolve_range(0, 12)
+        assert len(resolved) == 12
+        for i in range(12):
+            state = inj.faults_for(i)
+            assert resolved.states[i] == state
+            assert resolved.compute_slowdown[i] == state.compute_slowdown
+            assert resolved.bandwidth_scale[i] == state.bandwidth_scale
+            assert resolved.world_size[i] == state.world_size
+            assert resolved.stall_s[i] == state.stall_s
+
+    def test_reversed_range_rejected(self, small_cluster):
+        inj = self._injector(small_cluster, FaultSchedule(nodes=[
+            NodeFault(node=0, factor=0.5)]))
+        with pytest.raises(ConfigurationError):
+            inj.resolve_range(5, 3)
+
+    def test_has_retransmits_flag(self, small_cluster):
+        risky = self._injector(small_cluster, FaultSchedule(retransmits=[
+            RetransmitFault(drop_rate=0.2)]))
+        safe = self._injector(small_cluster, FaultSchedule(nodes=[
+            NodeFault(node=0, factor=0.5)]))
+        assert risky.resolve_range(0, 5).has_retransmits
+        assert not safe.resolve_range(0, 5).has_retransmits
+
+    def test_retransmit_delay_range_matches_scalar(self, small_cluster):
+        schedule = FaultSchedule(seed=11, retransmits=[
+            RetransmitFault(drop_rate=0.5, timeout_s=1e-3)])
+        vec = self._injector(small_cluster, schedule)
+        scalar = self._injector(small_cluster, schedule)
+        durations = [1e-3 * (i + 1) for i in range(20)]
+        import numpy as np
+        delays, replays = vec.retransmit_delay_range(
+            0, 20, 1, np.asarray(durations))
+        for i, dur in enumerate(durations):
+            d, r = scalar.retransmit_delay(i, 1, dur)
+            assert delays[i] == d  # bitwise
+            assert replays[i] == r
+
+    def test_retransmit_delay_range_is_pure(self, small_cluster):
+        inj = self._injector(small_cluster, FaultSchedule(retransmits=[
+            RetransmitFault(drop_rate=0.5)]))
+        import numpy as np
+        inj.retransmit_delay_range(0, 10, 0, np.full(10, 1e-3))
+        assert inj.retransmits_injected == 0
+        assert inj.retransmit_delay_s == 0.0

@@ -30,6 +30,13 @@ recorded ``speedup`` (scalar wall / grid wall) is the grid kernel's
 advantage; ``--check`` gates on the same machine-independent ratio
 plus a hard 5x floor.
 
+A **faulted section** does the same for fault-schedule-bearing runs:
+the reliability exhibit (clean + NIC-straggler + compute-straggler
+rows across the bandwidth sweep) is timed under both modes — ``auto``
+takes the masked batch kernels with cross-config family stacking,
+``event`` the per-iteration loop — and ``--check`` (including the
+smoke subset) gates on the auto/event ratio plus a hard 3x floor.
+
 Every baseline rewrite appends a timestamped entry to the ``history``
 list (exhibit + what-if rows and the host that measured them), so the
 file accumulates the perf trajectory instead of forgetting it; the
@@ -66,7 +73,7 @@ from repro.core.grid import (  # noqa: E402
 )
 from repro.core.perf_model import compressed_time, syncsgd_time  # noqa: E402
 from repro.engine import ExperimentEngine, JobOutcome, SimJob  # noqa: E402
-from repro.experiments import EXPERIMENTS  # noqa: E402
+from repro.experiments import EXPERIMENTS, EXTRA_EXPERIMENTS  # noqa: E402
 from repro.hardware.gpus import V100  # noqa: E402
 from repro.models import get_model  # noqa: E402
 from repro.units import gbps_to_bytes_per_s  # noqa: E402
@@ -88,6 +95,11 @@ WHATIF_POINTS = 512
 #: Hard floor on the what-if ``speedup`` (scalar wall / grid wall); a
 #: machine-independent ratio, so the gate holds on any host.
 WHATIF_MIN_SPEEDUP = 5.0
+
+#: Hard floor on the faulted section's ``speedup`` (event wall / auto
+#: wall over the reliability exhibit).  The faulted batch kernels plus
+#: cross-config family stacking must keep at least this advantage.
+FAULTED_MIN_SPEEDUP = 3.0
 
 #: Cold event-path wall seconds measured at the commit immediately
 #: before the batch fast path landed — the "before" column of the
@@ -214,7 +226,44 @@ def measure_whatif(points: int = WHATIF_POINTS) -> Dict[str, dict]:
     return rows
 
 
+def measure_faulted() -> Dict[str, dict]:
+    """Time the fault-schedule-heavy reliability exhibit both ways.
+
+    The reliability study is the repository's faulted workload: every
+    row but the clean one carries a fault schedule, and its
+    clean/NIC-straggler/compute-straggler triplets form natural
+    cross-config families.  Under ``auto`` those run through the
+    masked batch kernels (stacked per family by the engine); under
+    ``event`` every job walks the per-iteration loop.  Results are
+    bit-identical, so the wall ratio is pure fast-path advantage.
+    """
+    runner = EXTRA_EXPERIMENTS["reliability"]
+    row: Dict[str, dict] = {}
+    for mode in MODES:
+        engine = _CountingEngine(sim_mode=mode)
+        started = time.perf_counter()
+        runner(engine=engine)
+        wall = time.perf_counter() - started
+        iters = engine.sim_iterations
+        row[mode] = {
+            "wall_s": round(wall, 4),
+            "sim_iterations": iters,
+            "iters_per_s": round(iters / wall, 1) if wall > 0 else 0.0,
+        }
+        if mode == "auto":
+            row[mode]["jobs_batched"] = engine.jobs_batched
+    speedup = (row["event"]["wall_s"] / row["auto"]["wall_s"]
+               if row["auto"]["wall_s"] > 0 else float("inf"))
+    row["speedup"] = round(speedup, 2)
+    print(f"  [reliability] event {row['event']['wall_s']:.3f} s, "
+          f"auto {row['auto']['wall_s']:.3f} s "
+          f"({row['speedup']:.1f}x, "
+          f"{row['auto']['jobs_batched']} jobs family-batched)")
+    return {"reliability": row}
+
+
 def build_report(rows: Dict[str, dict], whatif_rows: Dict[str, dict],
+                 faulted_rows: Dict[str, dict],
                  previous: Optional[dict] = None) -> dict:
     """Wrap measured rows in the BENCH_simulator.json schema.
 
@@ -240,9 +289,10 @@ def build_report(rows: Dict[str, dict], whatif_rows: Dict[str, dict],
         "host": host,
         "exhibits": rows,
         "whatif": whatif_rows,
+        "faulted": faulted_rows,
     })
     return {
-        "schema": 2,
+        "schema": 3,
         "generated_by": "tools/bench_simulator.py",
         "protocol": {
             "modes": MODES,
@@ -255,6 +305,7 @@ def build_report(rows: Dict[str, dict], whatif_rows: Dict[str, dict],
         "before": before,
         "exhibits": rows,
         "whatif": whatif_rows,
+        "faulted": faulted_rows,
         "history": history,
     }
 
@@ -305,6 +356,24 @@ def check(baseline_path: str, exhibits: List[str],
         if cur_ratio > limit:
             failed.append(f"whatif:{name}")
 
+    base_faulted = baseline.get("faulted", {})
+    print(f"re-measuring faulted section (floor "
+          f"{FAULTED_MIN_SPEEDUP:g}x auto-vs-event)")
+    for name, row in measure_faulted().items():
+        cur_ratio = (row["auto"]["wall_s"] / row["event"]["wall_s"]
+                     if row["event"]["wall_s"] > 0 else 1.0)
+        limits = [1.0 / FAULTED_MIN_SPEEDUP]
+        base = base_faulted.get(name)
+        if base is not None and base["event"]["wall_s"] > 0:
+            limits.append(tolerance * base["auto"]["wall_s"]
+                          / base["event"]["wall_s"])
+        limit = min(limits)
+        verdict = "ok" if cur_ratio <= limit else "REGRESSED"
+        print(f"  [{name}] auto/event ratio {cur_ratio:.4f} "
+              f"(limit {limit:.4f}) {verdict}")
+        if cur_ratio > limit:
+            failed.append(f"faulted:{name}")
+
     if failed:
         print(f"FAIL: fast-path regression on {', '.join(failed)}",
               file=sys.stderr)
@@ -351,7 +420,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"measuring {', '.join(exhibits)} (cold, serial, both modes)")
     rows = measure(exhibits)
     print("measuring what-if grid-vs-scalar sweeps")
-    report = build_report(rows, measure_whatif(), previous)
+    whatif_rows = measure_whatif()
+    print("measuring the faulted section (reliability exhibit, both modes)")
+    report = build_report(rows, whatif_rows, measure_faulted(), previous)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
