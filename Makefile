@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke examples
+.PHONY: test lint bench bench-smoke trace-smoke examples
 
 ## tier-1: the fast unit/behaviour suite (benchmarks/ excluded)
 test:
@@ -25,6 +25,19 @@ bench:
 bench-smoke:
 	$(PYTHON) -m repro experiment fig7 --jobs 2 --cache .sim-cache
 	$(PYTHON) tools/bench_simulator.py --check --smoke
+
+## one tiny exhibit through the pooled engine with run tracing on, then
+## validate the two observability artifacts it produced: the Perfetto
+## trace (engine + worker-<pid> processes, span identity in args) and
+## the Prometheus snapshot written beside the manifest
+trace-smoke:
+	rm -rf .trace-cache   # cold on purpose: a warm run executes no jobs,
+	                      # so there would be no worker spans to validate
+	$(PYTHON) -m repro experiment fig3 --jobs 2 --cache .trace-cache \
+		--trace-run .trace-cache/run.json
+	$(PYTHON) -m repro metrics --cache .trace-cache --format prom > /dev/null
+	$(PYTHON) tools/check_trace.py --trace .trace-cache/run.json \
+		--prom .trace-cache/metrics.prom
 
 ## run every example headlessly in smoke mode (trimmed protocols, <60 s
 ## total); CI runs this on every push

@@ -1,16 +1,23 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands mirror the library's main workflows:
+Five subcommands mirror the library's main workflows:
 
 * ``experiment`` — regenerate a paper exhibit (table1..fig13, or
   ``all``); with ``--cache`` a ``manifest.json`` provenance record is
-  written beside the cache;
+  written beside the cache (plus a ``metrics.prom`` Prometheus
+  snapshot); ``--trace-run out.json`` records a span trace of the whole
+  run — CLI, exhibits, engine queue/exec/cache per worker process, and
+  simulator streams — as one Perfetto-loadable file;
 * ``recommend`` — §7 advisor: which scheme (if any) for a model on a
   cluster;
 * ``whatif`` — bandwidth / compute sweeps for one scheme;
 * ``simulate`` — one simulated configuration with a timeline trace;
-  ``--trace out.json`` exports a Perfetto-loadable multi-worker trace,
-  ``--faults spec.json`` injects a :class:`repro.faults.FaultSchedule`.
+  ``--trace out.json`` exports a Perfetto-loadable multi-worker trace
+  (reconstructed from the batch kernel on the fast path, identical to
+  the event loop's), ``--faults spec.json`` injects a
+  :class:`repro.faults.FaultSchedule`;
+* ``metrics`` — re-render a written manifest's metrics snapshot as
+  text or Prometheus exposition format.
 
 Everything prints plain text; use ``--markdown`` on ``experiment`` for
 paste-ready tables.  Global flags: ``--version``, ``--log-level``/
@@ -22,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import os
 import time
 from typing import List, Optional
@@ -47,16 +55,25 @@ from .simulator import (
     SIM_MODES,
     DDPConfig,
     DDPSimulator,
+    reconstruct_traces,
     write_run_trace,
+    write_trace_spans,
 )
 from .telemetry import (
     MANIFEST_FILENAME,
     build_manifest,
+    disable_tracing,
+    enable_tracing,
     get_logger,
+    get_tracer,
+    render_prometheus,
     write_manifest,
 )
 from .telemetry import logs as telemetry_logs
 from .telemetry import metrics as telemetry_metrics
+
+#: Prometheus snapshot written beside the manifest.
+PROM_FILENAME = "metrics.prom"
 from .units import gbps_to_bytes_per_s
 
 
@@ -107,35 +124,63 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
     runners = {**EXPERIMENTS, **EXTRA_EXPERIMENTS}
     run_started = time.perf_counter()
-    exhibits = {}
-    for exp_id in ids:
-        runner = runners[exp_id]
-        before = engine.cache_stats.snapshot()
-        started = time.perf_counter()
-        if _accepts_engine(runner):
-            result = runner(engine=engine)
-        else:
-            result = runner()
-        elapsed = time.perf_counter() - started
-        if args.markdown:
-            print(to_markdown(result, "{:.2f}"))
-        else:
-            print(result.render_table("{:.2f}"))
-        status = f"[{exp_id}] {elapsed:.1f} s"
-        if cache is not None:
-            status += ", cache: " + engine.cache_stats.since(
-                before).describe()
-        print(status)
-        print()
-        exhibits[exp_id] = {
-            "rows": len(result.rows),
-            "digest": result.content_digest(),
-            "wall_s": round(elapsed, 3),
-        }
+    if args.trace_run:
+        enable_tracing()
+    try:
+        exhibits = {}
+        tracer = get_tracer()
+        with tracer.span(f"experiment {args.id}", track="cli",
+                         exhibits=str(len(ids))):
+            for exp_id in ids:
+                runner = runners[exp_id]
+                before = engine.cache_stats.snapshot()
+                started = time.perf_counter()
+                with tracer.span(f"exhibit {exp_id}", track="cli",
+                                 exhibit=exp_id):
+                    if _accepts_engine(runner):
+                        result = runner(engine=engine)
+                    else:
+                        result = runner()
+                elapsed = time.perf_counter() - started
+                if args.markdown:
+                    print(to_markdown(result, "{:.2f}"))
+                else:
+                    print(result.render_table("{:.2f}"))
+                status = f"[{exp_id}] {elapsed:.1f} s"
+                if cache is not None:
+                    status += ", cache: " + engine.cache_stats.since(
+                        before).describe()
+                print(status)
+                print()
+                exhibits[exp_id] = {
+                    "rows": len(result.rows),
+                    "digest": result.content_digest(),
+                    "wall_s": round(elapsed, 3),
+                }
+        trace_info = None
+        if args.trace_run:
+            spans = tracer.drain()
+            n_bytes = write_trace_spans(args.trace_run, spans)
+            trace_mode = ("event" if args.sim_mode == "event"
+                          else "reconstructed-batch")
+            registry = telemetry_metrics.get_registry()
+            registry.counter("trace_spans_total",
+                             mode=trace_mode).inc(len(spans))
+            registry.counter("trace_export_bytes_total").inc(n_bytes)
+            trace_info = {"mode": trace_mode,
+                          "spans_total": len(spans),
+                          "export_bytes_total": n_bytes,
+                          "path": args.trace_run}
+            print(f"wrote run trace ({len(spans)} spans) "
+                  f"to {args.trace_run}")
+    finally:
+        if args.trace_run:
+            disable_tracing()
     manifest_path = args.manifest
     if manifest_path is None and args.cache:
         manifest_path = os.path.join(args.cache, MANIFEST_FILENAME)
     if manifest_path:
+        snapshot = telemetry_metrics.get_registry().snapshot()
         manifest = build_manifest(
             command=f"experiment {args.id}",
             config={"command": "experiment", "id": args.id,
@@ -144,12 +189,19 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                     "sim_mode": args.sim_mode,
                     "chunking": not args.no_chunking},
             wall_time_s=time.perf_counter() - run_started,
-            metrics=telemetry_metrics.get_registry().snapshot(),
+            metrics=snapshot,
             results={"exhibits": exhibits,
                      "engine": engine.stats().to_dict()},
+            trace=trace_info,
         )
         write_manifest(manifest_path, manifest)
-        get_logger("repro.cli").info("wrote manifest", path=manifest_path)
+        prom_path = os.path.join(
+            os.path.dirname(manifest_path) or ".", PROM_FILENAME)
+        with open(prom_path, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(snapshot))
+        get_logger("repro.cli").info("wrote manifest",
+                                     path=manifest_path,
+                                     prom=prom_path)
     if args.metrics:
         print(render_metrics(telemetry_metrics.get_registry().snapshot()))
     return 0
@@ -201,9 +253,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     scheme = _parse_scheme(args.scheme) if args.scheme else None
     faults = FaultSchedule.load(args.faults) if args.faults else None
     sim = DDPSimulator(model, cluster, scheme=scheme, faults=faults)
-    # Resolve the mode up front (a --trace run needs the event path's
-    # spans) so an explicit --sim-mode batch that cannot be honoured
-    # errors out instead of silently degrading.
+    # Resolve the mode up front so an explicit mode that cannot be
+    # honoured errors out instead of silently degrading.  --trace no
+    # longer forces the event path: on the batch path span timelines
+    # are reconstructed from the kernel's intermediates
+    # (repro.simulator.reconstruct), bit-identical to the event loop's.
     mode, fallback = sim.resolve_mode(args.sim_mode,
                                       tracing=bool(args.trace))
     result = sim.run(args.batch, iterations=args.iterations, warmup=10,
@@ -229,16 +283,29 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.trace:
         # Each simulated worker draws its own jitter, so the exported
         # timeline shows the per-rank variance a real Nsight session
-        # would; iterations are laid end-to-end per worker.
+        # would; iterations are laid end-to-end per worker.  On the
+        # batch path the spans come from kernel reconstruction — the
+        # exported file is byte-identical to the event loop's (seed w
+        # replays the same RNG draws either way).
         workers = args.trace_workers
         iterations = args.trace_iterations
-        worker_traces = {
-            f"worker{w}": [
-                t for t in _iterate(sim, args.batch,
-                                    np.random.default_rng(w), iterations)]
-            for w in range(workers)
-        }
-        write_run_trace(worker_traces, args.trace)
+        if sim.last_run_mode == "batch":
+            worker_traces = {
+                f"worker{w}": reconstruct_traces(
+                    sim, args.batch, iterations=iterations, seed=w)
+                for w in range(workers)
+            }
+        else:
+            worker_traces = {
+                f"worker{w}": [
+                    t for t in _iterate(sim, args.batch,
+                                        np.random.default_rng(w),
+                                        iterations)]
+                for w in range(workers)
+            }
+        n_bytes = write_run_trace(worker_traces, args.trace)
+        telemetry_metrics.get_registry().counter(
+            "trace_export_bytes_total").inc(n_bytes)
         print(f"  wrote Perfetto trace ({workers} worker(s) x "
               f"{iterations} iteration(s)) to {args.trace}")
     if args.metrics:
@@ -250,6 +317,30 @@ def _iterate(sim: DDPSimulator, batch: Optional[int], rng,
              iterations: int):
     for i in range(iterations):
         yield sim.simulate_iteration(batch, rng, iteration=i)
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Re-render a written manifest's metrics snapshot."""
+    manifest_path = args.manifest
+    if manifest_path is None and args.cache:
+        manifest_path = os.path.join(args.cache, MANIFEST_FILENAME)
+    if manifest_path is None:
+        raise ReproError("metrics needs --manifest PATH or --cache DIR")
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ReproError(
+            f"cannot read manifest {manifest_path!r}: {exc}")
+    snapshot = manifest.get("metrics")
+    if not isinstance(snapshot, dict):
+        raise ReproError(
+            f"manifest {manifest_path!r} has no metrics snapshot")
+    if args.format == "prom":
+        print(render_prometheus(snapshot), end="")
+    else:
+        print(render_metrics(snapshot))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -302,6 +393,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable job chunking/family grouping and "
                             "run one execution per job (identical rows "
                             "and cache entries, only slower)")
+    p_exp.add_argument("--trace-run", default=None, metavar="PATH",
+                       help="record a span trace of the whole run — "
+                            "CLI, exhibits, engine queue/exec/cache "
+                            "per worker process, simulator streams — "
+                            "and write it here as one Perfetto-loadable "
+                            "JSON file")
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_rec = sub.add_parser("recommend",
@@ -342,9 +439,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulation execution scheme (default: auto — "
                             "the vectorized fast path, including under "
                             "--faults, whose schedules it applies as "
-                            "array masks; only --trace forces the event "
-                            "path, since span timelines exist only there)")
+                            "array masks, and under --trace, whose span "
+                            "timelines are reconstructed from the batch "
+                            "kernel bit-identically to the event loop)")
     p_sim.set_defaults(fn=cmd_simulate)
+
+    p_met = sub.add_parser("metrics",
+                           help="render a run manifest's metrics "
+                                "snapshot")
+    p_met.add_argument("--manifest", default=None, metavar="PATH",
+                       help="manifest to read (default: "
+                            "<cache>/manifest.json when --cache is set)")
+    p_met.add_argument("--cache", default=None, metavar="DIR",
+                       help="cache directory whose manifest.json to "
+                            "read")
+    p_met.add_argument("--format", default="text",
+                       choices=("text", "prom"),
+                       help="output format: human-readable text "
+                            "(default) or Prometheus text exposition "
+                            "0.0.4")
+    p_met.set_defaults(fn=cmd_metrics)
 
     return parser
 

@@ -26,6 +26,7 @@ from ..errors import ConfigurationError, OutOfMemoryError
 from ..simulator import TimingResult
 from ..telemetry.logs import get_logger
 from ..telemetry.metrics import get_registry
+from ..telemetry.tracing import get_tracer
 
 #: What a cache lookup can yield: a simulated result, the deterministic
 #: OOM, or a closed-form model prediction (``ModelEvalJob`` entries).
@@ -200,13 +201,17 @@ class SimulationCache:
         """Move ``key``'s corrupt file aside and count the event."""
         source = self.path_for(key)
         quarantine_dir = os.path.join(self.directory, "quarantine")
-        try:
-            os.makedirs(quarantine_dir, exist_ok=True)
-            os.replace(source, os.path.join(quarantine_dir, f"{key}.json"))
-        except OSError:
-            # A racing process beat us to it (or the FS is read-only);
-            # either way the lookup already counted as a miss.
-            return
+        with get_tracer().span("cache-quarantine", track="cache",
+                               key=key, reason=type(exc).__name__):
+            try:
+                os.makedirs(quarantine_dir, exist_ok=True)
+                os.replace(source,
+                           os.path.join(quarantine_dir, f"{key}.json"))
+            except OSError:
+                # A racing process beat us to it (or the FS is
+                # read-only); either way the lookup already counted as
+                # a miss.
+                return
         self.stats.quarantined += 1
         get_registry().counter("cache_quarantined_total").inc()
         get_logger("cache").warning(

@@ -43,6 +43,12 @@ from ..network import Fabric
 from ..simulator import SIM_MODES, DDPConfig, DDPSimulator, TimingResult
 from ..telemetry.logs import get_logger
 from ..telemetry.metrics import get_registry
+from ..telemetry.tracing import (
+    TraceContext,
+    TraceRecorder,
+    get_tracer,
+    set_tracer,
+)
 from .cache import CacheStats, SimulationCache
 from .fingerprint import (
     FINGERPRINT_VERSION,
@@ -98,6 +104,46 @@ def _claim_sentinel(path: str) -> bool:
         return False
     os.close(fd)
     return True
+
+
+def _payload_label(payload: object) -> str:
+    """Short span name for whatever an execute_fn consumes (a job, a
+    chunk, a family — anything with ``describe()``)."""
+    describe = getattr(payload, "describe", None)
+    if callable(describe):
+        return describe()
+    return type(payload).__name__
+
+
+def _traced_call(ctx: TraceContext, fn: Callable, payload: object):
+    """Execution wrapper that records spans under a propagated context.
+
+    ``ctx`` is the submitting process's ``(trace_id, parent_span_id,
+    submitted_unix_s)``.  A local :class:`TraceRecorder` seeded with
+    that context is installed for the duration of ``fn`` — so spans the
+    execution emits (including the simulator's own) parent across the
+    process boundary — plus a ``queue-wait`` span covering submission
+    to pickup and an ``exec`` span around the call itself.  Returns
+    ``(fn's result, recorded spans)`` for the parent to merge; a killed
+    worker ships nothing, so its retry lands as a sibling attempt.
+
+    Also used in-process by the serial path: the previous tracer is
+    restored on exit either way.
+    """
+    trace_id, parent_id, submitted_unix = ctx
+    started_unix = time.time()
+    collector = TraceRecorder(trace_id=trace_id, root_parent_id=parent_id)
+    previous = set_tracer(collector)
+    try:
+        collector.add_span("queue-wait", track="queue",
+                           start_unix_s=min(submitted_unix, started_unix),
+                           end_unix_s=started_unix)
+        with collector.span(_payload_label(payload), track="exec",
+                            pid=str(os.getpid())):
+            out = fn(payload)
+    finally:
+        set_tracer(previous)
+    return out, collector.drain()
 
 
 @dataclass(frozen=True, eq=False)
@@ -556,14 +602,30 @@ class ExperimentEngine:
         """Run every job; outcomes come back in input order.
 
         Cache hits are served without simulating; misses run serially
-        or on the process pool, then populate the cache.
+        or on the process pool, then populate the cache.  Under an
+        enabled tracer the whole batch runs inside an ``engine-batch``
+        span, so job/cache spans nest under it.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._run_outcomes_traced(batch)
+        with tracer.span("engine-batch", track="engine",
+                         jobs=str(len(batch))):
+            return self._run_outcomes_traced(batch)
+
+    def _run_outcomes_traced(self, batch: Sequence[SimJob],
+                             ) -> List[JobOutcome]:
+        """The body of :meth:`run_outcomes` (split out so the tracing
+        wrapper above stays flat)."""
         start = time.perf_counter()
+        tracer = get_tracer()
         outcomes: List[Optional[JobOutcome]] = [None] * len(batch)
         miss_indices: List[int] = []
         keys: List[Optional[str]] = [None] * len(batch)
 
         if self.cache is not None:
+            lookup_span = tracer.begin("cache-lookup", track="cache",
+                                       jobs=str(len(batch)))
             for i, job in enumerate(batch):
                 key = job.fingerprint()
                 keys[i] = key
@@ -575,6 +637,8 @@ class ExperimentEngine:
                 else:
                     outcomes[i] = JobOutcome(job=job, result=hit,
                                              cached=True)
+            tracer.finish(lookup_span,
+                          hits=str(len(batch) - len(miss_indices)))
         else:
             miss_indices = list(range(len(batch)))
 
@@ -601,9 +665,10 @@ class ExperimentEngine:
                 if self.cache is not None and not outcome.failed:
                     key = keys[i]
                     assert key is not None
-                    self.cache.put(
-                        key, outcome.result if outcome.ok
-                        else outcome.oom)  # type: ignore[arg-type]
+                    with tracer.span("cache-store", track="cache"):
+                        self.cache.put(
+                            key, outcome.result if outcome.ok
+                            else outcome.oom)  # type: ignore[arg-type]
 
         batch_wall = time.perf_counter() - start
         self.busy_s += batch_wall
@@ -815,6 +880,9 @@ class ExperimentEngine:
         produces results.
         """
         members = [jobs[i] for i in group]
+        tracer = get_tracer()
+        family_span = tracer.begin(f"grid-family x{len(members)}",
+                                   track="engine", size=str(len(members)))
         started = time.perf_counter()
         try:
             results: List[Optional[PredictedTime]] = list(
@@ -833,6 +901,7 @@ class ExperimentEngine:
                     self._log.warning(
                         "engine.model_job_failed", job=job.describe(),
                         reason=f"{type(exc).__name__}: {exc}")
+        tracer.finish(family_span)
         return results, errors, time.perf_counter() - started
 
     def _eval_families_pooled(self, jobs: Sequence[ModelEvalJob],
@@ -844,15 +913,34 @@ class ExperimentEngine:
         bad configuration) falls back to in-process evaluation of that
         family, so pooled evaluation can only add speed, not failure
         modes."""
+        tracer = get_tracer()
         evaluated = []
         pool = ProcessPoolExecutor(max_workers=workers)
         try:
-            futures = [pool.submit(_execute_model_family,
-                                   tuple(jobs[i] for i in group))
-                       for group in groups]
-            for group, future in zip(groups, futures):
+            futures = []
+            fam_spans: List[Optional[object]] = []
+            for group in groups:
+                members = tuple(jobs[i] for i in group)
+                if tracer.enabled:
+                    span = tracer.begin(f"grid-family x{len(group)}",
+                                        track="engine",
+                                        size=str(len(group)))
+                    fam_spans.append(span)
+                    futures.append(pool.submit(
+                        _traced_call,
+                        (tracer.trace_id, span.span_id, time.time()),
+                        _execute_model_family, members))
+                else:
+                    fam_spans.append(None)
+                    futures.append(pool.submit(_execute_model_family,
+                                               members))
+            for group, future, span in zip(groups, futures, fam_spans):
                 try:
-                    results, elapsed = future.result()
+                    out = future.result()
+                    if span is not None:
+                        out, spans = out
+                        tracer.merge(spans)
+                    results, elapsed = out
                 except Exception as exc:  # noqa: BLE001 - incl. broken pool
                     self._log.warning(
                         "engine.model_family_retry", size=len(group),
@@ -860,6 +948,9 @@ class ExperimentEngine:
                     evaluated.append(
                         self._eval_family_inprocess(jobs, group))
                     continue
+                finally:
+                    if span is not None:
+                        tracer.finish(span)
                 evaluated.append((list(results), [None] * len(group),
                                   elapsed))
         finally:
@@ -901,13 +992,24 @@ class ExperimentEngine:
             # Resolved at call time so tests can monkeypatch the
             # module-level _execute_job.
             execute_fn = _execute_job
+        tracer = get_tracer()
         tagged: List[tuple] = []
         attempt_counts: List[int] = []
         for job in miss_jobs:
             attempt = 1
+            job_span = None
+            if tracer.enabled:
+                job_span = tracer.begin(_payload_label(job), track="engine")
             while True:
                 try:
-                    result = execute_fn(job)
+                    if job_span is not None:
+                        result, spans = _traced_call(
+                            (tracer.trace_id, job_span.span_id,
+                             time.time()),
+                            execute_fn, job)
+                        tracer.merge(spans)
+                    else:
+                        result = execute_fn(job)
                     break
                 except Exception as exc:  # noqa: BLE001 - retried below
                     reason = f"{type(exc).__name__}: {exc}"
@@ -926,6 +1028,9 @@ class ExperimentEngine:
                     attempt += 1
             tagged.append(result)
             attempt_counts.append(attempt)
+            if job_span is not None:
+                tracer.finish(job_span, attempts=str(attempt),
+                              outcome=result[0])
         return tagged, attempt_counts
 
     def _chunk_size(self, n_misses: int, workers: int) -> int:
@@ -987,8 +1092,21 @@ class ExperimentEngine:
             # Resolved at call time so tests can monkeypatch the
             # module-level _execute_job.
             execute_fn = _execute_job
+        tracer = get_tracer()
         tagged: List[Optional[tuple]] = [None] * len(miss_jobs)
         attempt_counts = [0] * len(miss_jobs)
+        # One open job span per item while traced; a retried item keeps
+        # its span (attempts land as sibling children under it), and the
+        # span closes at the moment its tag becomes final.
+        job_spans: List[Optional[object]] = [None] * len(miss_jobs)
+
+        def _close_span(idx: int) -> None:
+            span = job_spans[idx]
+            if span is not None and tagged[idx] is not None:
+                tracer.finish(span, attempts=str(attempt_counts[idx]),
+                              outcome=tagged[idx][0])
+                job_spans[idx] = None
+
         pending = list(range(len(miss_jobs)))
         wave = 0
         pool = ProcessPoolExecutor(max_workers=workers)
@@ -1002,7 +1120,18 @@ class ExperimentEngine:
                 now = time.monotonic()
                 for k, idx in enumerate(pending):
                     attempt_counts[idx] += 1
-                    future = pool.submit(execute_fn, miss_jobs[idx])
+                    if tracer.enabled:
+                        if job_spans[idx] is None:
+                            job_spans[idx] = tracer.begin(
+                                _payload_label(miss_jobs[idx]),
+                                track="engine")
+                        future = pool.submit(
+                            _traced_call,
+                            (tracer.trace_id, job_spans[idx].span_id,
+                             time.time()),
+                            execute_fn, miss_jobs[idx])
+                    else:
+                        future = pool.submit(execute_fn, miss_jobs[idx])
                     future_to_idx[future] = idx
                     if self.job_timeout_s is not None:
                         # Queue position k lands ~(k // workers) jobs
@@ -1024,7 +1153,11 @@ class ExperimentEngine:
                     for future in done:
                         idx = future_to_idx[future]
                         try:
-                            tagged[idx] = future.result()
+                            result = future.result()
+                            if tracer.enabled:
+                                result, spans = result
+                                tracer.merge(spans)
+                            tagged[idx] = result
                         except BrokenProcessPool:
                             broken = True
                             self._register_failure(
@@ -1034,6 +1167,7 @@ class ExperimentEngine:
                             self._register_failure(
                                 idx, attempt_counts, miss_jobs, tagged,
                                 retry, f"{type(exc).__name__}: {exc}")
+                        _close_span(idx)
                     if broken:
                         # The pool is unusable; every in-flight future is
                         # lost with it.  Fail them over to the next wave.
@@ -1042,6 +1176,7 @@ class ExperimentEngine:
                                 future_to_idx[future], attempt_counts,
                                 miss_jobs, tagged, retry,
                                 "a pool worker died")
+                            _close_span(future_to_idx[future])
                         not_done = set()
                         rebuild = True
                     elif not done and not_done:
@@ -1056,6 +1191,7 @@ class ExperimentEngine:
                                     tagged, retry,
                                     f"timed out after "
                                     f"{self.job_timeout_s:g} s")
+                                _close_span(idx)
                                 not_done.discard(future)
                         # The hung worker still holds its process; only a
                         # pool teardown reclaims it.  Collateral jobs are
@@ -1072,6 +1208,10 @@ class ExperimentEngine:
                 pending = sorted(retry)
         finally:
             self._kill_pool(pool)
+            if tracer.enabled:
+                # Safety net for abnormal exits: no span stays open.
+                for idx in range(len(miss_jobs)):
+                    _close_span(idx)
         return tagged, attempt_counts  # type: ignore[return-value]
 
     def _register_failure(self, idx: int, attempt_counts: List[int],

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterator, List, Sequence, Tuple
 
 from ..errors import ConfigurationError
@@ -70,12 +71,16 @@ class LayerSpec:
     def _shape_numel(self) -> int:
         return math.prod(self.param_shape) if self.param_shape else 0
 
-    @property
+    @cached_property
     def num_params(self) -> int:
-        """Total trainable parameters, including bias/affine extras."""
+        """Total trainable parameters, including bias/affine extras.
+
+        Cached: the dataclass is frozen, and hot paths (memory checks,
+        bucketing, trace reconstruction) re-read it thousands of times.
+        """
         return self._shape_numel() + self.extra_params
 
-    @property
+    @cached_property
     def grad_bytes(self) -> int:
         """Dense fp32 gradient size in bytes."""
         return self.num_params * FLOAT32_BYTES
@@ -152,37 +157,54 @@ class ModelSpec:
 
     # ----- aggregate sizes -------------------------------------------------
 
-    @property
+    @cached_property
     def num_params(self) -> int:
-        """Total trainable parameters."""
+        """Total trainable parameters.
+
+        Cached (the spec is frozen): memory checks and per-run trace
+        reconstruction re-read the aggregate on every call, and
+        re-summing hundreds of layers each time dominated their cost.
+        """
         return sum(layer.num_params for layer in self.layers)
 
-    @property
+    @cached_property
     def grad_bytes(self) -> int:
         """Dense fp32 gradient size (== fp32 model size) in bytes."""
         return self.num_params * FLOAT32_BYTES
 
-    @property
+    @cached_property
     def trainable_layers(self) -> Tuple[LayerSpec, ...]:
         """Layers that own parameters (and therefore gradients)."""
         return tuple(layer for layer in self.layers if layer.num_params > 0)
 
-    @property
+    @cached_property
     def matrix_layers(self) -> Tuple[LayerSpec, ...]:
         """Layers with a 2D view usable by low-rank compression."""
         return tuple(layer for layer in self.layers if layer.has_matrix)
 
     # ----- compute costs ---------------------------------------------------
 
+    @cached_property
+    def _fwd_flops_per_sample(self) -> float:
+        return sum(l.fwd_flops_per_sample for l in self.layers)
+
+    @cached_property
+    def _bwd_flops_per_sample(self) -> float:
+        return sum(l.bwd_flops_per_sample() for l in self.layers)
+
+    @cached_property
+    def _activation_bytes_per_sample(self) -> float:
+        return sum(l.activation_bytes_per_sample for l in self.layers)
+
     def fwd_flops(self, batch_size: int) -> float:
         """Forward-pass FLOPs for one iteration at ``batch_size``."""
         self._check_batch(batch_size)
-        return batch_size * sum(l.fwd_flops_per_sample for l in self.layers)
+        return batch_size * self._fwd_flops_per_sample
 
     def bwd_flops(self, batch_size: int) -> float:
         """Backward-pass FLOPs for one iteration at ``batch_size``."""
         self._check_batch(batch_size)
-        return batch_size * sum(l.bwd_flops_per_sample() for l in self.layers)
+        return batch_size * self._bwd_flops_per_sample
 
     def iteration_flops(self, batch_size: int) -> float:
         """Forward + backward FLOPs for one iteration."""
@@ -191,8 +213,7 @@ class ModelSpec:
     def activation_bytes(self, batch_size: int) -> float:
         """Activation memory retained for the backward pass."""
         self._check_batch(batch_size)
-        return batch_size * sum(
-            l.activation_bytes_per_sample for l in self.layers)
+        return batch_size * self._activation_bytes_per_sample
 
     def _check_batch(self, batch_size: int) -> None:
         if batch_size < 1:

@@ -24,10 +24,13 @@ from .export import (
     run_to_events,
     trace_to_chrome_json,
     trace_to_events,
+    tracer_spans_to_events,
     traces_to_events,
     write_chrome_trace,
     write_run_trace,
+    write_trace_spans,
 )
+from .reconstruct import reconstruct_traces
 from .trace import (
     COMM_STREAM,
     COMPUTE_STREAM,
@@ -44,4 +47,5 @@ __all__ = [
     "trace_to_events", "traces_to_events", "run_to_events",
     "allocate_track_ids", "events_to_chrome_json",
     "trace_to_chrome_json", "write_chrome_trace", "write_run_trace",
+    "tracer_spans_to_events", "write_trace_spans", "reconstruct_traces",
 ]

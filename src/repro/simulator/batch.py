@@ -42,9 +42,13 @@ and retransmit delays are drawn vectorized from the same
 uses.  The same machinery stacks *several* simulators sharing one
 model/topology (an engine job family) into a single kernel call.
 
-What the fast path does not do: span-level timeline traces.  Those
-runs fall back to the event path — see
-:meth:`DDPSimulator.resolve_mode <repro.simulator.ddp.DDPSimulator.resolve_mode>`.
+Span-level timeline traces do not need the event path either: the
+kernels optionally record the intermediate arrays that delimit span
+boundaries (``record=`` on a :data:`FaultedKernel`), and
+:mod:`repro.simulator.reconstruct` reassembles them into
+event-identical :class:`~repro.simulator.trace.IterationTrace` objects
+— so ``mode="auto"`` has no fallback left (see
+:meth:`DDPSimulator.resolve_mode <repro.simulator.ddp.DDPSimulator.resolve_mode>`).
 """
 
 from __future__ import annotations
@@ -455,7 +459,13 @@ def _retransmit_arrays(members: Sequence[_Member], durations: np.ndarray,
 
 #: A faulted kernel maps (jitter matrix, fault rows, members) to the
 #: per-row (forward_end, sync_end, iteration_end, wire bytes,
-#: retransmit delays, retransmit replays).
+#: retransmit delays, retransmit replays).  Kernels also accept an
+#: optional ``record`` dict; when given, the intermediate arrays that
+#: delimit per-iteration span boundaries (bucket/wave pipeline starts
+#: and ends, encode/decode instants, optimizer starts) are stored into
+#: it so :mod:`repro.simulator.reconstruct` can rebuild event-identical
+#: traces without re-running the event loop.  Recording never changes
+#: the arithmetic: the same operations run in the same order.
 FaultedKernel = Callable[
     [np.ndarray, _FaultRows, Sequence[_Member]],
     Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
@@ -504,7 +514,8 @@ def _plan_baseline_faulted(lead: DDPSimulator, bs: int,
             pres[:, c_hook] = _per_p(F, hook_at) > 0
         return pres
 
-    def kernel(J: np.ndarray, F: _FaultRows, members: Sequence[_Member]):
+    def kernel(J: np.ndarray, F: _FaultRows, members: Sequence[_Member],
+               record: Optional[Dict[str, Any]] = None):
         N = F.p.size
         fwd_end = F.stall + (fwd_base * F.slow) * _col(J, c_fwd, N)
         overlap_row = (F.p > 1) if overlap_enabled \
@@ -529,19 +540,37 @@ def _plan_baseline_faulted(lead: DDPSimulator, bs: int,
         # The FIFO comm-stream recurrence, with each bucket's
         # retransmit penalty appended after its transfer (the event
         # path's comm_free update order).
+        if record is not None:
+            bucket_start = np.empty((N, nb))
+            bucket_end = np.empty((N, nb))
         end = fwd_end
         for k in range(nb):
-            end = np.maximum(ready[:, k], end) + durations[:, k]
-            end = end + delays[:, k]
-        sync_end = np.maximum(end, backward_end)
+            begun = np.maximum(ready[:, k], end)
+            done = begun + durations[:, k]
+            if record is not None:
+                bucket_start[:, k] = begun
+                bucket_end[:, k] = done
+            end = done + delays[:, k]
+        sync_pre_hook = np.maximum(end, backward_end)
+        sync_end = sync_pre_hook
+        hook_term = None
         if has_hook:
             hook_row = _per_p(F, hook_at)
-            sync_end = sync_end + (hook_row * F.slow) * _col(J, c_hook, N)
+            hook_term = (hook_row * F.slow) * _col(J, c_hook, N)
+            sync_end = sync_end + hook_term
         start = np.maximum(sync_end, backward_end)
         iter_end = start + (opt_base * F.slow) * _col(J, c_opt, N)
         wire = np.where(F.p > 1, float(sizes.sum()) * wire_row, 0.0)
         wire = wire + (sizes[None, :] * wire_row[:, None]
                        * replays).sum(axis=1)
+        if record is not None:
+            record.update(
+                path="baseline", fwd_end=fwd_end, backward_end=backward_end,
+                bucket_sizes=sizes, wire_row=wire_row,
+                bucket_start=bucket_start, bucket_end=bucket_end,
+                delays=delays, replays=replays,
+                sync_pre_hook=sync_pre_hook, hook_term=hook_term,
+                sync_end=sync_end, opt_start=start, iter_end=iter_end)
         return fwd_end, sync_end, iter_end, wire, delays, replays
 
     return presence, kernel
@@ -571,7 +600,8 @@ def _plan_sequential_faulted(lead: DDPSimulator, bs: int,
             pres[:, c_comm] = F.p > 1
         return pres
 
-    def kernel(J: np.ndarray, F: _FaultRows, members: Sequence[_Member]):
+    def kernel(J: np.ndarray, F: _FaultRows, members: Sequence[_Member],
+               record: Optional[Dict[str, Any]] = None):
         N = F.p.size
         enc_row = _per_p(
             F, lambda p: lead._scheme_cost(p).encode_decode_s + hook_over)
@@ -586,13 +616,20 @@ def _plan_sequential_faulted(lead: DDPSimulator, bs: int,
         enc_dec = (enc_row * F.slow) * _col(J, c_enc, N)
         encode_end = backward_end + enc_dec / 2.0
         comm = comm_base * _col(J, c_comm, N)
-        comm_end = encode_end + comm
+        agg_end = encode_end + comm
         delays, replays = _retransmit_arrays(members, comm[:, None])
-        comm_end = comm_end + delays[:, 0]
+        comm_end = agg_end + delays[:, 0]
         sync_end = comm_end + enc_dec / 2.0
         start = np.maximum(sync_end, backward_end)
         iter_end = start + (opt_base * F.slow) * _col(J, c_opt, N)
         wire = np.where(comm > 0, wire_row, 0.0) + wire_row * replays[:, 0]
+        if record is not None:
+            record.update(
+                path="sequential", fwd_end=fwd_end,
+                backward_end=backward_end, encode_end=encode_end,
+                comm=comm, agg_end=agg_end, comm_end=comm_end,
+                wire_row=wire_row, delays=delays, replays=replays,
+                sync_end=sync_end, opt_start=start, iter_end=iter_end)
         return fwd_end, sync_end, iter_end, wire, delays, replays
 
     return presence, kernel
@@ -621,7 +658,8 @@ def _plan_overlapped_faulted(lead: DDPSimulator, bs: int,
     def presence(F: _FaultRows) -> np.ndarray:
         return np.ones((F.p.size, len(layout.sigmas)), dtype=bool)
 
-    def kernel(J: np.ndarray, F: _FaultRows, members: Sequence[_Member]):
+    def kernel(J: np.ndarray, F: _FaultRows, members: Sequence[_Member],
+               record: Optional[Dict[str, Any]] = None):
         N = F.p.size
         enc_row = _per_p(
             F, lambda p: lead._scheme_cost(p).encode_decode_s + hook_over)
@@ -640,19 +678,35 @@ def _plan_overlapped_faulted(lead: DDPSimulator, bs: int,
         per_wave = comm_total / waves
         wave_durs = np.broadcast_to(per_wave[:, None], (N, waves))
         delays, replays = _retransmit_arrays(members, wave_durs)
+        if record is not None:
+            wave_start = np.empty((N, waves))
+            wave_end = np.empty((N, waves))
         end = fwd_end
         for w in range(waves):
             ready = fwd_end + stretched * (w + 1) / waves
-            end = np.maximum(ready, end) + per_wave
-            end = end + delays[:, w]
+            begun = np.maximum(ready, end)
+            done = begun + per_wave
+            if record is not None:
+                wave_start[:, w] = begun
+                wave_end[:, w] = done
+            end = done + delays[:, w]
         # Single-worker iterations never enter the wave loop on the
         # event path: their sync end is the stretched compute end.
-        sync_end = np.where(F.p > 1, end, compute_end)
-        sync_end = np.maximum(sync_end, compute_end) + enc_dec / 2.0
+        pre = np.where(F.p > 1, end, compute_end)
+        decode_start = np.maximum(pre, compute_end)
+        sync_end = decode_start + enc_dec / 2.0
         start = np.maximum(sync_end, compute_end)
         iter_end = start + (opt_base * F.slow) * _col(J, c_opt, N)
         wire = np.where(F.p > 1, wire_row, 0.0)
         wire = wire + (wire_row[:, None] / waves * replays).sum(axis=1)
+        if record is not None:
+            record.update(
+                path="overlapped", fwd_end=fwd_end,
+                backward_end=compute_end, waves=waves,
+                wave_start=wave_start, wave_end=wave_end,
+                wire_row=wire_row, delays=delays, replays=replays,
+                decode_start=decode_start, sync_end=sync_end,
+                opt_start=start, iter_end=iter_end)
         return fwd_end, sync_end, iter_end, wire, delays, replays
 
     return presence, kernel

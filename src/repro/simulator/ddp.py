@@ -31,7 +31,7 @@ whose ``sync_time()`` is the paper's reported per-iteration metric
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +51,7 @@ from ..network import Fabric
 from ..compression.kernel_cost import KernelProfile, v100_kernel_profile
 from ..compression.schemes import Scheme, SchemeCost, SyncSGDScheme
 from ..telemetry.metrics import get_registry
+from ..telemetry.tracing import get_tracer
 from ..units import MIB
 from .events import EventQueue
 from .trace import COMM_STREAM, COMPUTE_STREAM, IterationTrace, Span
@@ -63,11 +64,14 @@ from .trace import COMM_STREAM, COMPUTE_STREAM, IterationTrace, Span
 SIM_MODES = ("auto", "event", "batch")
 
 #: Why ``mode="auto"`` falls back to the event path, keyed by the slug
-#: :meth:`DDPSimulator.batch_fallback_reason` returns.
-FALLBACK_REASONS = {
-    "trace-export": ("span-level timeline traces only exist on the "
-                     "event path"),
-}
+#: :meth:`DDPSimulator.batch_fallback_reason` returns.  Empty: fault
+#: schedules are applied as array masks, and span-level traces are
+#: reconstructed from kernel intermediates
+#: (:mod:`repro.simulator.reconstruct`), so the fast path serves every
+#: run.  The table stays so a future structural limitation has a
+#: place to register itself (and the CLI reporting around it keeps
+#: working).
+FALLBACK_REASONS: Dict[str, str] = {}
 
 
 @dataclass(frozen=True)
@@ -701,14 +705,15 @@ class DDPSimulator:
         """Why the batch fast path cannot serve this simulator, as a
         :data:`FALLBACK_REASONS` slug — or ``None`` when it can.
 
-        ``tracing=True`` asks whether a run that needs span-level
-        timeline traces could take the fast path (it cannot: the batch
-        kernel computes iteration instants, not spans).  Fault schedules
-        no longer force a fallback — the batch kernel applies resolved
-        fault state as array masks, bit-identical to the event loop.
+        Always ``None`` today: fault schedules are applied as array
+        masks, and span-level timeline traces — the last reason this
+        method ever forced the event path — are reconstructed from the
+        kernel's intermediate arrays
+        (:func:`repro.simulator.reconstruct.reconstruct_traces`),
+        bit-identical to event-loop traces.  ``tracing`` is kept for
+        callers that still ask the question explicitly.
         """
-        if tracing:
-            return "trace-export"
+        del tracing
         return None
 
     def resolve_mode(self, mode: str = "auto", tracing: bool = False,
@@ -774,6 +779,31 @@ class DDPSimulator:
             if fallback is not None:
                 registry.counter("sim_fastpath_fallback_total",
                                  reason=fallback).inc()
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._run_resolved(resolved, batch_size, iterations,
+                                      warmup, seed)
+        with tracer.span("sim-run", track="sim", model=self.model.name,
+                         scheme=self.scheme.label,
+                         gpus=str(self.cluster.world_size),
+                         iterations=str(iterations),
+                         mode=resolved) as span:
+            result = self._run_resolved(resolved, batch_size, iterations,
+                                        warmup, seed)
+        # One reconstructed iteration illustrates the run's internal
+        # structure on sim:* tracks (simulated seconds, plotted from
+        # the span's start).  Reconstruction is pure — no RNG/telemetry
+        # side effects — so the traced run stays bit-identical.
+        from .reconstruct import reconstruct_traces
+        first = reconstruct_traces(self, batch_size, iterations=1,
+                                   seed=seed)[0]
+        tracer.add_iteration_trace(first, base_unix_s=span.start_unix_s,
+                                   parent_id=span.span_id)
+        return result
+
+    def _run_resolved(self, resolved: str, batch_size: Optional[int],
+                      iterations: int, warmup: int,
+                      seed: int) -> TimingResult:
         if resolved == "batch":
             # Deferred import: batch.py imports TimingResult from here.
             from .batch import run_batch

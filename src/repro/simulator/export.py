@@ -16,7 +16,11 @@ with the paper's Figure 2.  The exporter is general:
 * **counter tracks** — communication spans carry ``bytes_on_wire``;
   the exporter accumulates them into a ``wire_bytes`` Perfetto counter
   track (``ph: "C"``), the cumulative-traffic curve the paper reads off
-  its NIC counters.
+  its NIC counters;
+* **tracer spans** — :func:`tracer_spans_to_events` exports the
+  span-based run tracer (:mod:`repro.telemetry.tracing`): one Perfetto
+  process per OS pid, one named thread per span track, so engine
+  queue/exec/cache tracks and simulator streams share a timeline.
 
 Format reference: the Trace Event Format's "complete" (``ph: "X"``),
 metadata (``"M"``), instant (``"i"``) and counter (``"C"``) events with
@@ -172,12 +176,93 @@ def run_to_events(worker_traces: Mapping[str, Sequence[IterationTrace]],
     return events
 
 
+def tracer_spans_to_events(spans: Sequence[Any],
+                           root_pid: Optional[int] = None,
+                           ) -> List[Dict[str, Any]]:
+    """Convert telemetry tracer spans to trace-event dicts.
+
+    The span-based tracer (:mod:`repro.telemetry.tracing`) times in
+    absolute wall-clock seconds across several OS processes; this
+    exporter gives every pid its own Perfetto process — the root
+    process (``root_pid``, defaulting to the pid of the earliest span)
+    is named ``engine``, pool workers ``worker-<pid>`` — and allocates
+    one named thread per span *track* through the same
+    :func:`allocate_track_ids` the simulator streams use, so engine
+    tracks (queue/exec/cache) and reconstructed ``sim:*`` streams
+    coexist in one file.  Timestamps are rebased to the earliest span;
+    trace/span/parent ids and labels ride in ``args`` for programmatic
+    consumers.
+
+    Duck-typed over :class:`~repro.telemetry.tracing.TraceSpan` so the
+    simulator package keeps importing without the telemetry layer.
+    """
+    if not spans:
+        raise ConfigurationError("no spans to export")
+    base = min(span.start_unix_s for span in spans)
+    if root_pid is None:
+        root_pid = min(spans, key=lambda s: s.start_unix_s).pid
+    pids: List[int] = []
+    tracks: Dict[int, List[str]] = {}
+    for span in spans:
+        if span.pid not in tracks:
+            pids.append(span.pid)
+            tracks[span.pid] = []
+        if span.track not in tracks[span.pid]:
+            tracks[span.pid].append(span.track)
+    events: List[Dict[str, Any]] = []
+    for pid in pids:
+        name = "engine" if pid == root_pid else f"worker-{pid}"
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "args": {"name": name}})
+        track_ids = allocate_track_ids(tracks[pid])
+        for track in tracks[pid]:
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": track_ids[track],
+                           "args": {"name": track}})
+        mine = sorted((s for s in spans if s.pid == pid),
+                      key=lambda s: (s.start_unix_s, s.end_unix_s))
+        for span in mine:
+            args: Dict[str, Any] = {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+            }
+            args.update(span.labels)
+            events.append({
+                "name": span.name,
+                "cat": span.track,
+                "ph": "X",
+                "pid": pid,
+                "tid": track_ids[span.track],
+                "ts": (span.start_unix_s - base) * 1e6,
+                "dur": span.duration_s * 1e6,
+                "args": args,
+            })
+    return events
+
+
+def write_trace_spans(path: str, spans: Sequence[Any],
+                      root_pid: Optional[int] = None) -> int:
+    """Write tracer spans as one Perfetto-loadable JSON file; returns
+    the number of bytes written."""
+    payload = events_to_chrome_json(
+        tracer_spans_to_events(spans, root_pid=root_pid))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    return len(payload.encode("utf-8"))
+
+
 def events_to_chrome_json(events: Sequence[Dict[str, Any]]) -> str:
-    """Wrap an event list in the chrome://tracing JSON envelope."""
+    """Wrap an event list in the chrome://tracing JSON envelope.
+
+    Compact separators keep the C-accelerated encoder on the fast path
+    (indented output falls back to the pure-Python one, which dominated
+    the whole export) — the file is for Perfetto, not for eyeballs.
+    """
     return json.dumps({
         "traceEvents": list(events),
         "displayTimeUnit": "ms",
-    }, indent=1)
+    }, separators=(",", ":"))
 
 
 def trace_to_chrome_json(trace: IterationTrace,
@@ -187,17 +272,21 @@ def trace_to_chrome_json(trace: IterationTrace,
 
 
 def write_chrome_trace(trace: IterationTrace, path: str,
-                       process_name: str = "worker0") -> None:
-    """Write a single-iteration trace JSON to ``path``."""
+                       process_name: str = "worker0") -> int:
+    """Write a single-iteration trace JSON to ``path``; returns the
+    number of bytes written."""
     payload = trace_to_chrome_json(trace, process_name)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(payload)
+    return len(payload.encode("utf-8"))
 
 
 def write_run_trace(worker_traces: Mapping[str, Sequence[IterationTrace]],
-                    path: str, include_counters: bool = True) -> None:
-    """Write a multi-worker, multi-iteration trace JSON to ``path``."""
+                    path: str, include_counters: bool = True) -> int:
+    """Write a multi-worker, multi-iteration trace JSON to ``path``;
+    returns the number of bytes written."""
     payload = events_to_chrome_json(
         run_to_events(worker_traces, include_counters=include_counters))
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(payload)
+    return len(payload.encode("utf-8"))

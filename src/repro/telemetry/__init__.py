@@ -26,17 +26,33 @@ from .metrics import (
     NullRegistry,
     disable,
     enable,
+    escape_label_value,
     format_key,
     get_registry,
     metric_key,
+    parse_key,
+    render_prometheus,
     set_registry,
+    validate_prometheus_text,
+)
+from .tracing import (
+    NullTracer,
+    TraceRecorder,
+    TraceSpan,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
 )
 
 __all__ = [
     "Counter", "Gauge", "Histogram",
     "MetricsRegistry", "NullRegistry",
     "get_registry", "set_registry", "enable", "disable",
-    "metric_key", "format_key",
+    "metric_key", "format_key", "parse_key", "escape_label_value",
+    "render_prometheus", "validate_prometheus_text",
+    "NullTracer", "TraceRecorder", "TraceSpan",
+    "get_tracer", "set_tracer", "enable_tracing", "disable_tracing",
     "StructuredLogger", "get_logger", "configure", "LEVELS",
     "MANIFEST_FILENAME", "MANIFEST_VERSION",
     "build_manifest", "write_manifest", "read_manifest", "verify_manifest",

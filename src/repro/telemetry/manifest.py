@@ -38,6 +38,7 @@ def build_manifest(command: str, config: Dict[str, Any],
                    wall_time_s: float,
                    metrics: Optional[Dict[str, Any]] = None,
                    results: Optional[Dict[str, Any]] = None,
+                   trace: Optional[Dict[str, Any]] = None,
                    ) -> Dict[str, Any]:
     """Assemble a manifest dict.
 
@@ -49,12 +50,16 @@ def build_manifest(command: str, config: Dict[str, Any],
         metrics: A registry ``snapshot()`` (optional).
         results: Per-result provenance, e.g. row counts and content
             digests of each regenerated exhibit (optional).
+        trace: Trace-export provenance when the run was traced
+            (optional): resolved trace mode (``"event"`` vs.
+            ``"reconstructed-batch"``), span/byte totals and the export
+            path, so traces are auditable from the manifest.
     """
     from .. import __version__
     if wall_time_s < 0:
         raise ConfigurationError(
             f"wall_time_s must be >= 0, got {wall_time_s}")
-    return {
+    manifest = {
         "manifest_version": MANIFEST_VERSION,
         "command": command,
         "config": config,
@@ -67,6 +72,9 @@ def build_manifest(command: str, config: Dict[str, Any],
         "metrics": metrics if metrics is not None else {},
         "results": results if results is not None else {},
     }
+    if trace is not None:
+        manifest["trace"] = trace
+    return manifest
 
 
 def verify_manifest(manifest: Dict[str, Any]) -> bool:

@@ -24,6 +24,7 @@ kinds — never per-iteration values.
 from __future__ import annotations
 
 import math
+import re
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
@@ -46,13 +47,85 @@ def metric_key(name: str, labels: Dict[str, Any]) -> MetricKey:
     return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-exposition rules:
+    backslash, double quote and newline become ``\\\\``, ``\\"`` and
+    ``\\n``.  Shared by :func:`format_key` and :func:`render_prometheus`
+    so snapshot keys and scrape output agree."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
 def format_key(key: MetricKey) -> str:
-    """Render a key Prometheus-style: ``name{label="value",...}``."""
+    """Render a key Prometheus-style: ``name{label="value",...}``.
+
+    Label values are escaped (:func:`escape_label_value`), so a value
+    containing ``"``, ``\\`` or a newline round-trips through
+    :func:`parse_key` instead of producing a malformed key.
+    """
     name, labels = key
     if not labels:
         return name
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in labels)
     return f"{name}{{{inner}}}"
+
+
+def parse_key(formatted: str) -> MetricKey:
+    """Exact inverse of :func:`format_key`."""
+    brace = formatted.find("{")
+    if brace == -1:
+        return (formatted, ())
+    if not formatted.endswith("}"):
+        raise ConfigurationError(f"malformed metric key: {formatted!r}")
+    name = formatted[:brace]
+    inner = formatted[brace + 1:-1]
+    labels: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(inner):
+        eq = inner.find("=", i)
+        if eq == -1 or eq + 1 >= len(inner) or inner[eq + 1] != '"':
+            raise ConfigurationError(f"malformed metric key: {formatted!r}")
+        label = inner[i:eq]
+        j = eq + 2
+        buf: List[str] = []
+        while True:
+            if j >= len(inner):
+                raise ConfigurationError(
+                    f"malformed metric key: {formatted!r}")
+            ch = inner[j]
+            if ch == "\\" and j + 1 < len(inner):
+                buf.append(inner[j:j + 2])
+                j += 2
+            elif ch == '"':
+                j += 1
+                break
+            else:
+                buf.append(ch)
+                j += 1
+        labels.append((label, _unescape_label_value("".join(buf))))
+        if j < len(inner):
+            if inner[j] != ",":
+                raise ConfigurationError(
+                    f"malformed metric key: {formatted!r}")
+            j += 1
+        i = j
+    return (name, tuple(labels))
 
 
 class Counter:
@@ -234,6 +307,103 @@ class MetricsRegistry:
             "histograms": {format_key(k): m.summary()
                            for k, m in sorted(self._histograms.items())},
         }
+
+
+#: Quantiles emitted for histogram summaries in Prometheus output,
+#: mapped to the snapshot percentile fields they come from.
+_PROM_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def _prom_value(value: Any) -> str:
+    number = float(value)
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    return repr(number)
+
+
+def _prom_sample(name: str, labels: Tuple[Tuple[str, str], ...],
+                 value: Any,
+                 extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    rendered = format_key((name, labels + extra))
+    return f"{rendered} {_prom_value(value)}"
+
+
+def render_prometheus(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """Render a registry ``snapshot()`` in the Prometheus text
+    exposition format (version 0.0.4).
+
+    Counters and gauges map directly; histograms are exposed as
+    summaries — one ``quantile``-labeled sample per reported
+    percentile plus ``_sum`` and ``_count`` series.  Metric families
+    are grouped under one ``# TYPE`` line each; label values use
+    :func:`escape_label_value`.
+    """
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snapshot:
+            raise ConfigurationError(
+                f"snapshot is missing the {section!r} section")
+    lines: List[str] = []
+
+    def families(section: str) -> Dict[str, List[Tuple[MetricKey, Any]]]:
+        grouped: Dict[str, List[Tuple[MetricKey, Any]]] = {}
+        for formatted, value in snapshot[section].items():
+            key = parse_key(formatted)
+            grouped.setdefault(key[0], []).append((key, value))
+        return grouped
+
+    for name, entries in sorted(families("counters").items()):
+        lines.append(f"# TYPE {name} counter")
+        for key, value in entries:
+            lines.append(_prom_sample(name, key[1], value))
+    for name, entries in sorted(families("gauges").items()):
+        lines.append(f"# TYPE {name} gauge")
+        for key, value in entries:
+            lines.append(_prom_sample(name, key[1], value))
+    for name, entries in sorted(families("histograms").items()):
+        lines.append(f"# TYPE {name} summary")
+        for key, summary in entries:
+            for quantile, field in _PROM_QUANTILES:
+                lines.append(_prom_sample(
+                    name, key[1], summary[field],
+                    extra=(("quantile", quantile),)))
+            lines.append(_prom_sample(name + "_sum", key[1],
+                                      summary["total"]))
+            lines.append(_prom_sample(name + "_count", key[1],
+                                      summary["count"]))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+#: One sample line: metric name, optional label set, float value.
+_PROM_SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})?'
+    r' (NaN|[+-]?Inf|[+-]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?)$')
+
+#: Comment lines: ``# TYPE name counter|gauge|summary|histogram`` or
+#: ``# HELP name text``.
+_PROM_COMMENT_RE = re.compile(
+    r'^# (TYPE [a-zA-Z_:][a-zA-Z0-9_:]* '
+    r'(counter|gauge|summary|histogram|untyped)'
+    r'|HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*)$')
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Line-format check of a text exposition; returns a list of
+    ``"line N: ..."`` problems (empty means valid).  Shared by the
+    test suite and ``tools/check_trace.py``."""
+    problems: List[str] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not _PROM_COMMENT_RE.match(line):
+                problems.append(f"line {number}: malformed comment: {line!r}")
+        elif not _PROM_SAMPLE_RE.match(line):
+            problems.append(f"line {number}: malformed sample: {line!r}")
+    return problems
 
 
 #: The process-global registry instrumented code records into.

@@ -150,21 +150,21 @@ class TestModeResolution:
         assert sim_b.run(iterations=12, warmup=2, mode="batch") == \
             sim_e.run(iterations=12, warmup=2, mode="event")
 
-    def test_fallback_taxonomy_is_trace_only(self):
+    def test_fallback_taxonomy_is_empty(self):
+        # Trace export was the last registered fallback; reconstruction
+        # (repro.simulator.reconstruct) retired it.
         from repro.simulator.ddp import FALLBACK_REASONS
-        assert set(FALLBACK_REASONS) == {"trace-export"}
+        assert FALLBACK_REASONS == {}
 
     def test_empty_fault_schedule_takes_batch(self, rn50):
         sim = make_sim(rn50, SyncSGDScheme(), 8, faults=FaultSchedule())
         sim.run(iterations=12, warmup=2, mode="auto")
         assert sim.last_run_mode == "batch"
 
-    def test_tracing_forces_event(self, rn50):
+    def test_tracing_stays_on_batch(self, rn50):
         sim = make_sim(rn50, SyncSGDScheme(), 8)
-        assert sim.resolve_mode("auto", tracing=True) == \
-            ("event", "trace-export")
-        with pytest.raises(ConfigurationError):
-            sim.resolve_mode("batch", tracing=True)
+        assert sim.resolve_mode("auto", tracing=True) == ("batch", None)
+        assert sim.resolve_mode("batch", tracing=True) == ("batch", None)
 
 
 class TestCLIReporting:
@@ -174,14 +174,17 @@ class TestCLIReporting:
                      "--iterations", "12"]) == 0
         assert "sim mode: batch" in capsys.readouterr().out
 
-    def test_simulate_trace_reports_event_fallback(self, capsys, tmp_path):
+    def test_simulate_trace_stays_on_batch(self, capsys, tmp_path):
+        # Trace export no longer forces the event loop: spans come from
+        # batch-kernel reconstruction on the fast path.
         from repro.cli import main
         trace = tmp_path / "trace.json"
         assert main(["simulate", "--model", "resnet50", "--gpus", "8",
                      "--iterations", "12", "--trace", str(trace)]) == 0
         out = capsys.readouterr().out
-        assert "sim mode: event" in out
-        assert "fell back" in out
+        assert "sim mode: batch" in out
+        assert "fell back" not in out
+        assert trace.exists()
 
 
 class TestEngineWiring:
