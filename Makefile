@@ -1,17 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke trace-smoke examples
+.PHONY: test lint bench bench-smoke trace-smoke serve-smoke examples
 
 ## tier-1: the fast unit/behaviour suite (benchmarks/ excluded)
 test:
 	$(PYTHON) -m pytest
 
-## static checks: ruff (config in pyproject.toml, benchmarks/ excluded)
-## plus docstring coverage of the public fault/engine API
+## static checks: ruff (config in pyproject.toml, benchmarks/ excluded),
+## docstring coverage of the public fault/engine/serving API, and the
+## docs lint (dead links, stale cross-references, phantom CLI flags)
 lint:
 	ruff check src tests examples
 	$(PYTHON) tools/check_docstrings.py
+	$(PYTHON) tools/check_doc_links.py
 
 ## full-fidelity paper-exhibit regeneration (slow, opt-in); refreshes
 ## the simulator perf baseline (BENCH_simulator.json) first
@@ -38,6 +40,14 @@ trace-smoke:
 	$(PYTHON) -m repro metrics --cache .trace-cache --format prom > /dev/null
 	$(PYTHON) tools/check_trace.py --trace .trace-cache/run.json \
 		--prom .trace-cache/metrics.prom
+
+## boot a real `repro serve` on an ephemeral port and drive the service
+## guarantees end to end: /healthz, whatif byte-parity with the offline
+## `repro recommend`, coalescing of concurrent requests
+## (serving_batch_occupancy > 1), a structured 429 for an over-quota
+## tenant, and a /metrics page that passes the Prometheus validator
+serve-smoke:
+	$(PYTHON) tools/check_serving.py
 
 ## run every example headlessly in smoke mode (trimmed protocols, <60 s
 ## total); CI runs this on every push

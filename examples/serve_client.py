@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Talk to a running ``repro serve`` instance with nothing but stdlib.
+
+Submits a what-if request ("will compression speed up ResNet-50 on my
+32-GPU cluster?"), prints the ranked recommendation the server streams
+back, then fans three seed-varied simulations through ``POST
+/v1/simulate`` and polls ``GET /v1/jobs/<id>`` for the rows — the
+server coalesces all three into one vectorized kernel call.
+
+Run:  repro serve &        # or: python -m repro serve
+      python examples/serve_client.py [http://127.0.0.1:8758]
+
+(``REPRO_EXAMPLES_SMOKE=1`` starts a private server on an ephemeral
+port so the example is self-contained for CI.)
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+
+DEFAULT_BASE = "http://127.0.0.1:8758"
+
+
+def post(base: str, path: str, body: dict) -> dict:
+    request = urllib.request.Request(
+        base + path, data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=120) as resp:
+        return json.loads(resp.read())
+
+
+def poll(base: str, job_id: str, timeout_s: float = 120.0) -> dict:
+    """Long-poll a job until it reaches a terminal state."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        url = f"{base}/v1/jobs/{job_id}?wait_s=10"
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            state = json.loads(resp.read())
+        if state["status"] in ("done", "failed", "expired"):
+            return state
+    raise TimeoutError(f"job {job_id} still {state['status']!r}")
+
+
+def main() -> None:
+    base = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_BASE
+    server = None
+    if os.environ.get("REPRO_EXAMPLES_SMOKE") == "1":
+        # Self-contained for CI: spawn a private server and read the
+        # ephemeral port off its "listening on" line.
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, text=True)
+        base = server.stdout.readline().strip().rsplit(" ", 1)[-1]
+
+    try:
+        # --- price the cluster: one synchronous what-if request.
+        out = post(base, "/v1/whatif", {"model": "resnet50", "gpus": 32})
+        print(out["result"]["rendered"])
+        print()
+        for entry in out["result"]["crossovers"]:
+            for crossing in entry["crossings"]:
+                print(f"{entry['scheme']}: breaks even with syncSGD at "
+                      f"{crossing['gbps']:.1f} Gbit/s "
+                      f"({crossing['direction']}ward crossing)")
+
+        # --- simulate three seeds asynchronously; the server stacks
+        # them into one kernel call and streams rows back.
+        submitted = post(base, "/v1/simulate", {
+            "model": "resnet50", "gpus": 8,
+            "scheme": "powersgd:rank=4",
+            "iterations": 20, "seeds": [0, 1, 2],
+        })
+        print(f"\nsubmitted simulation job {submitted['id']} "
+              f"({submitted['status']}); polling...")
+        state = poll(base, submitted["id"])
+        for row in state["rows"]:
+            print(f"  seed {row['seed']}: {row['mean_s'] * 1e3:7.1f} ms "
+                  f"(± {row['std_s'] * 1e3:.1f})"
+                  + ("  [cached]" if row["cached"] else ""))
+    finally:
+        if server is not None:
+            server.terminate()
+            server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

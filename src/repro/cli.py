@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands mirror the library's main workflows:
+Six subcommands mirror the library's main workflows:
 
 * ``experiment`` — regenerate a paper exhibit (table1..fig13, or
   ``all``); with ``--cache`` a ``manifest.json`` provenance record is
@@ -17,7 +17,11 @@ Five subcommands mirror the library's main workflows:
   the event loop's), ``--faults spec.json`` injects a
   :class:`repro.faults.FaultSchedule`;
 * ``metrics`` — re-render a written manifest's metrics snapshot as
-  text or Prometheus exposition format.
+  text or Prometheus exposition format;
+* ``serve`` — run the persistent HTTP service (``POST /v1/whatif``,
+  ``POST /v1/simulate``, ``GET /v1/jobs/<id>``, ``GET /metrics``,
+  ``GET /healthz``; see docs/serving.md) on a continuous-batching
+  scheduler that shares one engine and cache across requests.
 
 Everything prints plain text; use ``--markdown`` on ``experiment`` for
 paste-ready tables.  Global flags: ``--version``, ``--log-level``/
@@ -35,7 +39,7 @@ import time
 from typing import List, Optional
 
 from . import __version__
-from .compression import make_scheme
+from .compression import scheme_from_spec
 from .core import (
     PerfModelInputs,
     bandwidth_sweep,
@@ -88,18 +92,7 @@ def _add_model_args(parser: argparse.ArgumentParser) -> None:
 
 def _parse_scheme(spec: str):
     """Parse 'name' or 'name:key=value,key=value' into a Scheme."""
-    name, _, params_text = spec.partition(":")
-    params = {}
-    if params_text:
-        for item in params_text.split(","):
-            key, _, value = item.partition("=")
-            if not key or not value:
-                raise ReproError(f"bad scheme parameter {item!r}")
-            try:
-                params[key] = int(value)
-            except ValueError:
-                params[key] = float(value)
-    return make_scheme(name, **params)
+    return scheme_from_spec(spec)
 
 
 def _accepts_engine(runner) -> bool:
@@ -343,6 +336,37 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent what-if/simulation service until interrupted."""
+    from .serving import ServingScheduler, make_server
+
+    cache = SimulationCache(args.cache) if args.cache else None
+    engine = ExperimentEngine(jobs=args.jobs, cache=cache)
+    scheduler = ServingScheduler(
+        engine=engine,
+        queue_depth=args.queue_depth,
+        quota_rps=args.quota_rps,
+        quota_burst=args.quota_burst,
+        batch_window_s=args.batch_window_ms / 1e3,
+        max_batch_requests=args.max_batch_requests,
+        default_timeout_s=args.request_timeout_s)
+    server = make_server(scheduler, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    # Parsed by scripts (the smoke gates, examples) to find an
+    # ephemeral port, so keep the "listening on" phrasing stable.
+    print(f"repro serve listening on http://{host}:{port}", flush=True)
+    get_logger("repro.cli").info("serve started", host=host, port=port,
+                                 jobs=args.jobs, cache=args.cache or "")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        scheduler.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -459,6 +483,49 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default) or Prometheus text exposition "
                             "0.0.4")
     p_met.set_defaults(fn=cmd_metrics)
+
+    p_srv = sub.add_parser("serve",
+                           help="run the persistent what-if/simulation "
+                                "HTTP service")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8758,
+                       help="TCP port; 0 picks an ephemeral one and "
+                            "prints it (default: 8758)")
+    p_srv.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="engine worker processes for simulation "
+                            "batches (default: 1, in-process)")
+    p_srv.add_argument("--cache", default=None, metavar="DIR",
+                       help="content-addressed result cache shared by "
+                            "all requests (default: off)")
+    p_srv.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                       help="admission queue capacity; beyond it "
+                            "submissions are rejected 503 (default: 64)")
+    p_srv.add_argument("--quota-rps", type=float, default=None,
+                       metavar="R",
+                       help="per-tenant sustained requests/s; over-quota "
+                            "submissions get a structured 429 with "
+                            "Retry-After (default: unlimited)")
+    p_srv.add_argument("--quota-burst", type=float, default=10.0,
+                       metavar="B",
+                       help="per-tenant burst size for --quota-rps "
+                            "(default: 10)")
+    p_srv.add_argument("--batch-window-ms", type=float, default=20.0,
+                       metavar="MS",
+                       help="how long the scheduler lingers after the "
+                            "first queued request so concurrent "
+                            "requests coalesce into one engine batch "
+                            "(default: 20)")
+    p_srv.add_argument("--max-batch-requests", type=int, default=8,
+                       metavar="N",
+                       help="most requests coalesced into one batch "
+                            "(default: 8)")
+    p_srv.add_argument("--request-timeout-s", type=float, default=300.0,
+                       metavar="S",
+                       help="default per-request deadline; requests "
+                            "that wait it out in the queue expire "
+                            "unexecuted (default: 300)")
+    p_srv.set_defaults(fn=cmd_serve)
 
     return parser
 

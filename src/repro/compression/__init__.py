@@ -28,6 +28,7 @@ from .registry import (
     make_aggregator,
     make_compressor,
     make_scheme,
+    scheme_from_spec,
 )
 from .schemes import (
     ATOMOScheme,
@@ -77,4 +78,5 @@ __all__ = [
     "HybridPowerSGDScheme",
     "NaturalCompressor", "EFSignCompressor",
     "make_compressor", "make_scheme", "make_aggregator", "available_methods",
+    "scheme_from_spec",
 ]

@@ -100,6 +100,33 @@ def make_scheme(name: str, **params: Any) -> Scheme:
     return _SCHEMES[name](**params)
 
 
+def scheme_from_spec(spec: str) -> Scheme:
+    """Parse a ``'name'`` or ``'name:key=value,key=value'`` spec string.
+
+    The textual scheme syntax the CLI (``--scheme powersgd:rank=4``)
+    and the serving API share; numeric parameter values become ``int``
+    when possible, ``float`` otherwise.
+    """
+    name, _, params_text = spec.partition(":")
+    params: Dict[str, Any] = {}
+    if params_text:
+        for item in params_text.split(","):
+            key, _, value = item.partition("=")
+            if not key or not value:
+                raise ConfigurationError(
+                    f"bad scheme parameter {item!r} in spec {spec!r}")
+            try:
+                params[key] = int(value)
+            except ValueError:
+                try:
+                    params[key] = float(value)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"non-numeric scheme parameter {item!r} "
+                        f"in spec {spec!r}")
+    return make_scheme(name, **params)
+
+
 def make_aggregator(name: str, num_workers: int, **params: Any) -> Aggregator:
     """Construct the distributed aggregator for method ``name``.
 

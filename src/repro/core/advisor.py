@@ -10,8 +10,9 @@ recommendation with the reasons spelled out.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..compression.kernel_cost import KernelProfile, v100_kernel_profile
 from ..compression.schemes import (
@@ -53,6 +54,19 @@ class CandidateVerdict:
     feasible: bool
     note: str
 
+    def to_dict(self) -> dict:
+        """JSON-safe view (infeasible sentinels become ``None``)."""
+        return {
+            "scheme": self.scheme_label,
+            "predicted_s": (self.predicted_s
+                            if math.isfinite(self.predicted_s) else None),
+            "speedup_vs_syncsgd": (self.speedup_vs_syncsgd
+                                   if math.isfinite(self.speedup_vs_syncsgd)
+                                   else None),
+            "feasible": self.feasible,
+            "note": self.note,
+        }
+
 
 @dataclass(frozen=True)
 class Recommendation:
@@ -86,13 +100,72 @@ class Recommendation:
             lines.append(f" {marker} {v.scheme_label:<18} {status}  {v.note}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-safe view, verdicts in the ranking ``render`` prints."""
+        ranked = sorted(self.verdicts,
+                        key=lambda v: (not v.feasible, v.predicted_s))
+        try:
+            best = self.best.scheme_label
+        except ConfigurationError:
+            best = None
+        return {
+            "model": self.model,
+            "world_size": self.world_size,
+            "bandwidth_gbps": self.bandwidth_gbps,
+            "best": best,
+            "verdicts": [v.to_dict() for v in ranked],
+        }
 
-def recommend_for_inputs(model: ModelSpec, inputs: PerfModelInputs,
-                         candidates: Optional[Sequence[Scheme]] = None,
-                         gpu: GPUSpec = V100,
-                         profile: Optional[KernelProfile] = None,
-                         ) -> Recommendation:
-    """Rank candidates for already-calibrated inputs."""
+
+#: Prices ``[None] + feasible_schemes`` (``None`` = sync-SGD baseline)
+#: and returns the predicted iteration seconds for each, in order.
+PriceFn = Callable[[Sequence[Optional[Scheme]]], Sequence[float]]
+
+
+def feasible_candidates(model: ModelSpec, inputs: PerfModelInputs,
+                        candidates: Optional[Sequence[Scheme]] = None,
+                        gpu: GPUSpec = V100,
+                        profile: Optional[KernelProfile] = None,
+                        ) -> List[Optional[Scheme]]:
+    """The exact pricing list :func:`recommend_with` hands its pricer.
+
+    ``[None] + candidates that pass the memory screen`` — callers that
+    price out-of-band (the serving scheduler batches every request's
+    entries through one engine call) use this to build jobs whose
+    results line up one-to-one with the pricer invocation.
+    """
+    schemes = list(candidates) if candidates is not None \
+        else default_candidates()
+    prof = profile if profile is not None else v100_kernel_profile()
+    compute = ComputeModel(model, gpu)
+    bs = inputs.batch_size or model.default_batch_size
+    p = inputs.world_size
+    entries: List[Optional[Scheme]] = [None]
+    for scheme in schemes:
+        cost = scheme.cost(model, p, prof)
+        fits, _ = compute.fits_in_memory(bs, cost.aggregation_working_set(p))
+        if fits:
+            entries.append(scheme)
+    return entries
+
+
+def recommend_with(model: ModelSpec, inputs: PerfModelInputs,
+                   price: PriceFn,
+                   candidates: Optional[Sequence[Scheme]] = None,
+                   gpu: GPUSpec = V100,
+                   profile: Optional[KernelProfile] = None,
+                   ) -> Recommendation:
+    """Rank candidates with an injected pricing function.
+
+    The advisor keeps the feasibility screen and the verdict notes; the
+    caller supplies *how* predictions are produced.  ``price`` receives
+    ``[None] + feasible_schemes`` — ``None`` meaning the sync-SGD
+    baseline — and returns one predicted iteration time (seconds) per
+    entry.  The serving scheduler routes this through the engine's grid
+    kernels so concurrent requests coalesce; the offline path prices
+    analytically.  Both produce bit-identical numbers (PR-5 contract),
+    so rendered output is byte-stable across entrypoints.
+    """
     schemes = list(candidates) if candidates is not None \
         else default_candidates()
     if not schemes:
@@ -100,15 +173,28 @@ def recommend_for_inputs(model: ModelSpec, inputs: PerfModelInputs,
     prof = profile if profile is not None else v100_kernel_profile()
     compute = ComputeModel(model, gpu)
     bs = inputs.batch_size or model.default_batch_size
-    baseline = syncsgd_time(model, inputs, gpu).total
     p = inputs.world_size
 
-    verdicts: List[CandidateVerdict] = []
-    for scheme in schemes:
-        cost = scheme.cost(model, p, prof)
+    costs = [scheme.cost(model, p, prof) for scheme in schemes]
+    required_bytes: List[Optional[int]] = []
+    feasible: List[Scheme] = []
+    for scheme, cost in zip(schemes, costs):
         fits, required = compute.fits_in_memory(
             bs, cost.aggregation_working_set(p))
-        if not fits:
+        required_bytes.append(None if fits else required)
+        if fits:
+            feasible.append(scheme)
+    times = list(price([None, *feasible]))
+    if len(times) != 1 + len(feasible):
+        raise ConfigurationError(
+            f"pricer returned {len(times)} times for "
+            f"{1 + len(feasible)} schemes")
+    baseline = times[0]
+    predicted_iter = iter(times[1:])
+
+    verdicts: List[CandidateVerdict] = []
+    for scheme, cost, required in zip(schemes, costs, required_bytes):
+        if required is not None:
             verdicts.append(CandidateVerdict(
                 scheme_label=scheme.label, predicted_s=float("inf"),
                 speedup_vs_syncsgd=float("-inf"), feasible=False,
@@ -116,7 +202,7 @@ def recommend_for_inputs(model: ModelSpec, inputs: PerfModelInputs,
                       f"{required / 1e9:.0f} GB > "
                       f"{gpu.memory_bytes / 1e9:.0f} GB GPU")))
             continue
-        predicted = predict(model, scheme, inputs, gpu, prof).total
+        predicted = next(predicted_iter)
         speedup = (baseline - predicted) / baseline
         if isinstance(scheme, SyncSGDScheme):
             note = "baseline"
@@ -138,6 +224,25 @@ def recommend_for_inputs(model: ModelSpec, inputs: PerfModelInputs,
         bandwidth_gbps=inputs.bandwidth_bytes_per_s * 8 / 1e9,
         verdicts=tuple(verdicts),
     )
+
+
+def recommend_for_inputs(model: ModelSpec, inputs: PerfModelInputs,
+                         candidates: Optional[Sequence[Scheme]] = None,
+                         gpu: GPUSpec = V100,
+                         profile: Optional[KernelProfile] = None,
+                         ) -> Recommendation:
+    """Rank candidates for already-calibrated inputs."""
+    prof = profile if profile is not None else v100_kernel_profile()
+
+    def _price(entries: Sequence[Optional[Scheme]]) -> List[float]:
+        return [
+            syncsgd_time(model, inputs, gpu).total if scheme is None
+            else predict(model, scheme, inputs, gpu, prof).total
+            for scheme in entries
+        ]
+
+    return recommend_with(model, inputs, _price, candidates=candidates,
+                          gpu=gpu, profile=prof)
 
 
 def recommend(model: ModelSpec, cluster: ClusterConfig,

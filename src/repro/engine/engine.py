@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 import os
 import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -595,6 +596,13 @@ class ExperimentEngine:
         #: (a :class:`_SimFamily` of more than one job).
         self.jobs_batched = 0
         self._log = get_logger("engine")
+        # Serializes whole-batch submissions so a long-lived process
+        # (the serving scheduler) can share one engine across threads:
+        # stats, the process pool, and cache round-trips all assume one
+        # batch in flight.  Reentrant, so a submission that itself
+        # submits (e.g. an advisor pricer running inside a scheduler
+        # batch) does not deadlock.
+        self._submission_lock = threading.RLock()
 
     # ----- execution ---------------------------------------------------------
 
@@ -604,14 +612,16 @@ class ExperimentEngine:
         Cache hits are served without simulating; misses run serially
         or on the process pool, then populate the cache.  Under an
         enabled tracer the whole batch runs inside an ``engine-batch``
-        span, so job/cache spans nest under it.
+        span, so job/cache spans nest under it.  Thread-safe: batches
+        submitted concurrently are serialized, in submission order.
         """
-        tracer = get_tracer()
-        if not tracer.enabled:
-            return self._run_outcomes_traced(batch)
-        with tracer.span("engine-batch", track="engine",
-                         jobs=str(len(batch))):
-            return self._run_outcomes_traced(batch)
+        with self._submission_lock:
+            tracer = get_tracer()
+            if not tracer.enabled:
+                return self._run_outcomes_traced(batch)
+            with tracer.span("engine-batch", track="engine",
+                             jobs=str(len(batch))):
+                return self._run_outcomes_traced(batch)
 
     def _run_outcomes_traced(self, batch: Sequence[SimJob],
                              ) -> List[JobOutcome]:
@@ -808,8 +818,15 @@ class ExperimentEngine:
         outcomes and per-point cache entries, so fingerprints and
         cached bytes are exactly what per-job evaluation would have
         produced; ``chunking=False`` falls back to evaluating each job
-        individually.
+        individually.  Thread-safe: concurrent submissions serialize on
+        the engine's reentrant submission lock.
         """
+        with self._submission_lock:
+            return self._run_model_outcomes_locked(batch)
+
+    def _run_model_outcomes_locked(self, batch: Sequence[ModelEvalJob],
+                                   ) -> List[ModelEvalOutcome]:
+        """The body of :meth:`run_model_outcomes`, lock already held."""
         start = time.perf_counter()
         jobs = list(batch)
         outcomes: List[Optional[ModelEvalOutcome]] = [None] * len(jobs)

@@ -1,0 +1,27 @@
+"""Simulation-as-a-service: the engine behind a persistent scheduler.
+
+``repro serve`` turns the one-shot experiment engine into a long-lived
+HTTP service: an admission-controlled queue feeds a continuous-batching
+scheduler that coalesces compatible requests into single grid-kernel
+calls and streams results back per request.  See ``docs/serving.md``
+for the API reference and operational semantics.
+"""
+
+from .http import MAX_BODY_BYTES, ServingHandler, ServingHTTPServer, make_server
+from .quota import AdmissionError, TenantQuotas, TokenBucket
+from .requests import (
+    MAX_SEEDS_PER_REQUEST,
+    SimulateRequest,
+    WhatIfRequest,
+    parse_request,
+)
+from .scheduler import TERMINAL_STATES, RequestState, ServingScheduler
+
+__all__ = [
+    "AdmissionError", "TokenBucket", "TenantQuotas",
+    "WhatIfRequest", "SimulateRequest", "parse_request",
+    "MAX_SEEDS_PER_REQUEST",
+    "RequestState", "ServingScheduler", "TERMINAL_STATES",
+    "ServingHandler", "ServingHTTPServer", "make_server",
+    "MAX_BODY_BYTES",
+]

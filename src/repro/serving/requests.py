@@ -1,0 +1,192 @@
+"""Request shapes for the serving API, parsed from JSON bodies.
+
+Validation happens here, at the HTTP boundary, so the scheduler only
+ever sees well-formed work items; anything malformed raises
+:class:`~repro.errors.ConfigurationError`, which the HTTP layer maps to
+a structured 400.  Field semantics deliberately mirror the CLI flags
+(``repro recommend --model --gpus --batch --bandwidth``; ``repro
+simulate --scheme --iterations``) so a request body is the JSON spelling
+of the command it replaces — that is what makes the byte-parity
+guarantee of ``POST /v1/whatif`` vs ``repro recommend`` meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..compression import scheme_from_spec
+from ..compression.schemes import Scheme
+from ..errors import ConfigurationError
+from ..hardware import ClusterConfig, cluster_for_gpus
+from ..models import ModelSpec, available_models, get_model
+
+#: Most seeds one simulate request may fan out to; keeps a single
+#: request from monopolizing a scheduler batch.
+MAX_SEEDS_PER_REQUEST = 64
+
+
+def _require_fields(body: Dict[str, Any], allowed: Tuple[str, ...],
+                    kind: str) -> None:
+    unknown = sorted(set(body) - set(allowed))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown field(s) {', '.join(map(repr, unknown))} in "
+            f"{kind} request; allowed: {', '.join(allowed)}")
+
+
+def _model_from(body: Dict[str, Any]) -> ModelSpec:
+    name = body.get("model", "resnet50")
+    if not isinstance(name, str) or name not in available_models():
+        raise ConfigurationError(
+            f"unknown model {name!r}; available: {available_models()}")
+    return get_model(name)
+
+
+def _cluster_from(body: Dict[str, Any]) -> ClusterConfig:
+    gpus = body.get("gpus", 32)
+    if not isinstance(gpus, int) or isinstance(gpus, bool) or gpus < 1:
+        raise ConfigurationError(f"gpus must be a positive int, got {gpus!r}")
+    cluster = cluster_for_gpus(gpus)
+    bandwidth = body.get("bandwidth")
+    if bandwidth is not None:
+        if not isinstance(bandwidth, (int, float)) \
+                or isinstance(bandwidth, bool) or bandwidth <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive Gbit/s, got {bandwidth!r}")
+        cluster = cluster.with_instance(
+            cluster.instance.with_network_gbps(float(bandwidth)))
+    return cluster
+
+
+def _batch_from(body: Dict[str, Any]) -> Optional[int]:
+    batch = body.get("batch")
+    if batch is None:
+        return None
+    if not isinstance(batch, int) or isinstance(batch, bool) or batch < 1:
+        raise ConfigurationError(
+            f"batch must be a positive int, got {batch!r}")
+    return batch
+
+
+def _timeout_from(body: Dict[str, Any]) -> Optional[float]:
+    timeout = body.get("timeout_s")
+    if timeout is None:
+        return None
+    if not isinstance(timeout, (int, float)) or isinstance(timeout, bool) \
+            or timeout <= 0:
+        raise ConfigurationError(
+            f"timeout_s must be positive seconds, got {timeout!r}")
+    return float(timeout)
+
+
+@dataclass(frozen=True)
+class WhatIfRequest:
+    """``POST /v1/whatif`` — "price my cluster config".
+
+    The exact inputs of ``repro recommend``: the advisor calibrates
+    against the cluster, screens candidates for memory feasibility,
+    prices the survivors (through the shared engine, so concurrent
+    requests coalesce into one grid call), and returns the ranked
+    recommendation — plus, unless ``crossovers`` is false, the exact
+    break-even bandwidths from :func:`repro.core.solve_crossover`.
+    """
+
+    model: ModelSpec
+    cluster: ClusterConfig
+    batch_size: Optional[int] = None
+    crossovers: bool = True
+    wait: bool = True
+    timeout_s: Optional[float] = None
+
+    kind = "whatif"
+
+    @classmethod
+    def from_json(cls, body: Dict[str, Any]) -> "WhatIfRequest":
+        """Validate and build from a decoded JSON object."""
+        _require_fields(body, ("model", "gpus", "batch", "bandwidth",
+                               "crossovers", "wait", "timeout_s"), cls.kind)
+        crossovers = body.get("crossovers", True)
+        wait = body.get("wait", True)
+        if not isinstance(crossovers, bool):
+            raise ConfigurationError(
+                f"crossovers must be a bool, got {crossovers!r}")
+        if not isinstance(wait, bool):
+            raise ConfigurationError(f"wait must be a bool, got {wait!r}")
+        return cls(model=_model_from(body), cluster=_cluster_from(body),
+                   batch_size=_batch_from(body), crossovers=crossovers,
+                   wait=wait, timeout_s=_timeout_from(body))
+
+
+@dataclass(frozen=True)
+class SimulateRequest:
+    """``POST /v1/simulate`` — run the discrete-event/batch simulator.
+
+    One :class:`~repro.engine.SimJob` per seed; requests that share
+    model, cluster, scheme, batch and protocol but differ in seed share
+    a ``family_key``, so the scheduler stacks them — across requests —
+    into one vectorized kernel call.
+    """
+
+    model: ModelSpec
+    cluster: ClusterConfig
+    scheme: Optional[Scheme] = None
+    batch_size: Optional[int] = None
+    iterations: int = 60
+    seeds: Tuple[int, ...] = (0,)
+    wait: bool = False
+    timeout_s: Optional[float] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    kind = "simulate"
+
+    @classmethod
+    def from_json(cls, body: Dict[str, Any]) -> "SimulateRequest":
+        """Validate and build from a decoded JSON object."""
+        _require_fields(body, ("model", "gpus", "batch", "bandwidth",
+                               "scheme", "iterations", "seeds", "seed",
+                               "wait", "timeout_s"), cls.kind)
+        scheme_spec = body.get("scheme")
+        scheme = None
+        if scheme_spec is not None:
+            if not isinstance(scheme_spec, str):
+                raise ConfigurationError(
+                    f"scheme must be a spec string, got {scheme_spec!r}")
+            scheme = scheme_from_spec(scheme_spec)
+        iterations = body.get("iterations", 60)
+        if not isinstance(iterations, int) or isinstance(iterations, bool) \
+                or not 10 < iterations <= 10_000:
+            raise ConfigurationError(
+                "iterations must be an int in (10, 10000] "
+                f"(warmup is 10), got {iterations!r}")
+        if "seeds" in body and "seed" in body:
+            raise ConfigurationError("pass either seed or seeds, not both")
+        seeds_raw = body.get("seeds", [body.get("seed", 0)])
+        if not isinstance(seeds_raw, list) or not seeds_raw or not all(
+                isinstance(s, int) and not isinstance(s, bool)
+                for s in seeds_raw):
+            raise ConfigurationError(
+                f"seeds must be a non-empty list of ints, got {seeds_raw!r}")
+        if len(seeds_raw) > MAX_SEEDS_PER_REQUEST:
+            raise ConfigurationError(
+                f"at most {MAX_SEEDS_PER_REQUEST} seeds per request, "
+                f"got {len(seeds_raw)}")
+        wait = body.get("wait", False)
+        if not isinstance(wait, bool):
+            raise ConfigurationError(f"wait must be a bool, got {wait!r}")
+        return cls(model=_model_from(body), cluster=_cluster_from(body),
+                   scheme=scheme, batch_size=_batch_from(body),
+                   iterations=iterations, seeds=tuple(seeds_raw),
+                   wait=wait, timeout_s=_timeout_from(body))
+
+
+def parse_request(kind: str, body: Any):
+    """Dispatch a decoded JSON body to the right request class."""
+    if not isinstance(body, dict):
+        raise ConfigurationError(
+            f"request body must be a JSON object, got {type(body).__name__}")
+    if kind == "whatif":
+        return WhatIfRequest.from_json(body)
+    if kind == "simulate":
+        return SimulateRequest.from_json(body)
+    raise ConfigurationError(f"unknown request kind {kind!r}")

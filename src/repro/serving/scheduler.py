@@ -1,0 +1,494 @@
+"""The persistent scheduler: one engine, many concurrent requests.
+
+The one-shot :class:`~repro.engine.ExperimentEngine` runs a batch and
+returns; this module keeps it alive for the process lifetime behind an
+admission queue, the way vLLM's continuous-batching scheduler keeps a
+model executor alive behind one.  A single background thread loops:
+
+1. wait until the queue is non-empty, then sleep one *batch window*
+   (``batch_window_s``, default 20 ms) so closely-spaced requests land
+   in the same batch;
+2. drain up to ``max_batch_requests`` requests, dropping any whose
+   deadline expired while queued;
+3. expand every drained request into engine jobs — a what-if request
+   becomes ``[None] + feasible candidates`` pre-screened by
+   :func:`repro.core.feasible_candidates`, a simulate request one
+   :class:`~repro.engine.SimJob` per seed — and submit **all of them in
+   one engine call** per job type.  The engine's existing family
+   batching then collapses compatible jobs *across requests* into
+   single grid-kernel calls: that is the dynamic generalization of the
+   PR-5 submit-time chunker and the PR-6 ``family_key`` grouping;
+4. fan results back out per request, append result rows, and wake
+   every waiter.
+
+Admission control happens in :meth:`ServingScheduler.submit`, on the
+caller's thread: per-tenant token buckets and the queue-depth cap
+reject before any work is queued (:mod:`repro.serving.quota`).
+Deadlines reuse the engine's ``job_timeout_s`` semantics one level up:
+a request carries a wall-clock budget from submission, checked when the
+batch is formed — a request that waited out its budget in the queue is
+expired, never executed.
+
+Scheduler state is observable through the PR-7 telemetry registry:
+``serving_queue_depth`` and ``serving_batch_occupancy`` gauges,
+``serving_requests_total`` / ``serving_rejected_total`` /
+``serving_requests_expired_total`` counters, and a
+``serving_request_latency_s`` histogram per request kind.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..compression.schemes import SyncSGDScheme
+from ..core import (
+    CalibrationReport,
+    calibrate,
+    feasible_candidates,
+    recommend_with,
+    solve_crossover,
+)
+from ..engine import ExperimentEngine, ModelEvalJob, SimJob
+from ..errors import ConfigurationError
+from ..telemetry.logs import get_logger
+from ..telemetry.metrics import get_registry
+from ..telemetry.tracing import get_tracer
+from .quota import AdmissionError, TenantQuotas
+from .requests import SimulateRequest, WhatIfRequest
+
+Request = Union[WhatIfRequest, SimulateRequest]
+
+#: Terminal request states; :meth:`ServingScheduler.wait` returns when
+#: one is reached.
+TERMINAL_STATES = ("done", "failed", "expired")
+
+
+@dataclass
+class RequestState:
+    """One admitted request's lifecycle, shared with waiting clients.
+
+    ``rows`` grows as results stream back (one row per candidate
+    verdict or per simulated seed); ``result`` is the assembled
+    response body once the request is ``done``.  All mutation happens
+    under the scheduler's condition lock.
+    """
+
+    id: str
+    request: Request
+    tenant: str
+    submitted_unix: float
+    deadline_monotonic: Optional[float]
+    status: str = "queued"
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    finished_unix: Optional[float] = None
+
+    @property
+    def kind(self) -> str:
+        """``"whatif"`` or ``"simulate"``."""
+        return self.request.kind
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON view served by ``GET /v1/jobs/<id>``."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "rows": list(self.rows),
+            "result": self.result,
+            "error": self.error,
+        }
+
+
+class ServingScheduler:
+    """Owns an :class:`~repro.engine.ExperimentEngine` for the process
+    lifetime and multiplexes concurrent requests onto it.
+
+    Attributes:
+        engine: The shared engine; its content-addressed cache (if any)
+            is shared by every tenant, which is exactly why admission
+            control exists — a cold-cache tenant's burst must not
+            starve everyone else's hits.
+        queue_depth: Admission queue capacity; submissions beyond it
+            are rejected 503 (``reason="queue_full"``).
+        quotas: Per-tenant token buckets (:class:`TenantQuotas`).
+        batch_window_s: How long the scheduler lingers after the first
+            queued request before forming a batch — the knob trading
+            latency for coalescing opportunity.
+        max_batch_requests: Most requests drained into one batch.
+        default_timeout_s: Deadline applied to requests that do not
+            carry their own ``timeout_s``; ``None`` disables deadlines.
+    """
+
+    def __init__(self, engine: Optional[ExperimentEngine] = None,
+                 queue_depth: int = 64,
+                 quota_rps: Optional[float] = None,
+                 quota_burst: float = 10.0,
+                 batch_window_s: float = 0.02,
+                 max_batch_requests: int = 8,
+                 default_timeout_s: Optional[float] = 300.0):
+        """Validate the policy and start the batch thread (a daemon —
+        it dies with the process; call :meth:`close` for a clean stop)."""
+        if queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {queue_depth}")
+        if batch_window_s < 0:
+            raise ConfigurationError(
+                f"batch_window_s must be >= 0, got {batch_window_s}")
+        if max_batch_requests < 1:
+            raise ConfigurationError(
+                f"max_batch_requests must be >= 1, got {max_batch_requests}")
+        if default_timeout_s is not None and default_timeout_s <= 0:
+            raise ConfigurationError(
+                f"default_timeout_s must be positive, got "
+                f"{default_timeout_s}")
+        self.engine = engine if engine is not None else ExperimentEngine()
+        self.queue_depth = queue_depth
+        self.quotas = TenantQuotas(quota_rps, quota_burst)
+        self.batch_window_s = batch_window_s
+        self.max_batch_requests = max_batch_requests
+        self.default_timeout_s = default_timeout_s
+        self.started_unix = time.time()
+        #: Batches formed over the scheduler's lifetime.
+        self.batches = 0
+        #: Requests that shared their batch with at least one other.
+        self.requests_coalesced = 0
+        self._cv = threading.Condition()
+        self._queue: List[RequestState] = []
+        self._states: Dict[str, RequestState] = {}
+        self._closed = False
+        self._log = get_logger("serving")
+        # Calibration is deterministic per (model, cluster, batch), so
+        # repeat what-if traffic skips the trace-based gamma estimate.
+        self._calibrations: Dict[Tuple[str, str, Optional[int]],
+                                 CalibrationReport] = {}
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serving-scheduler",
+                                        daemon=True)
+        self._thread.start()
+
+    # ----- client surface ----------------------------------------------------
+
+    def submit(self, request: Request, tenant: str = "default",
+               ) -> RequestState:
+        """Admit a request or raise :class:`AdmissionError`.
+
+        Runs on the caller's thread and never blocks on the engine:
+        quota check, queue-depth check, enqueue, return.  The returned
+        state object is live — poll it via :meth:`get` / :meth:`wait`.
+        """
+        registry = get_registry()
+        if self._closed:
+            registry.counter("serving_rejected_total", reason="closed").inc()
+            raise AdmissionError("scheduler is shut down", status=503,
+                                 reason="closed")
+        try:
+            self.quotas.check(tenant)
+        except AdmissionError:
+            registry.counter("serving_rejected_total", reason="quota").inc()
+            raise
+        timeout_s = (request.timeout_s if request.timeout_s is not None
+                     else self.default_timeout_s)
+        state = RequestState(
+            id=uuid.uuid4().hex[:12],
+            request=request,
+            tenant=tenant,
+            submitted_unix=time.time(),
+            deadline_monotonic=(time.monotonic() + timeout_s
+                                if timeout_s is not None else None))
+        with self._cv:
+            if len(self._queue) >= self.queue_depth:
+                registry.counter("serving_rejected_total",
+                                 reason="queue_full").inc()
+                raise AdmissionError(
+                    f"admission queue full ({self.queue_depth} requests)",
+                    status=503, reason="queue_full")
+            self._queue.append(state)
+            self._states[state.id] = state
+            registry.counter("serving_requests_total",
+                             kind=request.kind).inc()
+            registry.gauge("serving_queue_depth").set(len(self._queue))
+            self._cv.notify_all()
+        return state
+
+    def get(self, request_id: str) -> Optional[RequestState]:
+        """Look up a request by id (``None`` if unknown)."""
+        with self._cv:
+            return self._states.get(request_id)
+
+    def wait(self, request_id: str, timeout_s: Optional[float] = None,
+             ) -> Optional[RequestState]:
+        """Block until the request reaches a terminal state (or the
+        wait times out — the state is returned as-is either way)."""
+        deadline = (time.monotonic() + timeout_s
+                    if timeout_s is not None else None)
+        with self._cv:
+            state = self._states.get(request_id)
+            if state is None:
+                return None
+            while state.status not in TERMINAL_STATES:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                self._cv.wait(timeout=remaining)
+            return state
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Stop the scheduler thread; queued requests are failed."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            for state in self._queue:
+                state.status = "failed"
+                state.error = "scheduler shut down"
+                state.finished_unix = time.time()
+            self._queue.clear()
+            get_registry().gauge("serving_queue_depth").set(0)
+            self._cv.notify_all()
+        self._thread.join(timeout=timeout_s)
+
+    # ----- scheduler loop ----------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                if self._closed:
+                    return
+            # Linger one batch window so near-simultaneous requests
+            # coalesce; the queue can only grow meanwhile.
+            if self.batch_window_s > 0:
+                time.sleep(self.batch_window_s)
+            with self._cv:
+                batch = self._queue[:self.max_batch_requests]
+                del self._queue[:len(batch)]
+                get_registry().gauge("serving_queue_depth").set(
+                    len(self._queue))
+                now = time.monotonic()
+                live: List[RequestState] = []
+                for state in batch:
+                    if state.deadline_monotonic is not None \
+                            and now > state.deadline_monotonic:
+                        state.status = "expired"
+                        state.error = "deadline expired while queued"
+                        state.finished_unix = time.time()
+                        get_registry().counter(
+                            "serving_requests_expired_total").inc()
+                        self._observe_latency(state)
+                    else:
+                        state.status = "running"
+                        live.append(state)
+                self._cv.notify_all()
+            if not live:
+                continue
+            self.batches += 1
+            if len(live) > 1:
+                self.requests_coalesced += len(live)
+            get_registry().gauge("serving_batch_occupancy").set(len(live))
+            tracer = get_tracer()
+            with tracer.span(f"serving-batch x{len(live)}", track="serving",
+                             requests=str(len(live))):
+                self._execute_batch(live)
+
+    def _execute_batch(self, live: List[RequestState]) -> None:
+        """Expand, run, and fan out one batch of admitted requests."""
+        plans: Dict[str, Any] = {}
+        whatif_jobs: List[ModelEvalJob] = []
+        whatif_slices: Dict[str, slice] = {}
+        sim_jobs: List[SimJob] = []
+        sim_slices: Dict[str, slice] = {}
+        for state in live:
+            try:
+                if state.kind == "whatif":
+                    plan = self._plan_whatif(state.request)
+                    plans[state.id] = plan
+                    start = len(whatif_jobs)
+                    whatif_jobs.extend(plan["jobs"])
+                    whatif_slices[state.id] = slice(start, len(whatif_jobs))
+                else:
+                    jobs = self._plan_simulate(state.request)
+                    start = len(sim_jobs)
+                    sim_jobs.extend(jobs)
+                    sim_slices[state.id] = slice(start, len(sim_jobs))
+            except Exception as exc:  # noqa: BLE001 - reported per request
+                self._fail(state, exc)
+
+        # The coalescing moment: every request's jobs go through ONE
+        # engine call per job type, so the engine's family grouping
+        # sees them all at once.  An engine-level exception fails every
+        # request in the affected call — never leaves one hanging.
+        model_outcomes: List[Any] = []
+        sim_outcomes: List[Any] = []
+        try:
+            if whatif_jobs:
+                model_outcomes = self.engine.run_model_outcomes(whatif_jobs)
+        except Exception as exc:  # noqa: BLE001 - reported per request
+            for state in live:
+                if state.status == "running" and state.id in whatif_slices:
+                    self._fail(state, exc)
+        try:
+            if sim_jobs:
+                sim_outcomes = self.engine.run_outcomes(sim_jobs)
+        except Exception as exc:  # noqa: BLE001 - reported per request
+            for state in live:
+                if state.status == "running" and state.id in sim_slices:
+                    self._fail(state, exc)
+
+        for state in live:
+            if state.status != "running":
+                continue  # already failed during planning
+            try:
+                if state.kind == "whatif":
+                    outcomes = model_outcomes[whatif_slices[state.id]]
+                    self._finish_whatif(state, plans[state.id], outcomes)
+                else:
+                    outcomes = sim_outcomes[sim_slices[state.id]]
+                    self._finish_simulate(state, outcomes)
+            except Exception as exc:  # noqa: BLE001 - reported per request
+                self._fail(state, exc)
+
+    # ----- what-if expansion -------------------------------------------------
+
+    def _calibration(self, request: WhatIfRequest) -> CalibrationReport:
+        key = (request.model.name, request.cluster.describe(),
+               request.batch_size)
+        report = self._calibrations.get(key)
+        if report is None:
+            report = calibrate(request.model, request.cluster,
+                               batch_size=request.batch_size)
+            self._calibrations[key] = report
+        return report
+
+    def _plan_whatif(self, request: WhatIfRequest) -> Dict[str, Any]:
+        """Calibrate and expand one what-if request into priced jobs.
+
+        The entry list comes from the advisor's own feasibility screen
+        (:func:`feasible_candidates`), so the engine outcomes line up
+        one-to-one with what :func:`recommend_with` will ask its pricer
+        for — the ranked output is byte-identical to the offline
+        ``repro recommend`` path.
+        """
+        report = self._calibration(request)
+        entries = feasible_candidates(request.model, report.inputs,
+                                      gpu=request.cluster.gpu)
+        jobs = [ModelEvalJob(model=request.model, scheme=scheme,
+                             inputs=report.inputs, gpu=request.cluster.gpu)
+                for scheme in entries]
+        return {"request": request, "inputs": report.inputs,
+                "entries": entries, "jobs": jobs}
+
+    def _finish_whatif(self, state: RequestState, plan: Dict[str, Any],
+                       outcomes: List[Any]) -> None:
+        request: WhatIfRequest = plan["request"]
+        times = [outcome.unwrap().total for outcome in outcomes]
+        recommendation = recommend_with(
+            request.model, plan["inputs"], lambda _entries: times,
+            gpu=request.cluster.gpu)
+        crossovers = []
+        if request.crossovers:
+            for scheme in plan["entries"]:
+                if scheme is None or isinstance(scheme, SyncSGDScheme):
+                    continue
+                crossings = solve_crossover(
+                    request.model, scheme, plan["inputs"], 1.0, 30.0,
+                    gpu=request.cluster.gpu)
+                crossovers.append({
+                    "scheme": scheme.label,
+                    "crossings": [{"gbps": c.x, "direction": c.direction}
+                                  for c in crossings],
+                })
+        body = recommendation.to_dict()
+        body["rendered"] = recommendation.render()
+        body["crossovers"] = crossovers
+        with self._cv:
+            state.rows.extend(body["verdicts"])
+            state.result = body
+            state.status = "done"
+            state.finished_unix = time.time()
+            self._observe_latency(state)
+            self._cv.notify_all()
+
+    # ----- simulate expansion ------------------------------------------------
+
+    def _plan_simulate(self, request: SimulateRequest) -> List[SimJob]:
+        return [SimJob(model=request.model, cluster=request.cluster,
+                       scheme=request.scheme, batch_size=request.batch_size,
+                       iterations=request.iterations, seed=seed)
+                for seed in request.seeds]
+
+    def _finish_simulate(self, state: RequestState,
+                         outcomes: List[Any]) -> None:
+        request: SimulateRequest = state.request
+        rows = []
+        for seed, outcome in zip(request.seeds, outcomes):
+            row: Dict[str, Any] = {"seed": seed, "cached": outcome.cached}
+            if outcome.ok:
+                row["mean_s"] = outcome.result.mean
+                row["std_s"] = outcome.result.std
+                row["iterations"] = len(outcome.result.sync_times)
+            elif outcome.oom is not None:
+                row["error"] = str(outcome.oom)
+            else:
+                row["error"] = outcome.error or "engine failure"
+            rows.append(row)
+        scheme_label = request.scheme.label if request.scheme else "syncsgd"
+        result = {
+            "model": request.model.name,
+            "scheme": scheme_label,
+            "cluster": request.cluster.describe(),
+            "rows": rows,
+        }
+        with self._cv:
+            state.rows.extend(rows)
+            state.result = result
+            state.status = "done" if all("error" not in r for r in rows) \
+                else "failed"
+            if state.status == "failed":
+                state.error = "; ".join(
+                    f"seed {r['seed']}: {r['error']}"
+                    for r in rows if "error" in r)
+            state.finished_unix = time.time()
+            self._observe_latency(state)
+            self._cv.notify_all()
+
+    # ----- bookkeeping -------------------------------------------------------
+
+    def _fail(self, state: RequestState, exc: Exception) -> None:
+        self._log.warning("serving.request_failed", request=state.id,
+                          kind=state.kind,
+                          reason=f"{type(exc).__name__}: {exc}")
+        with self._cv:
+            state.status = "failed"
+            state.error = f"{type(exc).__name__}: {exc}"
+            state.finished_unix = time.time()
+            self._observe_latency(state)
+            self._cv.notify_all()
+
+    def _observe_latency(self, state: RequestState) -> None:
+        if state.finished_unix is not None:
+            get_registry().histogram(
+                "serving_request_latency_s", kind=state.kind).observe(
+                max(0.0, state.finished_unix - state.submitted_unix))
+
+    def stats(self) -> Dict[str, Any]:
+        """Point-in-time scheduler counters for ``/healthz``."""
+        with self._cv:
+            queued = len(self._queue)
+            total = len(self._states)
+        return {
+            "uptime_s": time.time() - self.started_unix,
+            "queued": queued,
+            "requests_seen": total,
+            "batches": self.batches,
+            "requests_coalesced": self.requests_coalesced,
+            "engine": self.engine.stats().to_dict(),
+        }

@@ -1,0 +1,207 @@
+"""HTTP-layer serving tests: routing, errors, metrics, and the
+end-to-end ``repro serve`` smoke with byte parity vs ``repro
+recommend``."""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import ExperimentEngine
+from repro.serving import ServingScheduler, make_server
+from repro.telemetry import metrics as telemetry_metrics
+from repro.telemetry.metrics import validate_prometheus_text
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+@pytest.fixture
+def server():
+    """An in-process server on an ephemeral port; yields its base URL."""
+    telemetry_metrics.enable()
+    scheduler = ServingScheduler(engine=ExperimentEngine(),
+                                 batch_window_s=0.01,
+                                 quota_rps=1000.0, quota_burst=1000.0)
+    http_server = make_server(scheduler, port=0)
+    host, port = http_server.server_address[:2]
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        http_server.shutdown()
+        http_server.server_close()
+        scheduler.close()
+        telemetry_metrics.disable()
+
+
+def post(base, path, body, headers=None, timeout=60):
+    data = json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=data,
+        headers={"Content-Type": "application/json", **(headers or {})})
+    with urllib.request.urlopen(request, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def get(base, path, timeout=30):
+    with urllib.request.urlopen(base + path, timeout=timeout) as resp:
+        return resp.status, resp.read()
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, raw = get(server, "/healthz")
+        body = json.loads(raw)
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["uptime_s"] >= 0
+        assert "engine" in body
+
+    def test_metrics_is_valid_prometheus(self, server):
+        post(server, "/v1/simulate",
+             {"model": "resnet50", "gpus": 8, "iterations": 20,
+              "wait": True})
+        status, raw = get(server, "/metrics")
+        assert status == 200
+        text = raw.decode("utf-8")
+        assert validate_prometheus_text(text) == []
+        assert "serving_requests_total" in text
+
+    def test_unknown_route_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/v1/nope")
+        assert excinfo.value.code == 404
+        assert json.loads(excinfo.value.read())["error"]["code"] == \
+            "not_found"
+
+    def test_unknown_job_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(server, "/v1/jobs/deadbeef")
+        assert excinfo.value.code == 404
+
+    def test_bad_json_400(self, server):
+        request = urllib.request.Request(
+            server + "/v1/whatif", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_bad_field_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server, "/v1/whatif", {"model": "resnet9000"})
+        assert excinfo.value.code == 400
+        error = json.loads(excinfo.value.read())["error"]
+        assert error["code"] == "bad_request"
+        assert "resnet9000" in error["message"]
+
+    def test_oversized_body_413(self, server):
+        request = urllib.request.Request(
+            server + "/v1/whatif", data=b" " * ((1 << 20) + 1),
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 413
+
+
+class TestWorkflows:
+    def test_whatif_sync_roundtrip(self, server):
+        status, body = post(server, "/v1/whatif",
+                            {"model": "resnet50", "gpus": 8,
+                             "crossovers": False})
+        assert status == 200
+        assert body["status"] == "done"
+        assert body["result"]["rendered"].startswith(
+            "recommendation for resnet50 at 8 GPUs")
+        assert body["result"]["best"]
+        assert body["rows"]
+
+    def test_simulate_async_then_poll(self, server):
+        status, body = post(server, "/v1/simulate",
+                            {"model": "resnet50", "gpus": 8,
+                             "iterations": 20, "seeds": [0, 1]})
+        assert status == 202
+        job_id = body["id"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            _, raw = get(server, f"/v1/jobs/{job_id}?wait_s=5")
+            state = json.loads(raw)
+            if state["status"] in ("done", "failed", "expired"):
+                break
+        assert state["status"] == "done"
+        assert [row["seed"] for row in state["rows"]] == [0, 1]
+        assert all(row["mean_s"] > 0 for row in state["rows"])
+
+    def test_over_quota_gets_429_with_retry_after(self):
+        telemetry_metrics.enable()
+        scheduler = ServingScheduler(engine=ExperimentEngine(),
+                                     batch_window_s=0.5,
+                                     quota_rps=0.001, quota_burst=1.0)
+        http_server = make_server(scheduler, port=0)
+        host, port = http_server.server_address[:2]
+        thread = threading.Thread(target=http_server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        base = f"http://{host}:{port}"
+        try:
+            post(base, "/v1/simulate",
+                 {"model": "resnet50", "gpus": 8, "iterations": 20})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(base, "/v1/simulate",
+                     {"model": "resnet50", "gpus": 8, "iterations": 20,
+                      "seed": 1})
+            assert excinfo.value.code == 429
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+            error = json.loads(excinfo.value.read())["error"]
+            assert error["code"] == "quota"
+            assert error["retry_after_s"] > 0
+            # another tenant is unaffected
+            status, _ = post(base, "/v1/simulate",
+                             {"model": "resnet50", "gpus": 8,
+                              "iterations": 20, "seed": 2},
+                             headers={"X-Tenant": "other"})
+            assert status == 202
+        finally:
+            http_server.shutdown()
+            http_server.server_close()
+            scheduler.close()
+            telemetry_metrics.disable()
+
+
+class TestServeCommandEndToEnd:
+    def test_whatif_matches_repro_recommend_byte_for_byte(self, tmp_path):
+        """The acceptance criterion: `repro serve` returns the same
+        ranked recommendation bytes as the offline CLI."""
+        env = {**os.environ, "PYTHONPATH": SRC}
+        offline = subprocess.run(
+            [sys.executable, "-m", "repro", "recommend",
+             "--model", "resnet50", "--gpus", "8"],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert offline.returncode == 0, offline.stderr
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--cache", str(tmp_path / "cache")],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env)
+        try:
+            line = proc.stdout.readline()
+            assert "listening on" in line, line
+            base = line.strip().rsplit(" ", 1)[-1]
+            _, body = post(base, "/v1/whatif",
+                           {"model": "resnet50", "gpus": 8}, timeout=120)
+            assert body["status"] == "done"
+            assert body["result"]["rendered"] + "\n" == offline.stdout
+            # crossover bandwidths ride along with the ranking
+            assert any(c["crossings"]
+                       for c in body["result"]["crossovers"])
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

@@ -45,6 +45,16 @@ invocation.  ``--check`` (including the smoke subset) fails when the
 traced/plain wall ratio exceeds a hard 1.5x ceiling — tracing must
 stay a light overlay, never a reason to dodge the batch path.
 
+A **serving section** measures the persistent scheduler the way a
+deployment sees it: a 200-request simulate burst through an in-process
+:class:`repro.serving.ServingScheduler` (admission, batching window,
+engine coalescing, result fan-out — everything but the HTTP socket),
+once against a cold on-disk cache and once warm.  Recorded per run:
+requests/s, p50/p99 latency, and mean batch occupancy.  ``--check``
+(including the smoke subset) gates on the warm/cold throughput ratio —
+a warm replay must stay at least ``SERVING_MIN_WARM_SPEEDUP``x faster,
+or the cache stopped carrying the serving path.
+
 Every baseline rewrite appends a timestamped entry to the ``history``
 list (exhibit + what-if rows and the host that measured them), so the
 file accumulates the perf trajectory instead of forgetting it; the
@@ -63,6 +73,7 @@ import io
 import json
 import os
 import platform
+import shutil
 import sys
 import tempfile
 import time
@@ -83,7 +94,13 @@ from repro.core.grid import (  # noqa: E402
     syncsgd_time_grid,
 )
 from repro.core.perf_model import compressed_time, syncsgd_time  # noqa: E402
-from repro.engine import ExperimentEngine, JobOutcome, SimJob  # noqa: E402
+from repro.engine import (  # noqa: E402
+    ExperimentEngine,
+    JobOutcome,
+    SimJob,
+    SimulationCache,
+)
+from repro.serving import ServingScheduler, parse_request  # noqa: E402
 from repro.experiments import EXPERIMENTS, EXTRA_EXPERIMENTS  # noqa: E402
 from repro.cli import main as repro_main  # noqa: E402
 from repro.hardware.gpus import V100  # noqa: E402
@@ -121,6 +138,16 @@ FAULTED_MIN_SPEEDUP = 1.5
 #: reconstruction and Perfetto export together must stay a cheap
 #: overlay on top of the fast-path sweep.
 TRACED_MAX_OVERHEAD = 1.5
+
+#: Size of the serving section's request burst.
+SERVING_REQUESTS = 200
+
+#: Hard floor on the serving section's warm/cold throughput ratio: a
+#: replayed burst is answered entirely from the simulation cache, so it
+#: must stay at least this much faster than the cold burst that
+#: populated it.  Machine-independent (both bursts run on the same
+#: host back to back).
+SERVING_MIN_WARM_SPEEDUP = 2.0
 
 #: The exhibit the traced section sweeps: the largest auto-mode
 #: workload in the default set, so the fixed trace-export epilogue is
@@ -327,9 +354,97 @@ def measure_traced() -> Dict[str, dict]:
     return {"experiment_trace_run": row}
 
 
+def measure_serving(requests: int = SERVING_REQUESTS) -> Dict[str, dict]:
+    """Drive a simulate burst through the serving scheduler, twice.
+
+    The burst cycles four scheme variants over ``requests`` seeds, so
+    the scheduler's batch window has plenty of compatible work to
+    coalesce (four ``family_key`` groups).  The first burst runs
+    against an empty on-disk cache (every job simulates); the second
+    replays the identical burst warm (every job is a cache hit).  The
+    in-process scheduler is used directly — admission, batching and
+    fan-out without socket noise — so the warm/cold ratio isolates
+    what the cache buys the serving path.
+    """
+    bodies = []
+    schemes = [None, "powersgd:rank=4", "powersgd:rank=8", "signsgd"]
+    for i in range(requests):
+        # 300 iterations keeps each cold simulation meaningfully more
+        # expensive than the fixed per-request scheduler overhead, so
+        # the warm/cold ratio measures the cache, not queue plumbing.
+        body = {"model": "resnet50", "gpus": 8, "iterations": 300,
+                "seed": i // len(schemes)}
+        spec = schemes[i % len(schemes)]
+        if spec is not None:
+            body["scheme"] = spec
+        bodies.append(body)
+    cache_dir = tempfile.mkdtemp(prefix="bench-serving-")
+
+    def burst() -> dict:
+        engine = ExperimentEngine(jobs=1, cache=SimulationCache(cache_dir),
+                                  sim_mode="auto")
+        scheduler = ServingScheduler(engine=engine,
+                                     queue_depth=requests + 8,
+                                     batch_window_s=0.005,
+                                     max_batch_requests=64,
+                                     default_timeout_s=120.0)
+        try:
+            started = time.perf_counter()
+            ids = [scheduler.submit(parse_request("simulate", body)).id
+                   for body in bodies]
+            states = [scheduler.wait(i, timeout_s=120.0) for i in ids]
+            wall = time.perf_counter() - started
+        finally:
+            scheduler.close()
+        bad = [s for s in states if s.status != "done"]
+        if bad:
+            raise RuntimeError(
+                f"{len(bad)} serving request(s) did not finish "
+                f"(first: {bad[0].status}: {bad[0].error})")
+        latencies = sorted(s.finished_unix - s.submitted_unix
+                           for s in states)
+
+        def pct(p: float) -> float:
+            return latencies[int(round(p * (len(latencies) - 1)))]
+
+        batches = scheduler.batches
+        return {
+            "requests": len(states),
+            "wall_s": round(wall, 4),
+            "requests_per_s": round(len(states) / wall, 1),
+            "p50_latency_s": round(pct(0.50), 4),
+            "p99_latency_s": round(pct(0.99), 4),
+            "batches": batches,
+            "mean_batch_occupancy": (round(len(states) / batches, 2)
+                                     if batches else 0.0),
+        }
+
+    try:
+        cold = burst()
+        warm = burst()
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    speedup = (cold["wall_s"] / warm["wall_s"]
+               if warm["wall_s"] > 0 else float("inf"))
+    row = {
+        "burst": requests,
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup": round(speedup, 2),
+    }
+    print(f"  [simulate_burst] cold {cold['wall_s']:.3f} s "
+          f"({cold['requests_per_s']:.0f} req/s, "
+          f"occupancy {cold['mean_batch_occupancy']:.1f}), "
+          f"warm {warm['wall_s']:.3f} s "
+          f"({warm['requests_per_s']:.0f} req/s) — "
+          f"{row['warm_speedup']:.1f}x warm speedup")
+    return {"simulate_burst": row}
+
+
 def build_report(rows: Dict[str, dict], whatif_rows: Dict[str, dict],
                  faulted_rows: Dict[str, dict],
                  traced_rows: Dict[str, dict],
+                 serving_rows: Dict[str, dict],
                  previous: Optional[dict] = None) -> dict:
     """Wrap measured rows in the BENCH_simulator.json schema.
 
@@ -357,9 +472,10 @@ def build_report(rows: Dict[str, dict], whatif_rows: Dict[str, dict],
         "whatif": whatif_rows,
         "faulted": faulted_rows,
         "traced": traced_rows,
+        "serving": serving_rows,
     })
     return {
-        "schema": 4,
+        "schema": 5,
         "generated_by": "tools/bench_simulator.py",
         "protocol": {
             "modes": MODES,
@@ -374,6 +490,7 @@ def build_report(rows: Dict[str, dict], whatif_rows: Dict[str, dict],
         "whatif": whatif_rows,
         "faulted": faulted_rows,
         "traced": traced_rows,
+        "serving": serving_rows,
         "history": history,
     }
 
@@ -442,6 +559,24 @@ def check(baseline_path: str, exhibits: List[str],
         if cur_ratio > limit:
             failed.append(f"faulted:{name}")
 
+    base_serving = baseline.get("serving", {})
+    print(f"re-measuring serving section (floor "
+          f"{SERVING_MIN_WARM_SPEEDUP:g}x warm-vs-cold burst)")
+    for name, row in measure_serving().items():
+        cur_ratio = (row["warm"]["wall_s"] / row["cold"]["wall_s"]
+                     if row["cold"]["wall_s"] > 0 else 1.0)
+        limits = [1.0 / SERVING_MIN_WARM_SPEEDUP]
+        base = base_serving.get(name)
+        if base is not None and base["cold"]["wall_s"] > 0:
+            limits.append(tolerance * base["warm"]["wall_s"]
+                          / base["cold"]["wall_s"])
+        limit = min(limits)
+        verdict = "ok" if cur_ratio <= limit else "REGRESSED"
+        print(f"  [{name}] warm/cold ratio {cur_ratio:.4f} "
+              f"(limit {limit:.4f}) {verdict}")
+        if cur_ratio > limit:
+            failed.append(f"serving:{name}")
+
     print(f"re-measuring traced section (ceiling "
           f"{TRACED_MAX_OVERHEAD:g}x traced-vs-plain)")
     for name, row in measure_traced().items():
@@ -505,8 +640,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     print("measuring the faulted section (reliability exhibit, both modes)")
     faulted_rows = measure_faulted()
     print("measuring the traced section (batch run +/- trace export)")
+    traced_rows = measure_traced()
+    print("measuring the serving section (scheduler burst, cold vs warm)")
+    serving_rows = measure_serving()
     report = build_report(rows, whatif_rows, faulted_rows,
-                          measure_traced(), previous)
+                          traced_rows, serving_rows, previous)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Docstring-coverage gate for the public fault and engine APIs.
+"""Docstring-coverage gate for the public fault, engine and serving APIs.
 
 ``make lint`` runs this after ruff.  It walks the AST of every module
 under the audited packages and fails (exit 1, one line per offender)
@@ -25,6 +25,7 @@ from typing import Iterator, List, Tuple
 DEFAULT_TARGETS = (
     os.path.join("src", "repro", "faults"),
     os.path.join("src", "repro", "engine"),
+    os.path.join("src", "repro", "serving"),
 )
 
 
