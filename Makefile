@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke trace-smoke serve-smoke examples
+.PHONY: test lint bench bench-smoke trace-smoke serve-smoke cache-smoke examples
 
 ## tier-1: the fast unit/behaviour suite (benchmarks/ excluded)
 test:
@@ -48,6 +48,15 @@ trace-smoke:
 ## tenant, and a /metrics page that passes the Prometheus validator
 serve-smoke:
 	$(PYTHON) tools/check_serving.py
+
+## the tiered-cache roundtrip on a real cache directory: a cold sweep
+## populates packs, the same entries replayed from a legacy-era layout
+## (all hits, same digest), `repro cache compact` + `verify`, a
+## re-serve from the packed layout (same digest again), and a
+## `repro serve --cache-preload` boot whose /healthz shows the hot
+## tier warm before any request
+cache-smoke:
+	$(PYTHON) tools/check_cache.py
 
 ## run every example headlessly in smoke mode (trimmed protocols, <60 s
 ## total); CI runs this on every push

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands mirror the library's main workflows:
+Seven subcommands mirror the library's main workflows:
 
 * ``experiment`` — regenerate a paper exhibit (table1..fig13, or
   ``all``); with ``--cache`` a ``manifest.json`` provenance record is
@@ -21,7 +21,12 @@ Six subcommands mirror the library's main workflows:
 * ``serve`` — run the persistent HTTP service (``POST /v1/whatif``,
   ``POST /v1/simulate``, ``GET /v1/jobs/<id>``, ``GET /metrics``,
   ``GET /healthz``; see docs/serving.md) on a continuous-batching
-  scheduler that shares one engine and cache across requests.
+  scheduler that shares one engine and cache across requests;
+  ``--cache-mem-mb`` adds an in-process hot tier in front of the disk
+  cache and ``--cache-preload`` warm-starts from the pack index;
+* ``cache`` — offline maintenance for a cache directory: ``stats``
+  (tier sizes), ``compact`` (pack legacy per-key files into append-only
+  segments), ``verify`` (detect corruption; exit 1 if any).
 
 Everything prints plain text; use ``--markdown`` on ``experiment`` for
 paste-ready tables.  Global flags: ``--version``, ``--log-level``/
@@ -108,7 +113,8 @@ def _accepts_engine(runner) -> bool:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    cache = SimulationCache(args.cache) if args.cache else None
+    cache = (SimulationCache(args.cache, memory_mb=args.cache_mem_mb)
+             if args.cache else None)
     engine = ExperimentEngine(jobs=args.jobs, cache=cache,
                               sim_mode=args.sim_mode,
                               chunking=not args.no_chunking)
@@ -178,13 +184,16 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             command=f"experiment {args.id}",
             config={"command": "experiment", "id": args.id,
                     "jobs": args.jobs, "cache": args.cache,
+                    "cache_mem_mb": args.cache_mem_mb,
                     "markdown": bool(args.markdown),
                     "sim_mode": args.sim_mode,
                     "chunking": not args.no_chunking},
             wall_time_s=time.perf_counter() - run_started,
             metrics=snapshot,
             results={"exhibits": exhibits,
-                     "engine": engine.stats().to_dict()},
+                     "engine": engine.stats().to_dict(),
+                     **({"cache": cache.info()}
+                        if cache is not None else {})},
             trace=trace_info,
         )
         write_manifest(manifest_path, manifest)
@@ -340,7 +349,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Run the persistent what-if/simulation service until interrupted."""
     from .serving import ServingScheduler, make_server
 
-    cache = SimulationCache(args.cache) if args.cache else None
+    cache = (SimulationCache(args.cache, memory_mb=args.cache_mem_mb)
+             if args.cache else None)
+    if cache is not None and args.cache_preload:
+        loaded = cache.preload(memory=args.cache_mem_mb > 0)
+        print(f"cache preload: {loaded['entries']} pack entries indexed, "
+              f"{loaded['memory_entries']} loaded into memory "
+              f"({loaded['skipped']} skipped)", flush=True)
     engine = ExperimentEngine(jobs=args.jobs, cache=cache)
     scheduler = ServingScheduler(
         engine=engine,
@@ -364,6 +379,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         scheduler.close()
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Offline cache maintenance: ``stats``, ``compact``, ``verify``."""
+    if not os.path.isdir(args.cache):
+        raise ReproError(f"cache directory {args.cache!r} does not exist")
+    cache = SimulationCache(args.cache)
+    try:
+        if args.action == "stats":
+            info = cache.info()
+            print(f"cache {args.cache}")
+            print(f"  legacy: {info['legacy']['entries']} entries, "
+                  f"{info['legacy']['bytes']} bytes")
+            print(f"  pack:   {info['pack']['entries']} entries in "
+                  f"{info['pack']['segments']} segment(s), "
+                  f"{info['pack']['bytes']} bytes, "
+                  f"{info['pack']['truncated']} truncated")
+            print(f"  total:  {len(cache)} distinct keys")
+        elif args.action == "compact":
+            report = cache.compact()
+            print(f"compacted {report['packed']} legacy entries into "
+                  f"{report['segments']} segment(s); "
+                  f"{report['corrupt']} corrupt left in place")
+        elif args.action == "verify":
+            report = cache.verify()
+            print(f"verify {args.cache}")
+            print(f"  legacy: {report['legacy_ok']} ok, "
+                  f"{report['legacy_corrupt']} corrupt")
+            print(f"  pack:   {report['pack_ok']} ok, "
+                  f"{report['pack_corrupt']} corrupt, "
+                  f"{report['pack_truncated']} truncated")
+            if report["corrupt"]:
+                print(f"  FAILED: {report['corrupt']} corrupt entries")
+                return 1
+            print(f"  OK: {report['entries']} entries healthy")
+    finally:
+        cache.close()
     return 0
 
 
@@ -396,6 +449,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--cache", default=None, metavar="DIR",
                        help="directory for the content-addressed "
                             "simulation result cache (default: off)")
+    p_exp.add_argument("--cache-mem-mb", type=float, default=0.0,
+                       metavar="MB",
+                       help="in-process hot tier for the cache: keep up "
+                            "to MB megabytes of recently-touched "
+                            "entries in memory in front of the disk "
+                            "tiers (default: 0, disabled; hits are "
+                            "byte-identical either way)")
     p_exp.add_argument("--manifest", default=None, metavar="PATH",
                        help="write a run manifest here (default: "
                             "<cache>/manifest.json when --cache is set)")
@@ -498,6 +558,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--cache", default=None, metavar="DIR",
                        help="content-addressed result cache shared by "
                             "all requests (default: off)")
+    p_srv.add_argument("--cache-mem-mb", type=float, default=0.0,
+                       metavar="MB",
+                       help="in-process hot tier for the cache: keep up "
+                            "to MB megabytes of recently-touched "
+                            "entries in memory in front of the disk "
+                            "tiers (default: 0, disabled)")
+    p_srv.add_argument("--cache-preload", action="store_true",
+                       help="warm start: load the cache's pack index "
+                            "(and, with --cache-mem-mb, the hot tier) "
+                            "before accepting requests")
     p_srv.add_argument("--queue-depth", type=int, default=64, metavar="N",
                        help="admission queue capacity; beyond it "
                             "submissions are rejected 503 (default: 64)")
@@ -526,6 +596,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "that wait it out in the queue expire "
                             "unexecuted (default: 300)")
     p_srv.set_defaults(fn=cmd_serve)
+
+    p_cache = sub.add_parser("cache",
+                             help="inspect and maintain a simulation "
+                                  "result cache directory")
+    p_cache.add_argument("action", choices=("stats", "compact", "verify"),
+                         help="stats: tier sizes and counters; compact: "
+                              "pack legacy per-key files into append-"
+                              "only segments; verify: re-read every "
+                              "entry and report corruption (exit 1 if "
+                              "any)")
+    p_cache.add_argument("--cache", required=True, metavar="DIR",
+                         help="cache directory to operate on")
+    p_cache.set_defaults(fn=cmd_cache)
 
     return parser
 

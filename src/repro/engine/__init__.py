@@ -10,6 +10,8 @@ through the grid kernel.
 
 from .cache import CacheStats, SimulationCache
 from .engine import EngineStats, ExperimentEngine, JobOutcome, SimJob
+from .memcache import MemoryCache
+from .pack import PackLocation, PackStore
 from .fingerprint import (
     FINGERPRINT_VERSION,
     cluster_fingerprint,
@@ -24,6 +26,7 @@ from .modeljobs import ModelEvalJob, ModelEvalOutcome, evaluate_family
 
 __all__ = [
     "CacheStats", "SimulationCache",
+    "MemoryCache", "PackLocation", "PackStore",
     "EngineStats", "ExperimentEngine", "JobOutcome", "SimJob",
     "ModelEvalJob", "ModelEvalOutcome", "evaluate_family",
     "FINGERPRINT_VERSION", "digest",

@@ -1,25 +1,53 @@
-"""Content-addressed on-disk cache of simulation results.
+"""Content-addressed, tiered cache of simulation results.
 
-One JSON file per cache key under the cache directory.  An entry stores
-either a full :class:`~repro.simulator.TimingResult` or the
-:class:`~repro.errors.OutOfMemoryError` the simulation deterministically
-raises — OOM is as reproducible as a timing, and re-simulating 110
-iterations just to re-discover it would defeat the cache.
+Three tiers answer a lookup, cheapest first:
 
-The cache never trusts its files blindly: a payload that fails to parse
-or misses required fields counts as a miss, and the offending file is
-*quarantined* — moved aside into ``<directory>/quarantine/`` rather
-than silently overwritten — so a truncated write (killed process)
-cannot poison later sweeps and the evidence survives for debugging.
+* **hot** — a sharded in-process LRU of payloads
+  (:class:`~repro.engine.memcache.MemoryCache`), enabled by a byte
+  budget (``--cache-mem-mb``).  Write-through: every disk hit and every
+  store lands here, so repeat traffic in a long-lived process (the
+  serving scheduler) never touches the filesystem again.
+* **pack** — append-only ``pack-*.jsonl`` segments plus an offset
+  index (:class:`~repro.engine.pack.PackStore`).  Batched stores go
+  here: one segment append and one fsync per engine batch instead of
+  one file per key.
+* **legacy** — the original one-JSON-file-per-key layout.  Still
+  written by single-key :meth:`SimulationCache.put`, still read (and
+  compactable into packs via ``repro cache compact``) so existing
+  cache directories keep serving without re-simulation.
+
+Every tier stores the same JSON payload and every hit rehydrates
+through the same converters, so a hot hit, a pack hit, and a legacy
+hit return byte-identical outcomes.  An entry stores either a full
+:class:`~repro.simulator.TimingResult`, the
+:class:`~repro.errors.OutOfMemoryError` the simulation
+deterministically raises, or a closed-form
+:class:`~repro.core.perf_model.PredictedTime`.
+
+The cache never trusts its files blindly: a *legacy* payload that
+fails to parse counts as a miss and the file is *quarantined* — moved
+aside into ``<directory>/quarantine/`` — so a truncated write cannot
+poison later sweeps.  A torn *pack* record is cheaper to handle: the
+index entry is dropped (the segments are append-only, so there is
+nothing to move) and the key reads as a miss; ``repro cache verify``
+reports the damage without any quarantine churn.
+
+Batched I/O (:meth:`SimulationCache.lookup_many` /
+:meth:`SimulationCache.store_many`) serves a whole engine batch in one
+pass under one lock acquisition — the engine and the serving
+scheduler's drain loop call these instead of looping single-key
+round-trips.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
-from dataclasses import dataclass, field
-from typing import Optional, Union
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.perf_model import PredictedTime
 from ..errors import ConfigurationError, OutOfMemoryError
@@ -27,20 +55,37 @@ from ..simulator import TimingResult
 from ..telemetry.logs import get_logger
 from ..telemetry.metrics import get_registry
 from ..telemetry.tracing import get_tracer
+from .memcache import MemoryCache, payload_nbytes
+from .pack import PackStore
 
 #: What a cache lookup can yield: a simulated result, the deterministic
 #: OOM, or a closed-form model prediction (``ModelEvalJob`` entries).
 CachedOutcome = Union[TimingResult, OutOfMemoryError, PredictedTime]
 
+#: Legacy per-key entries are ``<sha256-hex>.json`` — the pattern keeps
+#: sidecar files (``manifest.json``) out of entry counts and compaction.
+LEGACY_ENTRY_PATTERN = re.compile(r"^[0-9a-f]{64}\.json$")
+
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, exposed on the CLI after every sweep."""
+    """Hit/miss counters, exposed on the CLI after every sweep.
+
+    ``hits`` stays the all-tier total (existing output is unchanged);
+    ``memory_hits`` / ``pack_hits`` attribute hits to the hot tier and
+    the packed cold tier, so legacy-file hits are
+    ``hits - memory_hits - pack_hits``.  Both default to zero and stay
+    zero when the hot tier is disabled and no packs exist, so
+    :meth:`describe` renders exactly what it always did in that case.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     quarantined: int = 0
+    memory_hits: int = 0
+    pack_hits: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -49,27 +94,42 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from disk (0.0 when never used)."""
+        """Fraction of lookups served from cache (0.0 when never used)."""
         return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def disk_hits(self) -> int:
+        """Hits served by the legacy one-file-per-key tier."""
+        return self.hits - self.memory_hits - self.pack_hits
 
     def snapshot(self) -> "CacheStats":
         """An independent copy of the current counter values."""
         return CacheStats(hits=self.hits, misses=self.misses,
                           stores=self.stores,
-                          quarantined=self.quarantined)
+                          quarantined=self.quarantined,
+                          memory_hits=self.memory_hits,
+                          pack_hits=self.pack_hits,
+                          evictions=self.evictions)
 
     def since(self, earlier: "CacheStats") -> "CacheStats":
         """Counter deltas relative to an earlier :meth:`snapshot`."""
         return CacheStats(hits=self.hits - earlier.hits,
                           misses=self.misses - earlier.misses,
                           stores=self.stores - earlier.stores,
-                          quarantined=self.quarantined - earlier.quarantined)
+                          quarantined=self.quarantined - earlier.quarantined,
+                          memory_hits=self.memory_hits - earlier.memory_hits,
+                          pack_hits=self.pack_hits - earlier.pack_hits,
+                          evictions=self.evictions - earlier.evictions)
 
     def describe(self) -> str:
-        """One-line human rendering; mentions quarantines only when
-        any happened, so healthy output is unchanged."""
+        """One-line human rendering; mentions tiers only when a
+        non-legacy tier served anything and quarantines only when any
+        happened, so historical output is unchanged."""
         text = (f"{self.hits} hits / {self.misses} misses "
                 f"({self.hit_rate:.0%} hit rate)")
+        if self.memory_hits or self.pack_hits:
+            text += (f" [{self.memory_hits} mem / {self.pack_hits} pack / "
+                     f"{self.disk_hits} disk]")
         if self.quarantined:
             text += f", {self.quarantined} quarantined"
         return text
@@ -144,62 +204,239 @@ def payload_to_predicted(payload: dict) -> PredictedTime:
     )
 
 
-class SimulationCache:
-    """Maps fingerprint keys to simulation outcomes, one file per key."""
+def outcome_to_payload(outcome: CachedOutcome) -> dict:
+    """The JSON payload for any cacheable outcome kind."""
+    if isinstance(outcome, TimingResult):
+        return result_to_payload(outcome)
+    if isinstance(outcome, PredictedTime):
+        return predicted_to_payload(outcome)
+    return oom_to_payload(outcome)
 
-    def __init__(self, directory: str):
-        """Open (creating if needed) the cache at ``directory``."""
+
+def payload_to_outcome(payload: dict) -> CachedOutcome:
+    """Rehydrate any tier's payload; raises ``KeyError`` on an unknown
+    kind or missing fields — every tier shares this one converter, which
+    is what makes hot, pack and legacy hits byte-identical."""
+    kind = payload.get("kind")
+    if kind == "result":
+        return payload_to_result(payload)
+    if kind == "oom":
+        return payload_to_oom(payload)
+    if kind == "predicted":
+        return payload_to_predicted(payload)
+    raise KeyError(kind)
+
+
+class SimulationCache:
+    """Maps fingerprint keys to simulation outcomes across three tiers.
+
+    Attributes:
+        directory: The cache directory (legacy files, pack segments,
+            the pack index and the quarantine subdirectory all live
+            here).
+        memory: The hot tier, or ``None`` when no byte budget was
+            given — in which case every path behaves exactly as the
+            disk-only cache always did.
+        packs: The packed cold tier (always constructed; empty for a
+            purely legacy directory).
+
+    Thread-safe: disk-tier access is serialized by one internal lock,
+    acquired **once** per batched call; the hot tier has its own
+    per-shard locks.
+    """
+
+    def __init__(self, directory: str, memory_mb: float = 0.0,
+                 shards: int = 8):
+        """Open (creating if needed) the cache at ``directory``.
+
+        ``memory_mb`` > 0 enables the write-through hot tier with that
+        byte budget, sharded ``shards`` ways.
+        """
         if not directory:
             raise ConfigurationError("cache directory must be non-empty")
+        if memory_mb < 0:
+            raise ConfigurationError(
+                f"memory_mb must be >= 0, got {memory_mb}")
         self.directory = directory
         try:
             os.makedirs(directory, exist_ok=True)
         except OSError as exc:
             raise ConfigurationError(
                 f"cannot use {directory!r} as a cache directory: {exc}")
+        self.memory: Optional[MemoryCache] = None
+        if memory_mb > 0:
+            self.memory = MemoryCache(
+                max_bytes=int(memory_mb * 1024 * 1024), shards=shards)
+        self.packs = PackStore(directory)
         self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._evictions_seen = 0
 
     def path_for(self, key: str) -> str:
-        """Filesystem path of ``key``'s entry (whether or not it exists)."""
+        """Filesystem path of ``key``'s legacy entry (whether or not it
+        exists)."""
         return os.path.join(self.directory, f"{key}.json")
+
+    # ----- lookups -----------------------------------------------------------
 
     def get(self, key: str) -> Optional[CachedOutcome]:
         """Look up ``key``; counts a hit or a miss on the stats.
 
-        An absent entry is a plain miss.  A *present but unreadable*
-        entry (truncated JSON, unknown kind, missing fields) is also a
-        miss, but the file is moved into the ``quarantine/``
-        subdirectory first so the corrupt bytes are preserved for
-        inspection instead of being silently overwritten by the
-        re-simulated result.
+        Tier order: hot (when enabled), pack index, legacy file.  An
+        absent entry is a plain miss.  A *present but unreadable*
+        legacy entry is also a miss, but the file is moved into the
+        ``quarantine/`` subdirectory first; an unreadable pack record
+        is dropped from the index instead (append-only segments have
+        nothing to move aside).
         """
+        if self.memory is not None:
+            payload = self.memory.get(key)
+            if payload is not None:
+                return self._count_hit(key, payload, "memory",
+                                       write_through=False)
+        with self._lock:
+            payload, tier = self._disk_lookup_locked(key)
+        if payload is None:
+            self._count_miss()
+            return None
+        return self._count_hit(key, payload, tier)
+
+    def lookup_many(self, keys: Sequence[str],
+                    ) -> Dict[str, CachedOutcome]:
+        """Resolve a whole batch of keys in one pass per tier.
+
+        The hot tier is consulted with one lock acquisition per shard,
+        the disk tiers with ONE acquisition of the cache lock for the
+        entire batch — this is what the engine and the serving
+        scheduler's drain loop call, so a 200-job batch costs one cache
+        pass, not 200.  Returns ``{key: outcome}`` for the hits; every
+        *occurrence* in ``keys`` counts toward hit/miss stats exactly
+        as per-key :meth:`get` calls would have.
+        """
+        unique = list(dict.fromkeys(keys))
+        mem_payloads: Dict[str, dict] = {}
+        if self.memory is not None and unique:
+            mem_payloads = self.memory.get_many(unique)
+        outcomes: Dict[str, CachedOutcome] = {}
+        tiers: Dict[str, str] = {}
+        for key, payload in mem_payloads.items():
+            # Hot-tier payloads were validated on the way in.
+            outcomes[key] = payload_to_outcome(payload)
+            tiers[key] = "memory"
+        remaining = [k for k in unique if k not in mem_payloads]
+        writeback: List[Tuple[str, dict, Optional[int]]] = []
+        if remaining:
+            with self._lock:
+                for key in remaining:
+                    payload, tier = self._disk_lookup_locked(key)
+                    if payload is None:
+                        continue
+                    try:
+                        outcome = payload_to_outcome(payload)
+                    except (KeyError, TypeError) as exc:
+                        # Structurally bad despite a plausible "kind":
+                        # same treatment as single-key get() — legacy
+                        # bytes are quarantined, pack records just miss.
+                        if tier == "disk":
+                            self._quarantine(key, exc)
+                        continue
+                    outcomes[key] = outcome
+                    tiers[key] = tier
+                    writeback.append((key, payload, None))
+        if self.memory is not None and writeback:
+            self.memory.put_many(writeback)
+            self._note_evictions()
+        # Per-occurrence accounting, to match a loop of get() calls —
+        # but aggregated into one counter increment per tier, so the
+        # bookkeeping itself stays O(tiers), not O(keys).
+        tier_counts = {"memory": 0, "pack": 0, "disk": 0}
+        misses = 0
+        for key in keys:
+            tier = tiers.get(key)
+            if tier is None:
+                misses += 1
+            else:
+                tier_counts[tier] += 1
+        hits = len(keys) - misses
+        self.stats.misses += misses
+        self.stats.hits += hits
+        self.stats.memory_hits += tier_counts["memory"]
+        self.stats.pack_hits += tier_counts["pack"]
+        registry = get_registry()
+        if misses:
+            registry.counter("cache_misses_total").inc(misses)
+        if hits:
+            registry.counter("cache_hits_total").inc(hits)
+        for tier, count in tier_counts.items():
+            if count:
+                registry.counter("cache_tier_hits_total",
+                                 tier=tier).inc(count)
+        return outcomes
+
+    def _disk_lookup_locked(self, key: str,
+                            ) -> Tuple[Optional[dict], str]:
+        """Resolve ``key`` against the pack index, then the legacy
+        file.  Returns ``(payload, tier)``; ``(None, "")`` for a miss.
+        Caller holds the lock."""
+        if key in self.packs:
+            payload = self.packs.lookup(key)
+            if payload is not None and "kind" in payload:
+                return payload, "pack"
+            # A torn record already dropped itself from the index; fall
+            # through to the legacy file, which may still hold the key.
         try:
             with open(self.path_for(key), "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-            if payload.get("kind") == "result":
-                outcome: CachedOutcome = payload_to_result(payload)
-            elif payload.get("kind") == "oom":
-                outcome = payload_to_oom(payload)
-            elif payload.get("kind") == "predicted":
-                outcome = payload_to_predicted(payload)
-            else:
-                raise KeyError(payload.get("kind"))
+            if not isinstance(payload, dict) \
+                    or payload.get("kind") not in (
+                        "result", "oom", "predicted"):
+                raise KeyError(payload.get("kind")
+                               if isinstance(payload, dict) else None)
         except FileNotFoundError:
-            self.stats.misses += 1
-            get_registry().counter("cache_misses_total").inc()
-            return None
+            return None, ""
         except (OSError, ValueError, KeyError, TypeError) as exc:
             self._quarantine(key, exc)
-            self.stats.misses += 1
-            get_registry().counter("cache_misses_total").inc()
-            return None
+            return None, ""
+        return payload, "disk"
+
+    def _count_hit(self, key: str, payload: dict, tier: str,
+                   write_through: bool = True) -> CachedOutcome:
+        """Book one hit: stats, telemetry, hot-tier write-through."""
+        try:
+            outcome = payload_to_outcome(payload)
+        except (KeyError, TypeError) as exc:
+            # A structurally-bad payload that slipped past the tier
+            # checks (e.g. a hand-edited legacy file with the right
+            # "kind" but missing fields): treat exactly like the old
+            # single-tier code — quarantine legacy bytes, count a miss.
+            if tier == "disk":
+                with self._lock:
+                    self._quarantine(key, exc)
+            self._count_miss()
+            return None  # type: ignore[return-value]
         self.stats.hits += 1
-        get_registry().counter("cache_hits_total").inc()
+        if tier == "memory":
+            self.stats.memory_hits += 1
+        elif tier == "pack":
+            self.stats.pack_hits += 1
+        registry = get_registry()
+        registry.counter("cache_hits_total").inc()
+        registry.counter("cache_tier_hits_total", tier=tier).inc()
+        if write_through and self.memory is not None:
+            self.memory.put(key, payload)
+            self._note_evictions()
         return outcome
 
+    def _count_miss(self) -> None:
+        self.stats.misses += 1
+        get_registry().counter("cache_misses_total").inc()
+
     def _quarantine(self, key: str, exc: Exception) -> None:
-        """Move ``key``'s corrupt file aside and count the event."""
+        """Move ``key``'s corrupt legacy file aside and count the
+        event."""
         source = self.path_for(key)
+        if not os.path.exists(source):
+            return
         quarantine_dir = os.path.join(self.directory, "quarantine")
         with get_tracer().span("cache-quarantine", track="cache",
                                key=key, reason=type(exc).__name__):
@@ -219,31 +456,271 @@ class SimulationCache:
             reason=f"{type(exc).__name__}: {exc}",
             moved_to=quarantine_dir)
 
+    # ----- stores ------------------------------------------------------------
+
     def put(self, key: str, outcome: CachedOutcome) -> None:
-        """Store ``outcome`` under ``key`` atomically (write + rename),
-        so a killed process can never leave a half-written entry."""
-        if isinstance(outcome, TimingResult):
-            payload = result_to_payload(outcome)
-        elif isinstance(outcome, PredictedTime):
-            payload = predicted_to_payload(outcome)
-        else:
-            payload = oom_to_payload(outcome)
-        fd, tmp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_path, self.path_for(key))
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
+        """Store ``outcome`` under ``key`` as a legacy per-key file,
+        atomically (write + rename), so a killed process can never
+        leave a half-written entry.  Write-through to the hot tier."""
+        payload = outcome_to_payload(outcome)
+        with self._lock:
+            fd, tmp_path = tempfile.mkstemp(dir=self.directory,
+                                            suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp_path, self.path_for(key))
+            finally:
+                # The rename can fail after the write succeeded (e.g.
+                # the target landed on another filesystem): without
+                # this, every such failure would leak one orphan .tmp
+                # file into the cache directory.
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+        if self.memory is not None:
+            self.memory.put(key, payload)
+            self._note_evictions()
         self.stats.stores += 1
         get_registry().counter("cache_stores_total").inc()
 
+    def store_many(self, entries: Sequence[Tuple[str, CachedOutcome]],
+                   ) -> None:
+        """Store a whole batch: ONE pack append, ONE fsync, one lock.
+
+        This is the batch-granularity write path the engine uses for
+        its misses — entries land in the packed cold tier (and the hot
+        tier) instead of one file per key.  Duplicate keys keep the
+        last entry, matching a sequence of :meth:`put` calls.
+        """
+        if not entries:
+            return
+        payloads = [(key, outcome_to_payload(outcome))
+                    for key, outcome in entries]
+        with self._lock:
+            written = self.packs.append_many(payloads)
+        if self.memory is not None:
+            sizes = dict(written)
+            self.memory.put_many(
+                (key, payload, sizes.get(key))
+                for key, payload in payloads)
+            self._note_evictions()
+        self.stats.stores += len(payloads)
+        registry = get_registry()
+        registry.counter("cache_stores_total").inc(len(payloads))
+        registry.counter("cache_pack_appends_total").inc()
+
+    def _note_evictions(self) -> None:
+        """Mirror hot-tier evictions into stats and telemetry."""
+        assert self.memory is not None
+        total = self.memory.evictions
+        delta = total - self._evictions_seen
+        if delta:
+            self._evictions_seen = total
+            self.stats.evictions += delta
+            get_registry().counter(
+                "cache_memory_evictions_total").inc(delta)
+
+    # ----- warm start --------------------------------------------------------
+
+    def preload(self, memory: bool = False) -> Dict[str, int]:
+        """Warm the cache up front instead of on first traffic.
+
+        The pack index is already resident (loaded at open); this
+        touches every indexed record so a cold server's first burst
+        reads pre-faulted pages, and with ``memory=True`` (and the hot
+        tier enabled) loads payloads — packs first, then legacy files —
+        into the hot tier until its budget is full.  Returns counters
+        for the CLI to print.
+        """
+        memory = memory and self.memory is not None
+        loaded = 0
+        mem_loaded = 0
+        skipped = 0
+
+        def admit(key: str, payload: dict) -> int:
+            # Best-effort hot-tier fill: stop charging once the global
+            # budget would overflow (per-shard eviction may still trim
+            # a little — preload warms, it does not guarantee pinning).
+            nbytes = payload_nbytes(payload)
+            assert self.memory is not None
+            if self.memory.current_bytes + nbytes > self.memory.max_bytes:
+                return 0
+            self.memory.put(key, payload, nbytes)
+            return 1
+
+        with self._lock:
+            for key in list(self.packs.index):
+                payload = self.packs.lookup(key)
+                if payload is None:
+                    skipped += 1
+                    continue
+                loaded += 1
+                if memory:
+                    mem_loaded += admit(key, payload)
+            if memory:
+                for key in self._legacy_keys():
+                    if key in self.packs:
+                        continue
+                    payload, tier = self._disk_lookup_locked(key)
+                    if payload is None:
+                        skipped += 1
+                        continue
+                    loaded += 1
+                    mem_loaded += admit(key, payload)
+        if self.memory is not None:
+            self._note_evictions()
+        return {"entries": loaded, "memory_entries": mem_loaded,
+                "skipped": skipped}
+
+    # ----- maintenance (repro cache …) ---------------------------------------
+
+    def _legacy_keys(self) -> List[str]:
+        """Keys with a legacy per-key file (sidecars excluded)."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return [name[:-len(".json")] for name in names
+                if LEGACY_ENTRY_PATTERN.match(name)]
+
+    def compact(self, batch_size: int = 256) -> Dict[str, int]:
+        """Pack the legacy per-key files and delete them.
+
+        Entries are read, appended to pack segments in ``batch_size``
+        batches (one fsync each), and their per-key files removed only
+        after the batch is durable — a kill mid-compaction loses no
+        data, it just leaves some files uncompacted.  Unreadable legacy
+        files are *reported and left in place* (no quarantine churn:
+        compaction is a maintenance pass, not a lookup).  Returns
+        counters for ``repro cache compact``.
+        """
+        packed = 0
+        corrupt = 0
+        with self._lock:
+            keys = [k for k in self._legacy_keys()
+                    if k not in self.packs]
+            duplicate = [k for k in self._legacy_keys()
+                         if k in self.packs]
+            batch: List[Tuple[str, dict]] = []
+
+            def flush() -> int:
+                if not batch:
+                    return 0
+                self.packs.append_many(batch)
+                for key, _ in batch:
+                    try:
+                        os.unlink(self.path_for(key))
+                    except OSError:
+                        pass
+                n = len(batch)
+                batch.clear()
+                return n
+
+            for key in keys:
+                try:
+                    with open(self.path_for(key), "r",
+                              encoding="utf-8") as handle:
+                        payload = json.load(handle)
+                    payload_to_outcome(payload)  # validates structure
+                except (OSError, ValueError, KeyError, TypeError):
+                    corrupt += 1
+                    continue
+                batch.append((key, payload))
+                if len(batch) >= batch_size:
+                    packed += flush()
+            packed += flush()
+            # Per-key files whose keys the packs already hold are pure
+            # duplicates; drop them without re-packing.
+            for key in duplicate:
+                try:
+                    os.unlink(self.path_for(key))
+                except OSError:
+                    continue
+                packed += 1
+        return {"packed": packed, "corrupt": corrupt,
+                "segments": self.packs.info()["segments"]}
+
+    def verify(self) -> Dict[str, int]:
+        """Re-read every entry in both disk tiers; mutate nothing.
+
+        Returns counters: legacy ``ok``/``corrupt``, the pack tier's
+        :meth:`~repro.engine.pack.PackStore.verify` report, and the
+        total.  ``repro cache verify`` exits non-zero when anything is
+        corrupt or truncated, which is how the chaos tests prove a
+        killed pack flush is *detected*, not served.
+        """
+        legacy_ok = 0
+        legacy_corrupt = 0
+        with self._lock:
+            for key in self._legacy_keys():
+                try:
+                    with open(self.path_for(key), "r",
+                              encoding="utf-8") as handle:
+                        payload_to_outcome(json.load(handle))
+                except (OSError, ValueError, KeyError, TypeError):
+                    legacy_corrupt += 1
+                else:
+                    legacy_ok += 1
+            pack_report = self.packs.verify()
+        return {
+            "legacy_ok": legacy_ok,
+            "legacy_corrupt": legacy_corrupt,
+            "pack_entries": pack_report["entries"],
+            "pack_ok": pack_report["ok"],
+            "pack_corrupt": pack_report["corrupt"],
+            "pack_truncated": pack_report["truncated"],
+            "entries": legacy_ok + legacy_corrupt
+            + pack_report["entries"],
+            "corrupt": legacy_corrupt + pack_report["corrupt"]
+            + pack_report["truncated"],
+        }
+
+    def info(self) -> dict:
+        """JSON-serializable tier snapshot (manifests, ``cache stats``)."""
+        with self._lock:
+            legacy = self._legacy_keys()
+            legacy_bytes = 0
+            for key in legacy:
+                try:
+                    legacy_bytes += os.path.getsize(self.path_for(key))
+                except OSError:
+                    continue
+            payload = {
+                "directory": self.directory,
+                "legacy": {"entries": len(legacy), "bytes": legacy_bytes},
+                "pack": self.packs.info(),
+                "memory": (self.memory.info()
+                           if self.memory is not None else None),
+                "stats": {
+                    "hits": self.stats.hits,
+                    "misses": self.stats.misses,
+                    "stores": self.stats.stores,
+                    "quarantined": self.stats.quarantined,
+                    "memory_hits": self.stats.memory_hits,
+                    "pack_hits": self.stats.pack_hits,
+                    "evictions": self.stats.evictions,
+                },
+            }
+        return payload
+
+    def close(self) -> None:
+        """Release pack file handles (safe to call more than once)."""
+        with self._lock:
+            self.packs.close()
+
+    # ----- membership --------------------------------------------------------
+
     def __contains__(self, key: str) -> bool:
         """Membership probe that does not disturb the stats."""
+        if self.memory is not None and key in self.memory:
+            return True
+        if key in self.packs:
+            return True
         return os.path.exists(self.path_for(key))
 
     def __len__(self) -> int:
-        return sum(1 for name in os.listdir(self.directory)
-                   if name.endswith(".json"))
+        """Distinct keys across the disk tiers (hot tier is a subset)."""
+        with self._lock:
+            keys = set(self._legacy_keys())
+            keys.update(self.packs.index)
+        return len(keys)

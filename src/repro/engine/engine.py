@@ -478,6 +478,10 @@ class EngineStats:
             "cache_stores": self.cache.stores,
             "cache_quarantined": self.cache.quarantined,
             "cache_hit_rate": self.cache.hit_rate,
+            "cache_memory_hits": self.cache.memory_hits,
+            "cache_pack_hits": self.cache.pack_hits,
+            "cache_disk_hits": self.cache.disk_hits,
+            "cache_evictions": self.cache.evictions,
             "executed": self.executed,
             "jobs_completed": self.jobs_completed,
             "busy_s": self.busy_s,
@@ -634,12 +638,16 @@ class ExperimentEngine:
         keys: List[Optional[str]] = [None] * len(batch)
 
         if self.cache is not None:
+            # ONE batched cache pass (and one cache-lock acquisition)
+            # for the whole batch, instead of a disk round-trip per job.
             lookup_span = tracer.begin("cache-lookup", track="cache",
                                        jobs=str(len(batch)))
             for i, job in enumerate(batch):
-                key = job.fingerprint()
-                keys[i] = key
-                hit = self.cache.get(key)
+                keys[i] = job.fingerprint()
+            hits = self.cache.lookup_many(
+                [key for key in keys if key is not None])
+            for i, job in enumerate(batch):
+                hit = hits.get(keys[i])
                 if hit is None:
                     miss_indices.append(i)
                 elif isinstance(hit, OutOfMemoryError):
@@ -662,6 +670,7 @@ class ExperimentEngine:
             tagged_results, attempt_counts, workers = \
                 self._execute_misses(miss_jobs)
             self.executed += len(miss_jobs)
+            store_entries: List[Tuple[str, object]] = []
             for i, tagged, attempts in zip(miss_indices, tagged_results,
                                            attempt_counts):
                 outcome = _outcome_from_tagged(batch[i], tagged,
@@ -675,10 +684,15 @@ class ExperimentEngine:
                 if self.cache is not None and not outcome.failed:
                     key = keys[i]
                     assert key is not None
-                    with tracer.span("cache-store", track="cache"):
-                        self.cache.put(
-                            key, outcome.result if outcome.ok
-                            else outcome.oom)  # type: ignore[arg-type]
+                    store_entries.append(
+                        (key, outcome.result if outcome.ok
+                         else outcome.oom))
+            if store_entries:
+                # One batched store: a single pack append + fsync for
+                # every miss the batch produced.
+                with tracer.span("cache-store", track="cache",
+                                 entries=str(len(store_entries))):
+                    self.cache.store_many(store_entries)  # type: ignore[arg-type]
 
         batch_wall = time.perf_counter() - start
         self.busy_s += batch_wall
@@ -832,16 +846,21 @@ class ExperimentEngine:
         outcomes: List[Optional[ModelEvalOutcome]] = [None] * len(jobs)
         keys: List[Optional[str]] = [None] * len(jobs)
         miss_indices: List[int] = []
-        for i, job in enumerate(jobs):
-            if self.cache is not None:
-                key = job.fingerprint()
-                keys[i] = key
-                hit = self.cache.get(key)
+        if self.cache is not None:
+            # Same batched single-pass lookup as run_outcomes.
+            for i, job in enumerate(jobs):
+                keys[i] = job.fingerprint()
+            hits = self.cache.lookup_many(
+                [key for key in keys if key is not None])
+            for i, job in enumerate(jobs):
+                hit = hits.get(keys[i])
                 if isinstance(hit, PredictedTime):
                     outcomes[i] = ModelEvalOutcome(job=job, result=hit,
                                                    cached=True)
-                    continue
-            miss_indices.append(i)
+                else:
+                    miss_indices.append(i)
+        else:
+            miss_indices = list(range(len(jobs)))
 
         groups: List[List[int]]
         if self.chunking:
@@ -863,6 +882,7 @@ class ExperimentEngine:
                              for group in groups]
             self.executed += len(miss_indices)
             self.jobs_chunked += chunked
+            store_entries: List[Tuple[str, PredictedTime]] = []
             for group, (results, errors, elapsed) in zip(groups, evaluated):
                 share = elapsed / len(group)
                 for offset, i in enumerate(group):
@@ -876,7 +896,10 @@ class ExperimentEngine:
                     if self.cache is not None and outcome.ok:
                         key = keys[i]
                         assert key is not None
-                        self.cache.put(key, outcome.result)
+                        store_entries.append((key, outcome.result))
+            if self.cache is not None and store_entries:
+                # One pack append + fsync for the whole batch.
+                self.cache.store_many(store_entries)
 
         batch_wall = time.perf_counter() - start
         self.busy_s += batch_wall

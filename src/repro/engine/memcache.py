@@ -1,0 +1,215 @@
+"""Sharded in-process hot tier for the simulation result cache.
+
+A warm disk hit still costs an ``open`` + ``json.load`` per key; for a
+long-lived process (the serving scheduler owns one engine for its whole
+lifetime) that disk round-trip is pure overhead the second time the
+same key is asked for.  :class:`MemoryCache` keeps recently-touched
+cache *payloads* — the exact JSON-shaped dicts the disk tiers store —
+in memory behind a byte budget, so a hot hit is a dict lookup plus the
+same payload→outcome rehydration a disk hit performs.  Because both
+tiers rehydrate through the identical converters, a hot hit is
+byte-for-byte the outcome a disk hit would have produced.
+
+Layout is a fixed array of *shards*, each an LRU ``OrderedDict`` behind
+its own lock, so concurrent serving threads rarely contend on the same
+lock and a batched ``get_many``/``put_many`` acquires each shard's lock
+at most once per call instead of once per key.  Eviction is per shard
+(budget divided evenly): strict global LRU would need a global lock,
+which is exactly what sharding exists to avoid.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: Default shard count; a small power of two keeps the modulo cheap and
+#: is plenty to spread the serving scheduler's handful of threads.
+DEFAULT_SHARDS = 8
+
+
+def payload_nbytes(payload: dict) -> int:
+    """Byte-budget charge for one payload: its compact-JSON length.
+
+    The same serialization the pack tier writes, so an entry costs the
+    hot tier what it costs the cold tier — plus nothing for Python
+    object overhead, which keeps the accounting deterministic across
+    interpreter versions.
+    """
+    return len(json.dumps(payload, separators=(",", ":")))
+
+
+class _Shard:
+    """One LRU slice of the cache: an ``OrderedDict`` behind a lock."""
+
+    __slots__ = ("lock", "entries", "bytes")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        #: key -> (payload, nbytes); insertion order is recency order.
+        self.entries: "OrderedDict[str, Tuple[dict, int]]" = OrderedDict()
+        self.bytes = 0
+
+
+class MemoryCache:
+    """Byte-budgeted, sharded, thread-safe LRU of cache payloads.
+
+    Attributes:
+        max_bytes: Total budget across all shards; each shard evicts
+            its own least-recently-used entries past
+            ``max_bytes / shards``.  Entries larger than a whole
+            shard's budget are never admitted (they would evict
+            everything for one key).
+        shards: Shard count (fixed at construction).
+    """
+
+    def __init__(self, max_bytes: int, shards: int = DEFAULT_SHARDS):
+        """Validate the budget and allocate the shard array."""
+        if max_bytes <= 0:
+            raise ConfigurationError(
+                f"max_bytes must be positive, got {max_bytes}")
+        if shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {shards}")
+        self.max_bytes = int(max_bytes)
+        self.shards = shards
+        self._shard_budget = max(1, self.max_bytes // shards)
+        self._shards = [_Shard() for _ in range(shards)]
+        self._evictions = 0
+        self._eviction_lock = threading.Lock()
+
+    # ----- shard routing -----------------------------------------------------
+
+    def _shard_for(self, key: str) -> _Shard:
+        # Cache keys are uniform hex digests, so their builtin hash
+        # spreads evenly; no need for anything fancier.
+        return self._shards[hash(key) % self.shards]
+
+    # ----- single-key operations ---------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, refreshed as most recent;
+        ``None`` when absent (the caller falls through to disk)."""
+        shard = self._shard_for(key)
+        with shard.lock:
+            entry = shard.entries.get(key)
+            if entry is None:
+                return None
+            shard.entries.move_to_end(key)
+            return entry[0]
+
+    def put(self, key: str, payload: dict,
+            nbytes: Optional[int] = None) -> None:
+        """Insert (or refresh) ``key``; evicts LRU entries past budget.
+
+        ``nbytes`` lets callers that already serialized the payload (the
+        pack writer) skip re-encoding it for the size charge.
+        """
+        if nbytes is None:
+            nbytes = payload_nbytes(payload)
+        shard = self._shard_for(key)
+        with shard.lock:
+            self._put_locked(shard, key, payload, nbytes)
+
+    # ----- batched operations ------------------------------------------------
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, dict]:
+        """Look up many keys with one lock acquisition per shard.
+
+        Returns only the present keys; order of the input is
+        irrelevant (the caller re-aligns by key).
+        """
+        by_shard: Dict[int, List[str]] = {}
+        for key in keys:
+            by_shard.setdefault(hash(key) % self.shards, []).append(key)
+        found: Dict[str, dict] = {}
+        for shard_idx, shard_keys in by_shard.items():
+            shard = self._shards[shard_idx]
+            with shard.lock:
+                for key in shard_keys:
+                    entry = shard.entries.get(key)
+                    if entry is not None:
+                        shard.entries.move_to_end(key)
+                        found[key] = entry[0]
+        return found
+
+    def put_many(self, items: Iterable[Tuple[str, dict, Optional[int]]],
+                 ) -> None:
+        """Insert many ``(key, payload, nbytes-or-None)`` entries with
+        one lock acquisition per shard."""
+        by_shard: Dict[int, List[Tuple[str, dict, int]]] = {}
+        for key, payload, nbytes in items:
+            if nbytes is None:
+                nbytes = payload_nbytes(payload)
+            by_shard.setdefault(hash(key) % self.shards, []).append(
+                (key, payload, nbytes))
+        for shard_idx, shard_items in by_shard.items():
+            shard = self._shards[shard_idx]
+            with shard.lock:
+                for key, payload, nbytes in shard_items:
+                    self._put_locked(shard, key, payload, nbytes)
+
+    # ----- internals ---------------------------------------------------------
+
+    def _put_locked(self, shard: _Shard, key: str, payload: dict,
+                    nbytes: int) -> None:
+        """Insert under ``shard.lock``; runs the shard's LRU eviction."""
+        if nbytes > self._shard_budget:
+            # One oversized entry would flush the whole shard for a
+            # single key; skip it — the cold tiers still hold it.
+            return
+        old = shard.entries.pop(key, None)
+        if old is not None:
+            shard.bytes -= old[1]
+        shard.entries[key] = (payload, nbytes)
+        shard.bytes += nbytes
+        evicted = 0
+        while shard.bytes > self._shard_budget:
+            _, (_, dropped) = shard.entries.popitem(last=False)
+            shard.bytes -= dropped
+            evicted += 1
+        if evicted:
+            with self._eviction_lock:
+                self._evictions += evicted
+
+    # ----- introspection -----------------------------------------------------
+
+    @property
+    def evictions(self) -> int:
+        """Entries evicted over the cache's lifetime."""
+        with self._eviction_lock:
+            return self._evictions
+
+    @property
+    def current_bytes(self) -> int:
+        """Bytes currently held across all shards."""
+        return sum(shard.bytes for shard in self._shards)
+
+    def __len__(self) -> int:
+        return sum(len(shard.entries) for shard in self._shards)
+
+    def __contains__(self, key: str) -> bool:
+        shard = self._shard_for(key)
+        with shard.lock:
+            return key in shard.entries
+
+    def clear(self) -> None:
+        """Drop every entry (budget and eviction counter persist)."""
+        for shard in self._shards:
+            with shard.lock:
+                shard.entries.clear()
+                shard.bytes = 0
+
+    def info(self) -> dict:
+        """JSON-serializable snapshot (manifests, ``repro cache stats``)."""
+        return {
+            "max_bytes": self.max_bytes,
+            "shards": self.shards,
+            "entries": len(self),
+            "bytes": self.current_bytes,
+            "evictions": self.evictions,
+        }

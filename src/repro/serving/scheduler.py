@@ -484,7 +484,7 @@ class ServingScheduler:
         with self._cv:
             queued = len(self._queue)
             total = len(self._states)
-        return {
+        payload: Dict[str, Any] = {
             "uptime_s": time.time() - self.started_unix,
             "queued": queued,
             "requests_seen": total,
@@ -492,3 +492,6 @@ class ServingScheduler:
             "requests_coalesced": self.requests_coalesced,
             "engine": self.engine.stats().to_dict(),
         }
+        if self.engine.cache is not None:
+            payload["cache"] = self.engine.cache.info()
+        return payload

@@ -1,0 +1,312 @@
+"""Tiered cache: hot/pack/legacy interplay, batched I/O, chaos."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.core.perf_model import PredictedTime
+from repro.engine import SimulationCache
+from repro.engine.cache import CacheStats, outcome_to_payload
+from repro.engine.pack import INDEX_FILENAME, segment_name
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.simulator import TimingResult
+
+
+def _predicted(i):
+    return PredictedTime(total=1.0 + i, compute=0.5, encode_decode=0.1,
+                         comm_exposed=0.4)
+
+
+def _result(i):
+    return TimingResult(model="m", scheme="s", world_size=8,
+                        batch_size=32, sync_times=(0.1 + i, 0.2),
+                        iteration_times=(0.3, 0.4 + i))
+
+
+def _keys(n, prefix=0):
+    return [f"{prefix:032x}{i:032x}" for i in range(n)]
+
+
+class TestTierEquivalence:
+    def test_hits_identical_across_all_tiers(self, tmp_path):
+        """The same key must rehydrate byte-identically whether it is
+        served hot, from a pack, or from a legacy file."""
+        key = "a" * 64
+        outcome = _result(3)
+
+        legacy_dir = tmp_path / "legacy"
+        legacy = SimulationCache(str(legacy_dir))
+        legacy.put(key, outcome)
+        from_legacy = SimulationCache(str(legacy_dir)).get(key)
+
+        pack_dir = tmp_path / "pack"
+        packed = SimulationCache(str(pack_dir))
+        packed.store_many([(key, outcome)])
+        packed.close()
+        from_pack = SimulationCache(str(pack_dir)).get(key)
+
+        hot = SimulationCache(str(tmp_path / "hot"), memory_mb=4)
+        hot.store_many([(key, outcome)])
+        from_memory = hot.get(key)
+        assert hot.stats.memory_hits == 1
+
+        assert from_legacy == outcome
+        assert from_pack == outcome
+        assert from_memory == outcome
+
+    def test_oom_round_trips_through_packs(self, tmp_path):
+        cache = SimulationCache(str(tmp_path))
+        oom = OutOfMemoryError("boom", required_bytes=10, budget_bytes=5)
+        cache.store_many([("b" * 64, oom)])
+        hit = cache.get("b" * 64)
+        assert isinstance(hit, OutOfMemoryError)
+        assert hit.required_bytes == 10
+
+    def test_memory_mb_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SimulationCache(str(tmp_path), memory_mb=-1)
+
+
+class TestBatchedIO:
+    def test_lookup_many_mixes_tiers(self, tmp_path):
+        cache = SimulationCache(str(tmp_path), memory_mb=4)
+        keys = _keys(6)
+        cache.store_many(
+            [(k, _predicted(i)) for i, k in enumerate(keys[:2])])
+        for i, key in enumerate(keys[2:4], start=2):
+            cache.put(key, _predicted(i))
+        found = cache.lookup_many(keys)
+        assert set(found) == set(keys[:4])
+        assert cache.stats.hits == 4
+        assert cache.stats.misses == 2
+
+    def test_lookup_many_counts_per_occurrence(self, tmp_path):
+        cache = SimulationCache(str(tmp_path))
+        key = "c" * 64
+        cache.store_many([(key, _predicted(0))])
+        cache.lookup_many([key, key, "d" * 64])
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+
+    def test_lookup_many_writes_back_to_hot_tier(self, tmp_path):
+        cache = SimulationCache(str(tmp_path), memory_mb=4)
+        key = "e" * 64
+        cache.store_many([(key, _predicted(1))])
+        cache.memory.clear()  # simulate a restart's cold hot-tier
+        cache.lookup_many([key])
+        assert cache.stats.pack_hits == 1
+        cache.lookup_many([key])
+        assert cache.stats.memory_hits == 1
+
+    def test_store_many_duplicate_keys_last_wins(self, tmp_path):
+        cache = SimulationCache(str(tmp_path))
+        key = "f" * 64
+        cache.store_many([(key, _predicted(1)), (key, _predicted(2))])
+        assert cache.get(key) == _predicted(2)
+
+    def test_concurrent_batches_like_the_scheduler(self, tmp_path):
+        """Hammer lookup_many/store_many from threads the way the
+        serving scheduler's drain loop and HTTP workers do."""
+        cache = SimulationCache(str(tmp_path), memory_mb=2, shards=4)
+        errors = []
+        per_thread = 40
+
+        def worker(tid):
+            try:
+                keys = _keys(per_thread, prefix=tid)
+                cache.store_many(
+                    [(k, _predicted(i)) for i, k in enumerate(keys)])
+                for _ in range(5):
+                    found = cache.lookup_many(keys)
+                    assert set(found) == set(keys)
+                    for i, key in enumerate(keys):
+                        assert found[key] == _predicted(i)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(tid,))
+                   for tid in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats
+        assert stats.stores == 6 * per_thread
+        assert stats.hits == 6 * 5 * per_thread
+        assert stats.misses == 0
+        cache.close()
+        # Everything the threads wrote is durable and healthy.
+        reopened = SimulationCache(str(tmp_path))
+        assert len(reopened) == 6 * per_thread
+        assert reopened.verify()["corrupt"] == 0
+
+
+class TestChaos:
+    def test_killed_mid_flush_is_detected_not_served(self, tmp_path):
+        """A pack segment torn by a mid-flush kill must read as misses,
+        be reported by verify, and never rehydrate into an outcome."""
+        cache = SimulationCache(str(tmp_path))
+        keys = _keys(8)
+        cache.store_many(
+            [(k, _result(i)) for i, k in enumerate(keys)])
+        cache.close()
+        seg = tmp_path / segment_name(1)
+        raw = seg.read_bytes()
+        seg.write_bytes(raw[:int(len(raw) * 0.6)])  # the "kill"
+
+        survivor = SimulationCache(str(tmp_path))
+        report = survivor.verify()
+        assert report["pack_truncated"] > 0
+        assert report["corrupt"] > 0
+        served = [k for k in keys if survivor.get(k) is not None]
+        dropped = [k for k in keys if k not in served]
+        assert dropped, "the torn tail must not be served"
+        for key in served:  # survivors rehydrate cleanly
+            assert isinstance(survivor.get(key), TimingResult)
+        assert survivor.stats.quarantined == 0  # no quarantine churn
+        assert not (tmp_path / "quarantine").exists()
+
+    def test_killed_mid_index_append_keeps_prior_entries(self, tmp_path):
+        cache = SimulationCache(str(tmp_path))
+        cache.store_many([(k, _predicted(i))
+                          for i, k in enumerate(_keys(3))])
+        cache.close()
+        with open(tmp_path / INDEX_FILENAME, "ab") as handle:
+            handle.write(b'{"k":"torn')
+        survivor = SimulationCache(str(tmp_path))
+        assert len(survivor) == 3
+        assert survivor.verify()["pack_truncated"] == 1
+
+    def test_store_tempfile_cleaned_up_on_rename_failure(
+            self, tmp_path, monkeypatch):
+        """Regression: a failed atomic rename must not leak the
+        temporary file into the cache directory."""
+        cache = SimulationCache(str(tmp_path))
+
+        def exploding_replace(src, dst):
+            raise OSError("no rename for you")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            cache.put("a" * 64, _predicted(1))
+        monkeypatch.undo()
+        leftovers = [n for n in os.listdir(tmp_path)
+                     if n.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestMaintenance:
+    def _legacy_cache(self, tmp_path, n=5):
+        cache = SimulationCache(str(tmp_path))
+        for i, key in enumerate(_keys(n)):
+            cache.put(key, _predicted(i))
+        cache.close()
+        return _keys(n)
+
+    def test_compact_then_reserve_roundtrip(self, tmp_path):
+        keys = self._legacy_cache(tmp_path)
+        cache = SimulationCache(str(tmp_path))
+        report = cache.compact()
+        assert report["packed"] == len(keys)
+        assert report["corrupt"] == 0
+        assert cache.verify()["corrupt"] == 0
+        cache.close()
+        # No legacy files remain, yet every key still serves.
+        assert not [n for n in os.listdir(tmp_path)
+                    if n.endswith(".json") and len(n) == 69]
+        reopened = SimulationCache(str(tmp_path))
+        for i, key in enumerate(keys):
+            assert reopened.get(key) == _predicted(i)
+
+    def test_compact_leaves_corrupt_files_in_place(self, tmp_path):
+        keys = self._legacy_cache(tmp_path, n=3)
+        bad = keys[1]
+        cache = SimulationCache(str(tmp_path))
+        with open(cache.path_for(bad), "w", encoding="utf-8") as handle:
+            handle.write("{ nope")
+        report = cache.compact()
+        assert report["packed"] == 2
+        assert report["corrupt"] == 1
+        assert os.path.exists(cache.path_for(bad))  # left for forensics
+        assert cache.verify()["legacy_corrupt"] == 1
+
+    def test_compact_drops_duplicates_without_repacking(self, tmp_path):
+        cache = SimulationCache(str(tmp_path))
+        key = "a" * 64
+        cache.store_many([(key, _predicted(1))])  # already packed
+        cache.put(key, _predicted(1))  # plus a legacy duplicate
+        report = cache.compact()
+        assert report["packed"] == 1
+        assert not os.path.exists(cache.path_for(key))
+        assert cache.get(key) == _predicted(1)
+
+    def test_preload_warms_pack_index_and_memory(self, tmp_path):
+        cache = SimulationCache(str(tmp_path), memory_mb=4)
+        keys = _keys(4)
+        cache.store_many(
+            [(k, _predicted(i)) for i, k in enumerate(keys)])
+        cache.put("b" * 64, _predicted(9))  # legacy-only entry
+        cache.close()
+
+        warm = SimulationCache(str(tmp_path), memory_mb=4)
+        report = warm.preload(memory=True)
+        assert report["entries"] == 5
+        assert report["memory_entries"] == 5
+        assert report["skipped"] == 0
+        warm.lookup_many(keys + ["b" * 64])
+        assert warm.stats.memory_hits == 5  # served without disk I/O
+
+    def test_preload_without_memory_touches_packs_only(self, tmp_path):
+        cache = SimulationCache(str(tmp_path))
+        cache.store_many([("a" * 64, _predicted(1))])
+        report = cache.preload()
+        assert report == {"entries": 1, "memory_entries": 0,
+                          "skipped": 0}
+
+    def test_info_snapshot_shape(self, tmp_path):
+        cache = SimulationCache(str(tmp_path), memory_mb=1)
+        cache.store_many([("a" * 64, _predicted(1))])
+        cache.put("b" * 64, _predicted(2))
+        info = cache.info()
+        assert info["legacy"]["entries"] == 1
+        assert info["pack"]["entries"] == 1
+        assert info["memory"]["entries"] == 2
+        assert info["stats"]["stores"] == 2
+        json.dumps(info)  # manifest-embeddable
+
+
+class TestTierStats:
+    def test_describe_unchanged_without_tier_traffic(self):
+        assert CacheStats(hits=3, misses=1).describe() \
+            == "3 hits / 1 misses (75% hit rate)"
+
+    def test_describe_mentions_tiers_when_used(self):
+        text = CacheStats(hits=5, misses=0, memory_hits=2,
+                          pack_hits=2).describe()
+        assert "[2 mem / 2 pack / 1 disk]" in text
+
+    def test_since_tracks_tier_counters(self):
+        stats = CacheStats(hits=4, memory_hits=1, pack_hits=2,
+                           evictions=3)
+        snap = stats.snapshot()
+        stats.memory_hits += 2
+        stats.evictions += 1
+        delta = stats.since(snap)
+        assert delta.memory_hits == 2
+        assert delta.pack_hits == 0
+        assert delta.evictions == 1
+
+    def test_evictions_mirrored_into_stats(self, tmp_path):
+        payload = outcome_to_payload(_predicted(0))
+        nbytes = len(json.dumps(payload, separators=(",", ":")))
+        cache = SimulationCache(str(tmp_path),
+                                memory_mb=2 * nbytes / (1024 * 1024),
+                                shards=1)
+        keys = _keys(6)
+        cache.store_many(
+            [(k, _predicted(0)) for k in keys])
+        assert cache.stats.evictions > 0
+        assert cache.memory.evictions == cache.stats.evictions

@@ -218,3 +218,68 @@ class TestExperimentManifest:
                      str(tmp_path / "c")]) == 0
         out = capsys.readouterr().out
         assert "[table1]" in out and "cache:" in out and "hits" in out
+
+    def test_manifest_records_cache_tiers(self, capsys, tmp_path):
+        from repro.telemetry import read_manifest
+        cache_dir = tmp_path / "cache"
+        assert main(["experiment", "fig4", "--cache", str(cache_dir),
+                     "--cache-mem-mb", "8"]) == 0
+        manifest = read_manifest(str(cache_dir / "manifest.json"))
+        cache_info = manifest["results"]["cache"]
+        assert cache_info["pack"]["entries"] > 0
+        assert cache_info["memory"]["max_bytes"] == 8 * 1024 * 1024
+        assert manifest["config"]["cache_mem_mb"] == 8.0
+        engine_stats = manifest["results"]["engine"]
+        assert "cache_memory_hits" in engine_stats
+        assert "cache_pack_hits" in engine_stats
+        assert "cache_evictions" in engine_stats
+
+
+class TestCacheSubcommand:
+    def _seed_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["experiment", "fig4", "--cache",
+                     str(cache_dir)]) == 0
+        return cache_dir
+
+    def test_stats(self, capsys, tmp_path):
+        cache_dir = self._seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "pack:" in out and "legacy:" in out
+        assert "distinct keys" in out
+
+    def test_verify_healthy(self, capsys, tmp_path):
+        cache_dir = self._seed_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache", str(cache_dir)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_verify_detects_truncation(self, capsys, tmp_path):
+        cache_dir = self._seed_cache(tmp_path)
+        segments = sorted(cache_dir.glob("pack-0*.jsonl"))
+        raw = segments[0].read_bytes()
+        segments[0].write_bytes(raw[:len(raw) // 2])
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache", str(cache_dir)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_compact_legacy_entries(self, capsys, tmp_path):
+        from repro.core.perf_model import PredictedTime
+        from repro.engine import SimulationCache
+        cache_dir = tmp_path / "legacy"
+        cache = SimulationCache(str(cache_dir))
+        cache.put("a" * 64, PredictedTime(total=1.0, compute=0.5,
+                                          encode_decode=0.1,
+                                          comm_exposed=0.4))
+        cache.close()
+        assert main(["cache", "compact", "--cache",
+                     str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 1 legacy entries" in out
+        assert not (cache_dir / ("a" * 64 + ".json")).exists()
+
+    def test_missing_directory_is_an_error(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache",
+                     str(tmp_path / "nope")]) == 2

@@ -205,6 +205,11 @@ class TestCacheQuarantine:
         job = SimJob(model=tiny_model, cluster=cluster_for_gpus(4),
                      batch_size=4, iterations=6, warmup=1)
         key = self._store_one(cache, job)
+        cache.close()
+        # Strip the pack tier so the directory looks like a legacy-era
+        # cache whose only copy of the entry is the corrupt per-key file.
+        for pack_file in tmp_path.glob("pack-*"):
+            pack_file.unlink()
         entry = tmp_path / f"{key}.json"
         entry.write_text("{ truncated garbag")
 

@@ -1,0 +1,141 @@
+"""Hot tier: sharded LRU semantics, byte budgets, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.engine import MemoryCache
+from repro.engine.memcache import payload_nbytes
+from repro.errors import ConfigurationError
+
+
+def _payload(i):
+    return {"kind": "predicted", "total": float(i), "compute": 0.5,
+            "encode_decode": 0.1, "comm_exposed": 0.4}
+
+
+class TestBasics:
+    def test_roundtrip(self):
+        cache = MemoryCache(max_bytes=1 << 20)
+        cache.put("a" * 64, _payload(1))
+        assert cache.get("a" * 64) == _payload(1)
+        assert cache.get("b" * 64) is None
+        assert "a" * 64 in cache
+        assert len(cache) == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = MemoryCache(max_bytes=1 << 20)
+        cache.put("a" * 64, _payload(1))
+        cache.put("a" * 64, _payload(2))
+        assert cache.get("a" * 64) == _payload(2)
+        assert len(cache) == 1
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryCache(max_bytes=0)
+        with pytest.raises(ConfigurationError):
+            MemoryCache(max_bytes=1024, shards=0)
+
+    def test_clear(self):
+        cache = MemoryCache(max_bytes=1 << 20)
+        cache.put("a" * 64, _payload(1))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+
+    def test_info_is_json_shaped(self):
+        cache = MemoryCache(max_bytes=4096, shards=2)
+        cache.put("a" * 64, _payload(1))
+        info = cache.info()
+        assert info["max_bytes"] == 4096
+        assert info["shards"] == 2
+        assert info["entries"] == 1
+        assert info["bytes"] == payload_nbytes(_payload(1))
+
+
+class TestEviction:
+    def test_lru_eviction_within_budget(self):
+        entry_bytes = payload_nbytes(_payload(0))
+        # One shard holding exactly three entries.
+        cache = MemoryCache(max_bytes=3 * entry_bytes, shards=1)
+        keys = [f"{i:064x}" for i in range(4)]
+        for i, key in enumerate(keys[:3]):
+            cache.put(key, _payload(i))
+        cache.get(keys[0])  # refresh: now keys[1] is least recent
+        cache.put(keys[3], _payload(3))
+        assert cache.get(keys[1]) is None  # evicted
+        assert cache.get(keys[0]) is not None
+        assert cache.evictions == 1
+        assert cache.current_bytes <= cache.max_bytes
+
+    def test_oversized_entry_not_admitted(self):
+        cache = MemoryCache(max_bytes=8, shards=1)
+        cache.put("a" * 64, _payload(1))  # > 8 bytes serialized
+        assert cache.get("a" * 64) is None
+        assert len(cache) == 0
+        assert cache.evictions == 0
+
+    def test_bytes_accounting_tracks_contents(self):
+        cache = MemoryCache(max_bytes=1 << 20, shards=4)
+        keys = [f"{i:064x}" for i in range(10)]
+        for i, key in enumerate(keys):
+            cache.put(key, _payload(i))
+        expected = sum(payload_nbytes(_payload(i)) for i in range(10))
+        assert cache.current_bytes == expected
+
+
+class TestBatchedOps:
+    def test_get_many_returns_only_present(self):
+        cache = MemoryCache(max_bytes=1 << 20)
+        keys = [f"{i:064x}" for i in range(6)]
+        cache.put_many((k, _payload(i), None)
+                       for i, k in enumerate(keys[:4]))
+        found = cache.get_many(keys)
+        assert set(found) == set(keys[:4])
+        assert found[keys[2]] == _payload(2)
+
+    def test_put_many_with_precomputed_sizes(self):
+        cache = MemoryCache(max_bytes=1 << 20)
+        key = "a" * 64
+        cache.put_many([(key, _payload(1), payload_nbytes(_payload(1)))])
+        assert cache.current_bytes == payload_nbytes(_payload(1))
+
+    def test_get_many_refreshes_recency(self):
+        entry_bytes = payload_nbytes(_payload(0))
+        cache = MemoryCache(max_bytes=2 * entry_bytes, shards=1)
+        a, b = "a" * 64, "b" * 64
+        cache.put(a, _payload(0))
+        cache.put(b, _payload(1))
+        cache.get_many([a])  # a becomes most recent
+        cache.put("c" * 64, _payload(2))
+        assert cache.get(b) is None  # b was evicted, not a
+        assert cache.get(a) is not None
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_traffic(self):
+        cache = MemoryCache(max_bytes=1 << 16, shards=4)
+        keys = [f"{i:064x}" for i in range(64)]
+        errors = []
+
+        def worker(seed):
+            try:
+                for round_no in range(50):
+                    offset = (seed + round_no) % len(keys)
+                    cache.put_many(
+                        (k, _payload(i), None)
+                        for i, k in enumerate(keys[offset:offset + 8]))
+                    found = cache.get_many(keys)
+                    for key, payload in found.items():
+                        assert payload["kind"] == "predicted"
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.current_bytes <= cache.max_bytes

@@ -195,6 +195,27 @@ class TestCoalescing:
         finally:
             sched.close()
 
+    def test_stats_expose_cache_tiers(self, tmp_path):
+        cache = SimulationCache(str(tmp_path / "cache"), memory_mb=8)
+        sched = make_scheduler(engine=ExperimentEngine(cache=cache),
+                               batch_window_s=0.02)
+        try:
+            for _ in range(2):  # second pass hits the hot tier
+                state = sched.submit(simulate_request(seed=0))
+                sched.wait(state.id, timeout_s=60.0)
+            stats = sched.stats()
+            assert stats["cache"]["memory"]["entries"] > 0
+            assert stats["engine"]["cache_memory_hits"] > 0
+        finally:
+            sched.close()
+
+    def test_stats_without_cache_have_no_cache_section(self):
+        sched = make_scheduler()
+        try:
+            assert "cache" not in sched.stats()
+        finally:
+            sched.close()
+
 
 class TestWhatIf:
     def test_matches_offline_recommendation(self):

@@ -55,6 +55,17 @@ requests/s, p50/p99 latency, and mean batch occupancy.  ``--check``
 a warm replay must stay at least ``SERVING_MIN_WARM_SPEEDUP``x faster,
 or the cache stopped carrying the serving path.
 
+A **cache section** measures the tiered simulation cache directly:
+(1) batched lookups over a populated cache served from the in-process
+hot tier vs from per-key legacy disk files — the recorded
+``hot_speedup`` must stay at least ``CACHE_MIN_HOT_SPEEDUP``x; and
+(2) a simulate burst through a fresh scheduler over an already
+populated cache, once plainly warm (pack-tier hits) and once
+warm-started with ``preload`` (the ``repro serve --cache-preload``
+path) — the preloaded burst's p50 latency must stay within
+``CACHE_PRELOAD_MAX_P50_RATIO``x of the warm burst's.  Both gates are
+same-host ratios, so they hold on any machine.
+
 Every baseline rewrite appends a timestamped entry to the ``history``
 list (exhibit + what-if rows and the host that measured them), so the
 file accumulates the perf trajectory instead of forgetting it; the
@@ -148,6 +159,25 @@ SERVING_REQUESTS = 200
 #: populated it.  Machine-independent (both bursts run on the same
 #: host back to back).
 SERVING_MIN_WARM_SPEEDUP = 2.0
+
+#: Entries populated for the cache section's lookup comparison.
+CACHE_LOOKUP_ENTRIES = 400
+
+#: Hard floor on the cache section's ``hot_speedup`` (per-key legacy
+#: disk lookup wall / hot-tier lookup wall over the same keys).  A
+#: dict probe must beat an ``open`` + ``json.load`` by at least this
+#: much or the hot tier stopped paying for itself.
+CACHE_MIN_HOT_SPEEDUP = 5.0
+
+#: Hard ceiling on the cache section's ``preload_p50_ratio``
+#: (preloaded-burst p50 latency / warm-burst p50 latency).  A server
+#: warm-started with ``--cache-preload`` must serve its first burst
+#: about as fast as one that already absorbed a burst.
+CACHE_PRELOAD_MAX_P50_RATIO = 1.5
+
+#: Size of the cache section's serving bursts (smaller than the
+#: serving section's: these bursts are all cache hits).
+CACHE_BURST_REQUESTS = 120
 
 #: The exhibit the traced section sweeps: the largest auto-mode
 #: workload in the default set, so the fixed trace-export epilogue is
@@ -441,10 +471,135 @@ def measure_serving(requests: int = SERVING_REQUESTS) -> Dict[str, dict]:
     return {"simulate_burst": row}
 
 
+def measure_cache(requests: int = CACHE_BURST_REQUESTS) -> Dict[str, dict]:
+    """Measure what the cache tiers buy: lookups and warm starts.
+
+    **lookup** — ``CACHE_LOOKUP_ENTRIES`` entries are written in the
+    legacy one-file-per-key layout, then the same batched
+    ``lookup_many`` resolves every key twice: through a disk-only cache
+    (per-key ``open`` + ``json.load``) and through a preloaded hot tier
+    (sharded dict probes).  Identical outcomes either way, so the wall
+    ratio is pure tier advantage.
+
+    **preload_burst** — a simulate burst populates a cache directory,
+    then two fresh schedulers replay it: one plainly warm (first
+    lookups fault the pack tier in), one warm-started via ``preload``
+    (the ``repro serve --cache-preload`` path, hot tier filled before
+    the first request).  Gate: the preloaded p50 stays within
+    ``CACHE_PRELOAD_MAX_P50_RATIO``x of the warm p50.
+    """
+    from repro.core.perf_model import PredictedTime
+
+    lookup_dir = tempfile.mkdtemp(prefix="bench-cache-lookup-")
+    try:
+        seed = SimulationCache(lookup_dir)
+        keys = [f"{i:064x}" for i in range(CACHE_LOOKUP_ENTRIES)]
+        for i, key in enumerate(keys):
+            seed.put(key, PredictedTime(
+                total=1.0 + i, compute=0.5, encode_decode=0.1,
+                comm_exposed=0.4))
+        seed.close()
+
+        disk_cache = SimulationCache(lookup_dir)
+        disk_wall = _best_wall(lambda: disk_cache.lookup_many(keys))
+        if len(disk_cache.lookup_many(keys)) != len(keys):
+            raise RuntimeError("disk lookup lost entries")
+        disk_cache.close()
+
+        hot_cache = SimulationCache(lookup_dir, memory_mb=64)
+        hot_cache.preload(memory=True)
+        hot_wall = _best_wall(lambda: hot_cache.lookup_many(keys))
+        if hot_cache.stats.memory_hits == 0:
+            raise RuntimeError("hot tier never served a lookup")
+        hot_cache.close()
+    finally:
+        shutil.rmtree(lookup_dir, ignore_errors=True)
+    hot_speedup = disk_wall / hot_wall if hot_wall > 0 else float("inf")
+    lookup_row = {
+        "entries": CACHE_LOOKUP_ENTRIES,
+        "disk": {"wall_s": round(disk_wall, 6),
+                 "per_key_us": round(1e6 * disk_wall
+                                     / CACHE_LOOKUP_ENTRIES, 2)},
+        "hot": {"wall_s": round(hot_wall, 6),
+                "per_key_us": round(1e6 * hot_wall
+                                    / CACHE_LOOKUP_ENTRIES, 2)},
+        "hot_speedup": round(hot_speedup, 2),
+    }
+    print(f"  [lookup] disk {disk_wall * 1e3:.2f} ms, "
+          f"hot {hot_wall * 1e3:.2f} ms over {CACHE_LOOKUP_ENTRIES} "
+          f"keys ({hot_speedup:.1f}x hot speedup)")
+
+    bodies = []
+    schemes = [None, "powersgd:rank=4", "powersgd:rank=8", "signsgd"]
+    for i in range(requests):
+        body = {"model": "resnet50", "gpus": 8, "iterations": 300,
+                "seed": i // len(schemes)}
+        spec = schemes[i % len(schemes)]
+        if spec is not None:
+            body["scheme"] = spec
+        bodies.append(body)
+    cache_dir = tempfile.mkdtemp(prefix="bench-cache-serving-")
+
+    def burst(preload: bool) -> dict:
+        cache = SimulationCache(cache_dir, memory_mb=64)
+        if preload:
+            cache.preload(memory=True)
+        engine = ExperimentEngine(jobs=1, cache=cache, sim_mode="auto")
+        scheduler = ServingScheduler(engine=engine,
+                                     queue_depth=requests + 8,
+                                     batch_window_s=0.005,
+                                     max_batch_requests=64,
+                                     default_timeout_s=120.0)
+        try:
+            started = time.perf_counter()
+            ids = [scheduler.submit(parse_request("simulate", body)).id
+                   for body in bodies]
+            states = [scheduler.wait(i, timeout_s=120.0) for i in ids]
+            wall = time.perf_counter() - started
+        finally:
+            scheduler.close()
+            cache.close()
+        bad = [s for s in states if s.status != "done"]
+        if bad:
+            raise RuntimeError(
+                f"{len(bad)} cache-burst request(s) did not finish "
+                f"(first: {bad[0].status}: {bad[0].error})")
+        latencies = sorted(s.finished_unix - s.submitted_unix
+                           for s in states)
+        p50 = latencies[int(round(0.50 * (len(latencies) - 1)))]
+        return {
+            "requests": len(states),
+            "wall_s": round(wall, 4),
+            "requests_per_s": round(len(states) / wall, 1),
+            "p50_latency_s": round(p50, 4),
+        }
+
+    try:
+        burst(preload=False)  # cold: populates the pack tier
+        warm = burst(preload=False)
+        preloaded = burst(preload=True)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    ratio = (preloaded["p50_latency_s"] / warm["p50_latency_s"]
+             if warm["p50_latency_s"] > 0 else 1.0)
+    burst_row = {
+        "burst": requests,
+        "warm": warm,
+        "preloaded": preloaded,
+        "preload_p50_ratio": round(ratio, 3),
+    }
+    print(f"  [preload_burst] warm p50 "
+          f"{warm['p50_latency_s'] * 1e3:.1f} ms, preloaded p50 "
+          f"{preloaded['p50_latency_s'] * 1e3:.1f} ms "
+          f"({ratio:.2f}x ratio)")
+    return {"lookup": lookup_row, "preload_burst": burst_row}
+
+
 def build_report(rows: Dict[str, dict], whatif_rows: Dict[str, dict],
                  faulted_rows: Dict[str, dict],
                  traced_rows: Dict[str, dict],
                  serving_rows: Dict[str, dict],
+                 cache_rows: Dict[str, dict],
                  previous: Optional[dict] = None) -> dict:
     """Wrap measured rows in the BENCH_simulator.json schema.
 
@@ -473,9 +628,10 @@ def build_report(rows: Dict[str, dict], whatif_rows: Dict[str, dict],
         "faulted": faulted_rows,
         "traced": traced_rows,
         "serving": serving_rows,
+        "cache": cache_rows,
     })
     return {
-        "schema": 5,
+        "schema": 6,
         "generated_by": "tools/bench_simulator.py",
         "protocol": {
             "modes": MODES,
@@ -491,6 +647,7 @@ def build_report(rows: Dict[str, dict], whatif_rows: Dict[str, dict],
         "faulted": faulted_rows,
         "traced": traced_rows,
         "serving": serving_rows,
+        "cache": cache_rows,
         "history": history,
     }
 
@@ -577,6 +734,36 @@ def check(baseline_path: str, exhibits: List[str],
         if cur_ratio > limit:
             failed.append(f"serving:{name}")
 
+    base_cache = baseline.get("cache", {})
+    print(f"re-measuring cache section (floor "
+          f"{CACHE_MIN_HOT_SPEEDUP:g}x hot-vs-disk lookup, ceiling "
+          f"{CACHE_PRELOAD_MAX_P50_RATIO:g}x preloaded-vs-warm p50)")
+    cache_rows = measure_cache()
+    lookup = cache_rows["lookup"]
+    cur_ratio = (lookup["hot"]["wall_s"] / lookup["disk"]["wall_s"]
+                 if lookup["disk"]["wall_s"] > 0 else 1.0)
+    limits = [1.0 / CACHE_MIN_HOT_SPEEDUP]
+    base_lookup = base_cache.get("lookup")
+    if base_lookup is not None and base_lookup["disk"]["wall_s"] > 0:
+        limits.append(tolerance * base_lookup["hot"]["wall_s"]
+                      / base_lookup["disk"]["wall_s"])
+    limit = min(limits)
+    verdict = "ok" if cur_ratio <= limit else "REGRESSED"
+    print(f"  [lookup] hot/disk ratio {cur_ratio:.4f} "
+          f"(limit {limit:.4f}) {verdict}")
+    if cur_ratio > limit:
+        failed.append("cache:lookup")
+    burst_row = cache_rows["preload_burst"]
+    # Absolute ceiling (like the traced section): the ratio sits near
+    # 1.0, so a baseline-relative limit would be pure timer noise.
+    verdict = ("ok" if burst_row["preload_p50_ratio"]
+               <= CACHE_PRELOAD_MAX_P50_RATIO else "REGRESSED")
+    print(f"  [preload_burst] preloaded/warm p50 ratio "
+          f"{burst_row['preload_p50_ratio']:.3f} "
+          f"(ceiling {CACHE_PRELOAD_MAX_P50_RATIO:g}) {verdict}")
+    if burst_row["preload_p50_ratio"] > CACHE_PRELOAD_MAX_P50_RATIO:
+        failed.append("cache:preload_burst")
+
     print(f"re-measuring traced section (ceiling "
           f"{TRACED_MAX_OVERHEAD:g}x traced-vs-plain)")
     for name, row in measure_traced().items():
@@ -643,8 +830,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     traced_rows = measure_traced()
     print("measuring the serving section (scheduler burst, cold vs warm)")
     serving_rows = measure_serving()
+    print("measuring the cache section (tier lookups, preloaded burst)")
+    cache_rows = measure_cache()
     report = build_report(rows, whatif_rows, faulted_rows,
-                          traced_rows, serving_rows, previous)
+                          traced_rows, serving_rows, cache_rows,
+                          previous)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
