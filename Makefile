@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke trace-smoke serve-smoke cache-smoke examples
+.PHONY: test lint bench bench-smoke trace-smoke serve-smoke cache-smoke advise-smoke examples
 
 ## tier-1: the fast unit/behaviour suite (benchmarks/ excluded)
 test:
@@ -48,6 +48,13 @@ trace-smoke:
 ## tenant, and a /metrics page that passes the Prometheus validator
 serve-smoke:
 	$(PYTHON) tools/check_serving.py
+
+## the auto-advisor end to end: a default `repro advise` run sweeping
+## >= 1M configurations, byte-parity of sharded-parallel (--jobs 2)
+## vs serial output, and a `POST /v1/advise` round trip whose rendered
+## report matches the offline CLI byte-for-byte
+advise-smoke:
+	$(PYTHON) tools/check_advise.py
 
 ## the tiered-cache roundtrip on a real cache directory: a cold sweep
 ## populates packs, the same entries replayed from a legacy-era layout

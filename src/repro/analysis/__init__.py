@@ -1,5 +1,19 @@
-"""Post-hoc analyses: blocked-time bottlenecks, model sensitivity."""
+"""Post-hoc analyses: blocked-time bottlenecks, model sensitivity, and
+the auto-advisor's sharded Pareto sweep."""
 
+from .advisor import (
+    AdvisorReport,
+    FrontierPoint,
+    SweepPlan,
+    SweepSpec,
+    advise,
+    candidate_grid,
+    compression_error,
+    finish_sweep,
+    merge_frontiers,
+    pareto_mask,
+    plan_sweep,
+)
 from .bottleneck import (
     BlockedTimeReport,
     TimeBreakdown,
@@ -12,4 +26,8 @@ __all__ = [
     "TimeBreakdown", "time_breakdown",
     "BlockedTimeReport", "blocked_time_analysis",
     "Sensitivities", "model_sensitivities", "DEFAULT_EPSILON",
+    "AdvisorReport", "FrontierPoint", "SweepPlan", "SweepSpec",
+    "advise", "plan_sweep", "finish_sweep",
+    "candidate_grid", "compression_error", "merge_frontiers",
+    "pareto_mask",
 ]

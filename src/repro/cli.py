@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands mirror the library's main workflows:
+Eight subcommands mirror the library's main workflows:
 
 * ``experiment`` — regenerate a paper exhibit (table1..fig13, or
   ``all``); with ``--cache`` a ``manifest.json`` provenance record is
@@ -10,6 +10,11 @@ Seven subcommands mirror the library's main workflows:
   simulator streams — as one Perfetto-loadable file;
 * ``recommend`` — §7 advisor: which scheme (if any) for a model on a
   cluster;
+* ``advise`` — the auto-advisor: sweep the full scheme ×
+  hyperparameter × world-size × bandwidth grid (over a million configs
+  by default) in bounded engine shards, reduce to the Pareto frontier
+  of iteration time vs compression error, and refine survivors with
+  exact break-even bandwidths plus a ranked recommendation;
 * ``whatif`` — bandwidth / compute sweeps for one scheme;
 * ``simulate`` — one simulated configuration with a timeline trace;
   ``--trace out.json`` exports a Perfetto-loadable multi-worker trace
@@ -217,6 +222,34 @@ def cmd_recommend(args: argparse.Namespace) -> int:
             cluster.instance.with_network_gbps(args.bandwidth))
     rec = recommend(model, cluster, batch_size=args.batch)
     print(rec.render())
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    """Run the auto-advisor's sharded Pareto sweep and print the report.
+
+    Output contains no timings or worker counts, so it is
+    byte-identical for any ``--jobs`` value — the determinism smoke
+    gates diff it directly.
+    """
+    from .analysis import SweepSpec, advise
+
+    model = get_model(args.model)
+    cluster = cluster_for_gpus(args.gpus)
+    if args.bandwidth is not None:
+        cluster = cluster.with_instance(
+            cluster.instance.with_network_gbps(args.bandwidth))
+    spec = SweepSpec(world_sizes=tuple(args.world_sizes),
+                     min_bandwidth_gbps=args.min_bandwidth,
+                     max_bandwidth_gbps=args.max_bandwidth,
+                     bandwidth_points=args.bandwidth_points,
+                     shard_points=args.shard_points)
+    cache = (SimulationCache(args.cache, memory_mb=args.cache_mem_mb)
+             if args.cache else None)
+    engine = ExperimentEngine(jobs=args.jobs, cache=cache)
+    report = advise(model, cluster, batch_size=args.batch, spec=spec,
+                    engine=engine)
+    print(report.render(top=args.top))
     return 0
 
 
@@ -491,6 +524,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--bandwidth", type=float, default=None,
                        help="NIC Gbit/s (default: p3.8xlarge's 10)")
     p_rec.set_defaults(fn=cmd_recommend)
+
+    p_adv = sub.add_parser("advise",
+                           help="sharded Pareto sweep over the full "
+                                "scheme x hyperparameter grid")
+    _add_model_args(p_adv)
+    p_adv.add_argument("--bandwidth", type=float, default=None,
+                       help="calibration NIC Gbit/s (default: "
+                            "p3.8xlarge's 10)")
+    p_adv.add_argument("--world-sizes", type=int, nargs="+",
+                       default=[8, 16, 32, 64], metavar="P",
+                       help="world sizes to sweep (default: 8 16 32 64)")
+    p_adv.add_argument("--min-bandwidth", type=float, default=1.0,
+                       metavar="GBPS",
+                       help="sweep lower bound in Gbit/s (default: 1)")
+    p_adv.add_argument("--max-bandwidth", type=float, default=30.0,
+                       metavar="GBPS",
+                       help="sweep upper bound in Gbit/s (default: 30)")
+    p_adv.add_argument("--bandwidth-points", type=int, default=8192,
+                       metavar="N",
+                       help="bandwidth samples per (candidate, world "
+                            "size) pair; the default grid prices over "
+                            "1.5M configs (default: 8192)")
+    p_adv.add_argument("--shard-points", type=int, default=4096,
+                       metavar="N",
+                       help="bandwidth points per engine shard — the "
+                            "bounded-memory unit of work (default: 4096)")
+    p_adv.add_argument("--top", type=int, default=12, metavar="N",
+                       help="frontier rows to print (default: 12)")
+    p_adv.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for shard pricing "
+                            "(default: 1, serial; output is "
+                            "byte-identical for any value)")
+    p_adv.add_argument("--cache", default=None, metavar="DIR",
+                       help="content-addressed shard result cache "
+                            "(default: off)")
+    p_adv.add_argument("--cache-mem-mb", type=float, default=0.0,
+                       metavar="MB",
+                       help="in-process hot tier for the cache "
+                            "(default: 0, disabled)")
+    p_adv.set_defaults(fn=cmd_advise)
 
     p_what = sub.add_parser("whatif", help="bandwidth/compute sweeps")
     _add_model_args(p_what)

@@ -25,6 +25,7 @@ from .natural import EFSignCompressor, NaturalCompressor
 from .quantization import OneBitCompressor, QSGDCompressor, TernGradCompressor
 from .registry import (
     available_methods,
+    available_schemes,
     make_aggregator,
     make_compressor,
     make_scheme,
@@ -78,5 +79,5 @@ __all__ = [
     "HybridPowerSGDScheme",
     "NaturalCompressor", "EFSignCompressor",
     "make_compressor", "make_scheme", "make_aggregator", "available_methods",
-    "scheme_from_spec",
+    "available_schemes", "scheme_from_spec",
 ]

@@ -162,3 +162,15 @@ def make_aggregator(name: str, num_workers: int, **params: Any) -> Aggregator:
 def available_methods() -> List[str]:
     """Sorted names of all registered compression methods."""
     return sorted(_COMPRESSORS)
+
+
+def available_schemes() -> List[str]:
+    """Sorted names of all registered cost schemes.
+
+    The scheme-level companion of :func:`available_methods`: the names
+    :func:`make_scheme` accepts.  The advisor enumerates its candidate
+    grid from this list, so registering a scheme here is all it takes
+    for the scheme to show up in ``repro advise`` and, via
+    :func:`repro.core.advisor.default_candidates`, ``repro recommend``.
+    """
+    return sorted(_SCHEMES)

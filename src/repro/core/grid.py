@@ -98,14 +98,56 @@ class TimingGrid:
         )
 
 
-def _count_grid_points(shape: Tuple[int, ...]) -> None:
-    """Advance ``grid_eval_points_total`` by one per grid cell."""
+#: Largest grid one call may materialize.  A :class:`TimingGrid` holds
+#: four float64 arrays, so this bound caps a single evaluation at about
+#: 512 MB; anything larger must be sliced into shards (the advisor's
+#: sweep slices its bandwidth axis, see :mod:`repro.analysis.advisor`).
+MAX_GRID_POINTS = 1 << 24
+
+
+def _count_grid_points(shape: Tuple[int, ...],
+                       axes: Optional[dict] = None) -> None:
+    """Gate grid size and advance ``grid_eval_points_total``.
+
+    Grids beyond :data:`MAX_GRID_POINTS` raise a
+    :class:`ConfigurationError` that names the offending axes (largest
+    first) and suggests a shard size for the dominant one, instead of
+    letting the caller hit an opaque allocation failure; ``axes`` maps
+    axis name to requested length for that message.
+    """
+    cells = int(np.prod(shape))
+    if cells > MAX_GRID_POINTS:
+        named = sorted((axes or {}).items(), key=lambda kv: (-kv[1], kv[0]))
+        wide = [(name, size) for name, size in named if size > 1]
+        detail = ("; largest axes: "
+                  + ", ".join(f"{name} ({size:,} points)"
+                              for name, size in wide[:3]) if wide else "")
+        if wide:
+            big_name, big_size = wide[0]
+            fit = max(1, MAX_GRID_POINTS * big_size // cells)
+            hint = (f"; evaluate in bounded shards instead — slice "
+                    f"{big_name} into runs of <= {fit:,} points per call "
+                    f"(repro.analysis.advisor shards its bandwidth axis "
+                    f"this way)")
+        else:
+            hint = "; evaluate in bounded shards instead"
+        raise ConfigurationError(
+            f"grid has {cells:,} cells, over the {MAX_GRID_POINTS:,}-cell "
+            f"per-call limit{detail}{hint}")
     registry = get_registry()
     if not registry.enabled:
         return
-    cells = int(np.prod(shape))
     if cells:
         registry.counter("grid_eval_points_total").inc(cells)
+
+
+def _axis_sizes(bw: np.ndarray, p: np.ndarray, factor: np.ndarray,
+                bs: np.ndarray) -> dict:
+    """Axis-name → requested length, for oversize-grid diagnostics."""
+    return {"bandwidth_bytes_per_s": int(bw.size),
+            "world_size": int(p.size),
+            "compute_factor": int(factor.size),
+            "batch_size": int(bs.size)}
 
 
 def _axes(model: ModelSpec, inputs: PerfModelInputs,
@@ -224,7 +266,7 @@ def syncsgd_time_grid(model: ModelSpec, inputs: PerfModelInputs,
     bw, p, factor, bs = _axes(model, inputs, bandwidth_bytes_per_s,
                               world_size, compute_factor, batch_size)
     shape = np.broadcast_shapes(bw.shape, p.shape, factor.shape, bs.shape)
-    _count_grid_points(shape)
+    _count_grid_points(shape, _axis_sizes(bw, p, factor, bs))
     t_comp = backward_time_grid(model, gpu, bs, factor)
 
     bucket_sizes = model.bucket_sizes_bytes(inputs.bucket_cap_bytes)
@@ -267,7 +309,7 @@ def compressed_time_grid(model: ModelSpec, scheme: Scheme,
     bw, p, factor, bs = _axes(model, inputs, bandwidth_bytes_per_s,
                               world_size, compute_factor, batch_size)
     shape = np.broadcast_shapes(bw.shape, p.shape, factor.shape, bs.shape)
-    _count_grid_points(shape)
+    _count_grid_points(shape, _axis_sizes(bw, p, factor, bs))
     t_comp = backward_time_grid(model, gpu, bs, factor)
     if compute_factor is not None:
         # The scalar compute sweep prices encode/decode on
@@ -338,7 +380,7 @@ def tradeoff_time_grid(model: ModelSpec, base_scheme: Scheme,
         raise ConfigurationError(
             f"l must be >= 1, got {float(l_arr.min())}")
     shape = np.broadcast_shapes(k_arr.shape, l_arr.shape)
-    _count_grid_points(shape)
+    _count_grid_points(shape, {"k": int(k_arr.size), "l": int(l_arr.size)})
 
     bs = inputs.batch_size or model.default_batch_size
     t_comp = backward_time_grid(model, gpu, np.asarray(bs),

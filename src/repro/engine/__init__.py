@@ -5,9 +5,16 @@ DIR`` and the experiment modules' grids: build :class:`SimJob` values,
 hand them to an :class:`ExperimentEngine`, get outcomes back in order.
 Closed-form what-if evaluations ride the same engine as
 :class:`ModelEvalJob` batches — cached per point, evaluated per family
-through the grid kernel.
+through the grid kernel — and the auto-advisor's bounded pricing
+shards as :class:`AdvisorShardJob` batches.
 """
 
+from .advisorjobs import (
+    AdvisorShardJob,
+    AdvisorShardOutcome,
+    AdvisorShardResult,
+    evaluate_advisor_family,
+)
 from .cache import CacheStats, SimulationCache
 from .engine import EngineStats, ExperimentEngine, JobOutcome, SimJob
 from .memcache import MemoryCache
@@ -29,6 +36,8 @@ __all__ = [
     "MemoryCache", "PackLocation", "PackStore",
     "EngineStats", "ExperimentEngine", "JobOutcome", "SimJob",
     "ModelEvalJob", "ModelEvalOutcome", "evaluate_family",
+    "AdvisorShardJob", "AdvisorShardOutcome", "AdvisorShardResult",
+    "evaluate_advisor_family",
     "FINGERPRINT_VERSION", "digest",
     "model_fingerprint", "scheme_fingerprint", "cluster_fingerprint",
     "fabric_fingerprint", "config_fingerprint", "profile_fingerprint",

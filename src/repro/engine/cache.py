@@ -55,12 +55,15 @@ from ..simulator import TimingResult
 from ..telemetry.logs import get_logger
 from ..telemetry.metrics import get_registry
 from ..telemetry.tracing import get_tracer
+from .advisorjobs import AdvisorShardResult
 from .memcache import MemoryCache, payload_nbytes
 from .pack import PackStore
 
 #: What a cache lookup can yield: a simulated result, the deterministic
-#: OOM, or a closed-form model prediction (``ModelEvalJob`` entries).
-CachedOutcome = Union[TimingResult, OutOfMemoryError, PredictedTime]
+#: OOM, a closed-form model prediction (``ModelEvalJob`` entries), or
+#: an advisor pricing shard (``AdvisorShardJob`` entries).
+CachedOutcome = Union[TimingResult, OutOfMemoryError, PredictedTime,
+                      AdvisorShardResult]
 
 #: Legacy per-key entries are ``<sha256-hex>.json`` — the pattern keeps
 #: sidecar files (``manifest.json``) out of entry counts and compaction.
@@ -204,12 +207,32 @@ def payload_to_predicted(payload: dict) -> PredictedTime:
     )
 
 
+def advisor_shard_to_payload(shard: AdvisorShardResult) -> dict:
+    """JSON-serializable form of an advisor pricing-shard cache entry.
+
+    Like :func:`predicted_to_payload`, the floats survive the JSON
+    round trip exactly, so a warm-cache ``repro advise`` reproduces its
+    cold run byte for byte.
+    """
+    return {
+        "kind": "advisor-shard",
+        "total_s": list(shard.total_s),
+    }
+
+
+def payload_to_advisor_shard(payload: dict) -> AdvisorShardResult:
+    """Inverse of :func:`advisor_shard_to_payload`."""
+    return AdvisorShardResult(total_s=tuple(payload["total_s"]))
+
+
 def outcome_to_payload(outcome: CachedOutcome) -> dict:
     """The JSON payload for any cacheable outcome kind."""
     if isinstance(outcome, TimingResult):
         return result_to_payload(outcome)
     if isinstance(outcome, PredictedTime):
         return predicted_to_payload(outcome)
+    if isinstance(outcome, AdvisorShardResult):
+        return advisor_shard_to_payload(outcome)
     return oom_to_payload(outcome)
 
 
@@ -224,6 +247,8 @@ def payload_to_outcome(payload: dict) -> CachedOutcome:
         return payload_to_oom(payload)
     if kind == "predicted":
         return payload_to_predicted(payload)
+    if kind == "advisor-shard":
+        return payload_to_advisor_shard(payload)
     raise KeyError(kind)
 
 
@@ -389,7 +414,7 @@ class SimulationCache:
                 payload = json.load(handle)
             if not isinstance(payload, dict) \
                     or payload.get("kind") not in (
-                        "result", "oom", "predicted"):
+                        "result", "oom", "predicted", "advisor-shard"):
                 raise KeyError(payload.get("kind")
                                if isinstance(payload, dict) else None)
         except FileNotFoundError:

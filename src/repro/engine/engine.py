@@ -50,6 +50,13 @@ from ..telemetry.tracing import (
     get_tracer,
     set_tracer,
 )
+from .advisorjobs import (
+    AdvisorShardJob,
+    AdvisorShardOutcome,
+    AdvisorShardResult,
+    _execute_advisor_family,
+    evaluate_advisor_family,
+)
 from .cache import CacheStats, SimulationCache
 from .fingerprint import (
     FINGERPRINT_VERSION,
@@ -836,14 +843,43 @@ class ExperimentEngine:
         the engine's reentrant submission lock.
         """
         with self._submission_lock:
-            return self._run_model_outcomes_locked(batch)
+            return self._run_eval_batch(
+                batch, hit_type=PredictedTime, outcome_cls=ModelEvalOutcome,
+                family_fn=evaluate_family, pool_fn=_execute_model_family)
 
-    def _run_model_outcomes_locked(self, batch: Sequence[ModelEvalJob],
-                                   ) -> List[ModelEvalOutcome]:
-        """The body of :meth:`run_model_outcomes`, lock already held."""
+    def run_advisor_outcomes(self, batch: Sequence[AdvisorShardJob],
+                             ) -> List[AdvisorShardOutcome]:
+        """Evaluate advisor pricing shards; outcomes in input order.
+
+        Same contract and machinery as :meth:`run_model_outcomes` —
+        per-shard cache entries, candidate families pooled one task
+        each — except a family's members each run their own bounded
+        grid call instead of fusing into one
+        (:func:`~repro.engine.advisorjobs.evaluate_advisor_family`).
+        Thread-safe and reentrant: the advisor pricer may run inside a
+        scheduler batch that already holds the submission lock.
+        """
+        with self._submission_lock:
+            return self._run_eval_batch(
+                batch, hit_type=AdvisorShardResult,
+                outcome_cls=AdvisorShardOutcome,
+                family_fn=evaluate_advisor_family,
+                pool_fn=_execute_advisor_family)
+
+    def _run_eval_batch(self, batch: Sequence, hit_type: type,
+                        outcome_cls: type, family_fn: Callable,
+                        pool_fn: Callable) -> List:
+        """Shared body of the closed-form batch entry points, lock held.
+
+        ``hit_type`` screens cache hits (a key collision with another
+        outcome kind reads as a miss), ``outcome_cls`` wraps results
+        (:class:`ModelEvalOutcome` / :class:`AdvisorShardOutcome` share
+        a constructor), ``family_fn`` evaluates one family in-process
+        and ``pool_fn`` is its process-pool entry point.
+        """
         start = time.perf_counter()
         jobs = list(batch)
-        outcomes: List[Optional[ModelEvalOutcome]] = [None] * len(jobs)
+        outcomes: List[Optional[object]] = [None] * len(jobs)
         keys: List[Optional[str]] = [None] * len(jobs)
         miss_indices: List[int] = []
         if self.cache is not None:
@@ -854,9 +890,9 @@ class ExperimentEngine:
                 [key for key in keys if key is not None])
             for i, job in enumerate(jobs):
                 hit = hits.get(keys[i])
-                if isinstance(hit, PredictedTime):
-                    outcomes[i] = ModelEvalOutcome(job=job, result=hit,
-                                                   cached=True)
+                if isinstance(hit, hit_type):
+                    outcomes[i] = outcome_cls(job=job, result=hit,
+                                              cached=True)
                 else:
                     miss_indices.append(i)
         else:
@@ -876,17 +912,20 @@ class ExperimentEngine:
         if groups:
             if self.jobs > 1 and len(groups) > 1:
                 workers = min(self.jobs, len(groups), (os.cpu_count() or 1))
-                evaluated = self._eval_families_pooled(jobs, groups, workers)
+                evaluated = self._eval_families_pooled(
+                    jobs, groups, workers, family_fn=family_fn,
+                    pool_fn=pool_fn)
             else:
-                evaluated = [self._eval_family_inprocess(jobs, group)
+                evaluated = [self._eval_family_inprocess(jobs, group,
+                                                         family_fn)
                              for group in groups]
             self.executed += len(miss_indices)
             self.jobs_chunked += chunked
-            store_entries: List[Tuple[str, PredictedTime]] = []
+            store_entries: List[Tuple[str, object]] = []
             for group, (results, errors, elapsed) in zip(groups, evaluated):
                 share = elapsed / len(group)
                 for offset, i in enumerate(group):
-                    outcome = ModelEvalOutcome(
+                    outcome = outcome_cls(
                         job=jobs[i], result=results[offset],
                         error=errors[offset], exec_s=share)
                     outcomes[i] = outcome
@@ -909,11 +948,12 @@ class ExperimentEngine:
         self._record_model_batch(outcomes, chunked)
         return [o for o in outcomes if o is not None]
 
-    def _eval_family_inprocess(self, jobs: Sequence[ModelEvalJob],
+    def _eval_family_inprocess(self, jobs: Sequence,
                                group: Sequence[int],
-                               ) -> Tuple[List[Optional[PredictedTime]],
+                               family_fn: Callable = evaluate_family,
+                               ) -> Tuple[List[Optional[object]],
                                           List[Optional[Exception]], float]:
-        """One family, one grid call, in this process.
+        """One family, one ``family_fn`` call, in this process.
 
         If the family call raises, fall back to per-point evaluation so
         only the offending job(s) fail — the rest of the family still
@@ -925,8 +965,7 @@ class ExperimentEngine:
                                    track="engine", size=str(len(members)))
         started = time.perf_counter()
         try:
-            results: List[Optional[PredictedTime]] = list(
-                evaluate_family(members))
+            results: List[Optional[object]] = list(family_fn(members))
             errors: List[Optional[Exception]] = [None] * len(members)
         except Exception:  # noqa: BLE001 - isolated per point below
             results, errors = [], []
@@ -944,9 +983,11 @@ class ExperimentEngine:
         tracer.finish(family_span)
         return results, errors, time.perf_counter() - started
 
-    def _eval_families_pooled(self, jobs: Sequence[ModelEvalJob],
+    def _eval_families_pooled(self, jobs: Sequence,
                               groups: Sequence[Sequence[int]], workers: int,
-                              ) -> List[Tuple[List[Optional[PredictedTime]],
+                              family_fn: Callable = evaluate_family,
+                              pool_fn: Callable = _execute_model_family,
+                              ) -> List[Tuple[List[Optional[object]],
                                               List[Optional[Exception]],
                                               float]]:
         """One pool task per family; any failed task (a died worker, a
@@ -969,11 +1010,10 @@ class ExperimentEngine:
                     futures.append(pool.submit(
                         _traced_call,
                         (tracer.trace_id, span.span_id, time.time()),
-                        _execute_model_family, members))
+                        pool_fn, members))
                 else:
                     fam_spans.append(None)
-                    futures.append(pool.submit(_execute_model_family,
-                                               members))
+                    futures.append(pool.submit(pool_fn, members))
             for group, future, span in zip(groups, futures, fam_spans):
                 try:
                     out = future.result()
@@ -986,7 +1026,7 @@ class ExperimentEngine:
                         "engine.model_family_retry", size=len(group),
                         reason=f"{type(exc).__name__}: {exc}")
                     evaluated.append(
-                        self._eval_family_inprocess(jobs, group))
+                        self._eval_family_inprocess(jobs, group, family_fn))
                     continue
                 finally:
                     if span is not None:

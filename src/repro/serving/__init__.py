@@ -11,6 +11,7 @@ from .http import MAX_BODY_BYTES, ServingHandler, ServingHTTPServer, make_server
 from .quota import AdmissionError, TenantQuotas, TokenBucket
 from .requests import (
     MAX_SEEDS_PER_REQUEST,
+    AdviseRequest,
     SimulateRequest,
     WhatIfRequest,
     parse_request,
@@ -19,7 +20,7 @@ from .scheduler import TERMINAL_STATES, RequestState, ServingScheduler
 
 __all__ = [
     "AdmissionError", "TokenBucket", "TenantQuotas",
-    "WhatIfRequest", "SimulateRequest", "parse_request",
+    "WhatIfRequest", "SimulateRequest", "AdviseRequest", "parse_request",
     "MAX_SEEDS_PER_REQUEST",
     "RequestState", "ServingScheduler", "TERMINAL_STATES",
     "ServingHandler", "ServingHTTPServer", "make_server",

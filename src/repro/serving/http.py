@@ -6,6 +6,9 @@ on the scheduler's single batch thread) exposing:
 
 * ``POST /v1/whatif``   — price a cluster config (ranked advisor
   recommendation; synchronous by default);
+* ``POST /v1/advise``   — the auto-advisor's sharded Pareto sweep
+  (synchronous by default; serving-sized grid unless the client asks
+  for more);
 * ``POST /v1/simulate`` — run simulations (asynchronous by default,
   ``202`` + job id);
 * ``GET /v1/jobs/<id>`` — poll a submitted request (``?wait_s=N``
@@ -111,9 +114,11 @@ class ServingHandler(BaseHTTPRequestHandler):
                                   f"{type(exc).__name__}: {exc}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        """``/v1/whatif`` and ``/v1/simulate`` submissions."""
+        """``/v1/whatif``, ``/v1/advise``, and ``/v1/simulate``
+        submissions."""
         parsed = urlparse(self.path)
-        routes = {"/v1/whatif": "whatif", "/v1/simulate": "simulate"}
+        routes = {"/v1/whatif": "whatif", "/v1/simulate": "simulate",
+                  "/v1/advise": "advise"}
         try:
             kind = routes.get(parsed.path)
             if kind is None:

@@ -180,6 +180,80 @@ class SimulateRequest:
                    wait=wait, timeout_s=_timeout_from(body))
 
 
+@dataclass(frozen=True)
+class AdviseRequest:
+    """``POST /v1/advise`` — the sharded Pareto sweep as a service.
+
+    The JSON spelling of ``repro advise``: the scheduler expands the
+    request with :func:`repro.analysis.plan_sweep`, runs the shard jobs
+    through the shared engine inside its batch (coalescing with other
+    requests' work), and reduces with
+    :func:`repro.analysis.finish_sweep` — so the response body is the
+    CLI report's ``to_dict``, byte-identical to the offline path.
+    Serving defaults are smaller than the CLI's (512 bandwidth points
+    vs 8192) to keep request latency interactive; clients wanting the
+    full million-config sweep pass ``bandwidth_points`` explicitly.
+    """
+
+    model: ModelSpec
+    cluster: ClusterConfig
+    batch_size: Optional[int] = None
+    world_sizes: Tuple[int, ...] = (8, 16, 32, 64)
+    min_bandwidth_gbps: float = 1.0
+    max_bandwidth_gbps: float = 30.0
+    bandwidth_points: int = 512
+    shard_points: int = 256
+    top: int = 12
+    wait: bool = True
+    timeout_s: Optional[float] = None
+
+    kind = "advise"
+
+    @classmethod
+    def from_json(cls, body: Dict[str, Any]) -> "AdviseRequest":
+        """Validate and build from a decoded JSON object."""
+        _require_fields(body, ("model", "gpus", "batch", "bandwidth",
+                               "world_sizes", "min_bandwidth_gbps",
+                               "max_bandwidth_gbps", "bandwidth_points",
+                               "shard_points", "top", "wait", "timeout_s"),
+                        cls.kind)
+        world_sizes_raw = body.get("world_sizes", [8, 16, 32, 64])
+        if not isinstance(world_sizes_raw, list) or not world_sizes_raw \
+                or not all(isinstance(p, int) and not isinstance(p, bool)
+                           and p >= 1 for p in world_sizes_raw):
+            raise ConfigurationError(
+                f"world_sizes must be a non-empty list of positive ints, "
+                f"got {world_sizes_raw!r}")
+        lo = body.get("min_bandwidth_gbps", 1.0)
+        hi = body.get("max_bandwidth_gbps", 30.0)
+        for name, value in (("min_bandwidth_gbps", lo),
+                            ("max_bandwidth_gbps", hi)):
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or value <= 0:
+                raise ConfigurationError(
+                    f"{name} must be positive Gbit/s, got {value!r}")
+        points = body.get("bandwidth_points", 512)
+        shard = body.get("shard_points", 256)
+        top = body.get("top", 12)
+        for name, value, floor in (("bandwidth_points", points, 2),
+                                   ("shard_points", shard, 1),
+                                   ("top", top, 1)):
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < floor:
+                raise ConfigurationError(
+                    f"{name} must be an int >= {floor}, got {value!r}")
+        wait = body.get("wait", True)
+        if not isinstance(wait, bool):
+            raise ConfigurationError(f"wait must be a bool, got {wait!r}")
+        return cls(model=_model_from(body), cluster=_cluster_from(body),
+                   batch_size=_batch_from(body),
+                   world_sizes=tuple(world_sizes_raw),
+                   min_bandwidth_gbps=float(lo),
+                   max_bandwidth_gbps=float(hi),
+                   bandwidth_points=points, shard_points=shard, top=top,
+                   wait=wait, timeout_s=_timeout_from(body))
+
+
 def parse_request(kind: str, body: Any):
     """Dispatch a decoded JSON body to the right request class."""
     if not isinstance(body, dict):
@@ -189,4 +263,6 @@ def parse_request(kind: str, body: Any):
         return WhatIfRequest.from_json(body)
     if kind == "simulate":
         return SimulateRequest.from_json(body)
+    if kind == "advise":
+        return AdviseRequest.from_json(body)
     raise ConfigurationError(f"unknown request kind {kind!r}")

@@ -44,6 +44,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..analysis.advisor import SweepPlan, SweepSpec, finish_sweep, plan_sweep
 from ..compression.schemes import SyncSGDScheme
 from ..core import (
     CalibrationReport,
@@ -52,15 +53,15 @@ from ..core import (
     recommend_with,
     solve_crossover,
 )
-from ..engine import ExperimentEngine, ModelEvalJob, SimJob
+from ..engine import AdvisorShardJob, ExperimentEngine, ModelEvalJob, SimJob
 from ..errors import ConfigurationError
 from ..telemetry.logs import get_logger
 from ..telemetry.metrics import get_registry
 from ..telemetry.tracing import get_tracer
 from .quota import AdmissionError, TenantQuotas
-from .requests import SimulateRequest, WhatIfRequest
+from .requests import AdviseRequest, SimulateRequest, WhatIfRequest
 
-Request = Union[WhatIfRequest, SimulateRequest]
+Request = Union[WhatIfRequest, SimulateRequest, AdviseRequest]
 
 #: Terminal request states; :meth:`ServingScheduler.wait` returns when
 #: one is reached.
@@ -90,7 +91,7 @@ class RequestState:
 
     @property
     def kind(self) -> str:
-        """``"whatif"`` or ``"simulate"``."""
+        """``"whatif"``, ``"simulate"``, or ``"advise"``."""
         return self.request.kind
 
     def to_dict(self) -> Dict[str, Any]:
@@ -306,6 +307,8 @@ class ServingScheduler:
         whatif_slices: Dict[str, slice] = {}
         sim_jobs: List[SimJob] = []
         sim_slices: Dict[str, slice] = {}
+        advisor_jobs: List[AdvisorShardJob] = []
+        advisor_slices: Dict[str, slice] = {}
         for state in live:
             try:
                 if state.kind == "whatif":
@@ -314,6 +317,13 @@ class ServingScheduler:
                     start = len(whatif_jobs)
                     whatif_jobs.extend(plan["jobs"])
                     whatif_slices[state.id] = slice(start, len(whatif_jobs))
+                elif state.kind == "advise":
+                    sweep_plan = self._plan_advise(state.request)
+                    plans[state.id] = sweep_plan
+                    start = len(advisor_jobs)
+                    advisor_jobs.extend(sweep_plan.jobs)
+                    advisor_slices[state.id] = slice(start,
+                                                     len(advisor_jobs))
                 else:
                     jobs = self._plan_simulate(state.request)
                     start = len(sim_jobs)
@@ -328,12 +338,21 @@ class ServingScheduler:
         # request in the affected call — never leaves one hanging.
         model_outcomes: List[Any] = []
         sim_outcomes: List[Any] = []
+        advisor_outcomes: List[Any] = []
         try:
             if whatif_jobs:
                 model_outcomes = self.engine.run_model_outcomes(whatif_jobs)
         except Exception as exc:  # noqa: BLE001 - reported per request
             for state in live:
                 if state.status == "running" and state.id in whatif_slices:
+                    self._fail(state, exc)
+        try:
+            if advisor_jobs:
+                advisor_outcomes = self.engine.run_advisor_outcomes(
+                    advisor_jobs)
+        except Exception as exc:  # noqa: BLE001 - reported per request
+            for state in live:
+                if state.status == "running" and state.id in advisor_slices:
                     self._fail(state, exc)
         try:
             if sim_jobs:
@@ -350,6 +369,9 @@ class ServingScheduler:
                 if state.kind == "whatif":
                     outcomes = model_outcomes[whatif_slices[state.id]]
                     self._finish_whatif(state, plans[state.id], outcomes)
+                elif state.kind == "advise":
+                    outcomes = advisor_outcomes[advisor_slices[state.id]]
+                    self._finish_advise(state, plans[state.id], outcomes)
                 else:
                     outcomes = sim_outcomes[sim_slices[state.id]]
                     self._finish_simulate(state, outcomes)
@@ -456,6 +478,38 @@ class ServingScheduler:
                 state.error = "; ".join(
                     f"seed {r['seed']}: {r['error']}"
                     for r in rows if "error" in r)
+            state.finished_unix = time.time()
+            self._observe_latency(state)
+            self._cv.notify_all()
+
+    # ----- advise expansion --------------------------------------------------
+
+    def _plan_advise(self, request: AdviseRequest) -> SweepPlan:
+        """Expand one advise request into bounded shard jobs.
+
+        :func:`repro.analysis.plan_sweep` does the calibration,
+        candidate enumeration, feasibility screen, and sharding; the
+        scheduler only splices the resulting jobs into its batch so
+        concurrent sweeps coalesce through one engine call.
+        """
+        spec = SweepSpec(world_sizes=request.world_sizes,
+                         min_bandwidth_gbps=request.min_bandwidth_gbps,
+                         max_bandwidth_gbps=request.max_bandwidth_gbps,
+                         bandwidth_points=request.bandwidth_points,
+                         shard_points=request.shard_points)
+        return plan_sweep(request.model, request.cluster,
+                          batch_size=request.batch_size, spec=spec)
+
+    def _finish_advise(self, state: RequestState, plan: SweepPlan,
+                       outcomes: List[Any]) -> None:
+        request: AdviseRequest = state.request
+        report = finish_sweep(plan, outcomes)
+        body = report.to_dict()
+        body["rendered"] = report.render(top=request.top)
+        with self._cv:
+            state.rows.extend(body["frontier"])
+            state.result = body
+            state.status = "done"
             state.finished_unix = time.time()
             self._observe_latency(state)
             self._cv.notify_all()

@@ -1,0 +1,309 @@
+"""The auto-advisor: registry-driven grid, bounded shards, determinism.
+
+Covers the sweep pipeline end to end: candidate enumeration out of the
+compression registry, the oversize-grid guard's diagnostics, shard job
+validation and bit-identity with monolithic grid calls, engine caching
+of shard results, and the headline property — sharded-parallel advise
+output byte-identical to serial, through both the library API and the
+CLI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SweepSpec,
+    advise,
+    candidate_grid,
+    compression_error,
+    finish_sweep,
+    plan_sweep,
+)
+from repro.cli import main
+from repro.compression import available_schemes
+from repro.compression.registry import _SCHEMES
+from repro.compression.schemes import SyncSGDScheme
+from repro.core import PerfModelInputs
+from repro.core.advisor import default_candidates
+from repro.core.grid import MAX_GRID_POINTS, syncsgd_time_grid
+from repro.engine import (
+    AdvisorShardJob,
+    AdvisorShardResult,
+    ExperimentEngine,
+    SimulationCache,
+)
+from repro.engine.cache import outcome_to_payload, payload_to_outcome
+from repro.errors import ConfigurationError
+from repro.hardware import cluster_for_gpus
+from repro.models import get_model
+from repro.units import gbps_to_bytes_per_s
+
+SMALL = SweepSpec(world_sizes=(8, 16), bandwidth_points=32,
+                  shard_points=16)
+
+
+def small_inputs(p=8):
+    return PerfModelInputs(world_size=p,
+                           bandwidth_bytes_per_s=gbps_to_bytes_per_s(10))
+
+
+class TestCandidateGrid:
+    def test_registry_driven(self):
+        grid = candidate_grid()
+        names = {scheme.name for scheme in grid}
+        assert names == set(available_schemes())
+
+    def test_hyperparameters_expand(self):
+        grid = candidate_grid()
+        powersgd_ranks = sorted(s.rank for s in grid
+                                if s.name == "powersgd")
+        assert powersgd_ranks == [1, 2, 4, 8, 16, 32]
+        # Parameterless schemes appear exactly once.
+        assert sum(1 for s in grid if s.name == "syncsgd") == 1
+
+    def test_new_registration_appears(self, monkeypatch):
+        class MintScheme(SyncSGDScheme):
+            name = "mint"
+
+        monkeypatch.setitem(_SCHEMES, "mint", MintScheme)
+        assert "mint" in available_schemes()
+        assert any(s.name == "mint" for s in candidate_grid())
+        # ...and in the curated recommend menu too (satellite 1).
+        assert any(s.name == "mint" for s in default_candidates())
+
+    def test_default_candidates_byte_stable(self):
+        # The refactored registry-driven menu keeps the exact curated
+        # list (order included) for the built-in registry.
+        labels = [s.label for s in default_candidates()]
+        assert labels == ["syncsgd", "fp16", "powersgd(rank=4)",
+                          "powersgd(rank=8)", "topk(1%)", "signsgd"]
+
+
+class TestOversizeGuard:
+    def test_names_offending_axes_and_suggests_sharding(self):
+        bw = np.linspace(1e9, 30e9, 5000)[:, None]
+        p = np.arange(2, 4002)[None, :]
+        with pytest.raises(ConfigurationError) as err:
+            syncsgd_time_grid(get_model("resnet50"), small_inputs(),
+                              bandwidth_bytes_per_s=bw, world_size=p)
+        message = str(err.value)
+        assert f"{MAX_GRID_POINTS:,}" in message
+        assert "largest axes" in message
+        assert "bandwidth_bytes_per_s (5,000 points)" in message
+        assert "world_size (4,000 points)" in message
+        assert "slice bandwidth_bytes_per_s into runs of" in message
+        assert "repro.analysis.advisor" in message
+
+    def test_advisor_shards_never_trip_it(self):
+        # Any legal SweepSpec keeps a shard at most shard_points cells,
+        # and the spec validator caps shard_points at the guard.
+        with pytest.raises(ConfigurationError):
+            SweepSpec(shard_points=MAX_GRID_POINTS + 1)
+        spec = SweepSpec(shard_points=MAX_GRID_POINTS)
+        assert spec.shard_points <= MAX_GRID_POINTS
+
+
+class TestAdvisorShardJob:
+    def test_validation(self):
+        model = get_model("resnet50")
+        common = dict(model=model, scheme=None, inputs=small_inputs(),
+                      world_size=8, bw_lo_gbps=1.0, bw_hi_gbps=30.0)
+        with pytest.raises(ConfigurationError):
+            AdvisorShardJob(**common, bw_points=1, start=0, count=1)
+        with pytest.raises(ConfigurationError):
+            AdvisorShardJob(**common, bw_points=8, start=8, count=1)
+        with pytest.raises(ConfigurationError):
+            AdvisorShardJob(**common, bw_points=8, start=4, count=5)
+        with pytest.raises(ConfigurationError):
+            AdvisorShardJob(model=model, scheme=None,
+                            inputs=small_inputs(), world_size=0,
+                            bw_lo_gbps=1.0, bw_hi_gbps=30.0,
+                            bw_points=8, start=0, count=8)
+
+    def test_shard_concatenation_is_bit_identical_to_monolithic(self):
+        model = get_model("resnet50")
+        inputs = small_inputs()
+        points = 32
+        bw = np.linspace(1.0, 30.0, points) * 1e9 / 8.0
+        mono = syncsgd_time_grid(model, inputs,
+                                 bandwidth_bytes_per_s=bw, world_size=8)
+        pieces = []
+        for start in range(0, points, 10):
+            job = AdvisorShardJob(
+                model=model, scheme=None, inputs=inputs, world_size=8,
+                bw_lo_gbps=1.0, bw_hi_gbps=30.0, bw_points=points,
+                start=start, count=min(10, points - start))
+            pieces.extend(job.evaluate().total_s)
+        assert pieces == [float(t) for t in mono.total]
+
+    def test_fingerprint_distinguishes_slices(self):
+        model = get_model("resnet50")
+        common = dict(model=model, scheme=None, inputs=small_inputs(),
+                      world_size=8, bw_lo_gbps=1.0, bw_hi_gbps=30.0,
+                      bw_points=32)
+        a = AdvisorShardJob(**common, start=0, count=16)
+        b = AdvisorShardJob(**common, start=16, count=16)
+        assert a.fingerprint() != b.fingerprint()
+        assert a.family_key() == b.family_key()
+
+
+class TestShardCacheRoundtrip:
+    def test_payload_roundtrip(self):
+        result = AdvisorShardResult(total_s=(0.125, 0.25, 0.0625))
+        payload = outcome_to_payload(result)
+        assert payload["kind"] == "advisor-shard"
+        back = payload_to_outcome(payload)
+        assert back == result
+
+    def test_engine_cache_hits(self, tmp_path):
+        model = get_model("resnet50")
+        job = AdvisorShardJob(
+            model=model, scheme=None, inputs=small_inputs(),
+            world_size=8, bw_lo_gbps=1.0, bw_hi_gbps=30.0,
+            bw_points=8, start=0, count=8)
+        cache = SimulationCache(str(tmp_path / "cache"))
+        engine = ExperimentEngine(cache=cache)
+        first = engine.run_advisor_outcomes([job])
+        assert not first[0].cached
+        second = engine.run_advisor_outcomes([job])
+        assert second[0].cached
+        assert second[0].unwrap().total_s == first[0].unwrap().total_s
+        cache.close()
+
+
+class TestAdviseDeterminism:
+    def test_sharded_parallel_equals_serial(self):
+        model = get_model("resnet50")
+        cluster = cluster_for_gpus(32)
+        serial = advise(model, cluster, spec=SMALL,
+                        engine=ExperimentEngine(jobs=1))
+        parallel = advise(model, cluster, spec=SMALL,
+                          engine=ExperimentEngine(jobs=2))
+        assert serial.render() == parallel.render()
+        assert serial.to_dict() == parallel.to_dict()
+
+    def test_different_sharding_same_report(self):
+        model = get_model("resnet50")
+        cluster = cluster_for_gpus(32)
+        coarse = advise(model, cluster, spec=SMALL)
+        fine_spec = SweepSpec(world_sizes=(8, 16), bandwidth_points=32,
+                              shard_points=5)
+        fine = advise(model, cluster, spec=fine_spec)
+        assert [p.to_dict() for p in coarse.frontier] \
+            == [p.to_dict() for p in fine.frontier]
+        assert coarse.recommendation.render() \
+            == fine.recommendation.render()
+
+    def test_cli_output_byte_identical_across_jobs(self, capsys):
+        argv = ["advise", "--model", "resnet50", "--gpus", "32",
+                "--world-sizes", "8", "16", "--bandwidth-points", "32",
+                "--shard-points", "16"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert "Pareto frontier" in serial
+
+
+class TestSweepSemantics:
+    def test_plan_counts_and_bounds(self):
+        model = get_model("resnet50")
+        cluster = cluster_for_gpus(32)
+        plan = plan_sweep(model, cluster, spec=SMALL)
+        # Every feasible pair splits into ceil(32 / 16) = 2 shards.
+        assert all(job.count <= SMALL.shard_points for job in plan.jobs)
+        feasible_pairs = len(plan.jobs) // 2
+        assert feasible_pairs * 2 == len(plan.jobs)
+        assert len(plan.meta) == len(plan.jobs)
+
+    def test_report_invariants(self):
+        model = get_model("resnet50")
+        cluster = cluster_for_gpus(32)
+        report = advise(model, cluster, spec=SMALL)
+        assert report.configs_total == (report.candidates_total
+                                        * 2 * 32)
+        assert report.configs_priced \
+            == report.configs_total - report.infeasible_pairs * 32
+        assert len(report.frontier) >= 1
+        # syncsgd has the unique minimum error (zero wire reduction),
+        # so the baseline is always on the frontier and in the ranking.
+        assert any(pt.scheme_label == "syncsgd"
+                   for pt in report.frontier)
+        labels = [v.scheme_label
+                  for v in report.recommendation.verdicts]
+        assert "syncsgd" in labels
+        # Frontier is totally ordered by (time, error, ...).
+        keys = [(p.time_s, p.error, p.scheme_label, p.world_size,
+                 p.bandwidth_gbps) for p in report.frontier]
+        assert keys == sorted(keys)
+        # No frontier point is dominated by another (spot oracle).
+        for a in report.frontier:
+            for b in report.frontier:
+                assert not (b.time_s <= a.time_s and b.error <= a.error
+                            and (b.time_s < a.time_s
+                                 or b.error < a.error))
+
+    def test_error_proxy_bounds_and_baseline(self):
+        model = get_model("resnet50")
+        assert compression_error(model, SyncSGDScheme(), 8) == 0.0
+        for scheme in candidate_grid():
+            err = compression_error(model, scheme, 8)
+            assert 0.0 <= err <= 1.0
+
+    def test_finish_is_pure_postprocessing(self):
+        model = get_model("resnet50")
+        cluster = cluster_for_gpus(32)
+        plan = plan_sweep(model, cluster, spec=SMALL)
+        engine = ExperimentEngine()
+        outcomes = engine.run_advisor_outcomes(list(plan.jobs))
+        a = finish_sweep(plan, outcomes)
+        b = finish_sweep(plan, outcomes)
+        assert a.render() == b.render()
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_sweep(get_model("resnet50"), cluster_for_gpus(32),
+                       candidates=[])
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(world_sizes=())
+        with pytest.raises(ConfigurationError):
+            SweepSpec(min_bandwidth_gbps=5.0, max_bandwidth_gbps=2.0)
+        with pytest.raises(ConfigurationError):
+            SweepSpec(bandwidth_points=1)
+
+
+class TestServingAdvise:
+    def test_request_parsing_and_defaults(self):
+        from repro.serving import parse_request
+
+        req = parse_request("advise", {"model": "resnet50", "gpus": 32})
+        assert req.kind == "advise"
+        assert req.bandwidth_points == 512  # serving-sized default
+        with pytest.raises(ConfigurationError):
+            parse_request("advise", {"world_sizes": []})
+        with pytest.raises(ConfigurationError):
+            parse_request("advise", {"bandwidth_points": 1})
+        with pytest.raises(ConfigurationError):
+            parse_request("advise", {"nonsense": 1})
+
+    def test_scheduler_matches_offline_advise(self):
+        from repro.serving import ServingScheduler, parse_request
+
+        request = parse_request("advise", {
+            "model": "resnet50", "gpus": 32, "world_sizes": [8, 16],
+            "bandwidth_points": 32, "shard_points": 16})
+        scheduler = ServingScheduler(batch_window_s=0.0)
+        try:
+            state = scheduler.submit(request)
+            state = scheduler.wait(state.id, timeout_s=120)
+            assert state.status == "done"
+            offline = advise(get_model("resnet50"),
+                             cluster_for_gpus(32), spec=SMALL)
+            assert state.result["rendered"] == offline.render()
+            assert state.result["frontier"] \
+                == [p.to_dict() for p in offline.frontier]
+        finally:
+            scheduler.close()

@@ -66,6 +66,17 @@ path) — the preloaded burst's p50 latency must stay within
 ``CACHE_PRELOAD_MAX_P50_RATIO``x of the warm burst's.  Both gates are
 same-host ratios, so they hold on any machine.
 
+An **advisor section** measures the auto-advisor's sharded Pareto
+sweep (``repro advise``): the full default grid — every registered
+scheme × hyperparameters × world sizes × 8192 bandwidth points, over
+1.5 million configurations — priced serially through bounded engine
+shards and reduced to its frontier.  Recorded: configs/s and the
+frontier size.  ``--check`` (including the smoke subset) gates on a
+hard ``ADVISOR_MIN_CONFIGS_PER_S`` throughput floor; the sweep is pure
+vectorized pricing, so a machine slow enough to trip a 100k configs/s
+floor indicates a structural regression (per-point Python, shard
+explosion), not a slow host.
+
 Every baseline rewrite appends a timestamped entry to the ``history``
 list (exhibit + what-if rows and the host that measured them), so the
 file accumulates the perf trajectory instead of forgetting it; the
@@ -178,6 +189,13 @@ CACHE_PRELOAD_MAX_P50_RATIO = 1.5
 #: Size of the cache section's serving bursts (smaller than the
 #: serving section's: these bursts are all cache hits).
 CACHE_BURST_REQUESTS = 120
+
+#: Hard floor on the advisor section's ``configs_per_s``.  The sweep
+#: prices ~1.5M configurations through vectorized grid shards in well
+#: under a second on any modern host; dipping below 100k configs/s
+#: means a structural regression (a per-point Python loop, shard
+#: explosion, cache thrash), not a slow machine.
+ADVISOR_MIN_CONFIGS_PER_S = 100_000
 
 #: The exhibit the traced section sweeps: the largest auto-mode
 #: workload in the default set, so the fixed trace-export epilogue is
@@ -595,11 +613,54 @@ def measure_cache(requests: int = CACHE_BURST_REQUESTS) -> Dict[str, dict]:
     return {"lookup": lookup_row, "preload_burst": burst_row}
 
 
+def measure_advisor() -> Dict[str, dict]:
+    """Time the auto-advisor's full default Pareto sweep, serial + cold.
+
+    The default :class:`repro.analysis.SweepSpec` grid: every
+    registered scheme crossed with its hyperparameters, four world
+    sizes, 8192 bandwidth points — over 1.5 million configurations in
+    4096-point shards.  Reported throughput is configurations priced
+    per wall second, including the per-shard Pareto reduction and the
+    final merge/refinement; the frontier size is recorded so a sweep
+    that silently degenerates (empty or exploded frontier) is visible
+    in the baseline.
+    """
+    from repro.analysis import advise  # noqa: PLC0415 - keep import cost out
+    from repro.hardware import cluster_for_gpus  # noqa: PLC0415
+
+    model = get_model("resnet50")
+    cluster = cluster_for_gpus(32)
+    holder: Dict[str, object] = {}
+
+    def sweep() -> None:
+        holder["report"] = advise(model, cluster,
+                                  engine=ExperimentEngine(jobs=1))
+
+    wall = _best_wall(sweep)
+    report = holder["report"]
+    configs_per_s = (report.configs_priced / wall if wall > 0
+                     else float("inf"))
+    row = {
+        "configs_total": report.configs_total,
+        "configs_priced": report.configs_priced,
+        "candidates": report.candidates_total,
+        "shards": report.shards,
+        "frontier_size": len(report.frontier),
+        "wall_s": round(wall, 4),
+        "configs_per_s": round(configs_per_s, 1),
+    }
+    print(f"  [pareto_sweep] {report.configs_priced:,} configs in "
+          f"{wall:.3f} s ({configs_per_s:,.0f} configs/s, "
+          f"{report.shards} shards, frontier {len(report.frontier)})")
+    return {"pareto_sweep": row}
+
+
 def build_report(rows: Dict[str, dict], whatif_rows: Dict[str, dict],
                  faulted_rows: Dict[str, dict],
                  traced_rows: Dict[str, dict],
                  serving_rows: Dict[str, dict],
                  cache_rows: Dict[str, dict],
+                 advisor_rows: Dict[str, dict],
                  previous: Optional[dict] = None) -> dict:
     """Wrap measured rows in the BENCH_simulator.json schema.
 
@@ -629,9 +690,10 @@ def build_report(rows: Dict[str, dict], whatif_rows: Dict[str, dict],
         "traced": traced_rows,
         "serving": serving_rows,
         "cache": cache_rows,
+        "advisor": advisor_rows,
     })
     return {
-        "schema": 6,
+        "schema": 7,
         "generated_by": "tools/bench_simulator.py",
         "protocol": {
             "modes": MODES,
@@ -648,6 +710,7 @@ def build_report(rows: Dict[str, dict], whatif_rows: Dict[str, dict],
         "traced": traced_rows,
         "serving": serving_rows,
         "cache": cache_rows,
+        "advisor": advisor_rows,
         "history": history,
     }
 
@@ -764,6 +827,19 @@ def check(baseline_path: str, exhibits: List[str],
     if burst_row["preload_p50_ratio"] > CACHE_PRELOAD_MAX_P50_RATIO:
         failed.append("cache:preload_burst")
 
+    print(f"re-measuring advisor section (floor "
+          f"{ADVISOR_MIN_CONFIGS_PER_S:,} configs/s)")
+    for name, row in measure_advisor().items():
+        # Absolute floor, not baseline-relative: the sweep is pure
+        # vectorized pricing with ~20x headroom over the floor, so
+        # only a structural regression can trip it.
+        verdict = ("ok" if row["configs_per_s"]
+                   >= ADVISOR_MIN_CONFIGS_PER_S else "REGRESSED")
+        print(f"  [{name}] {row['configs_per_s']:,.0f} configs/s "
+              f"(floor {ADVISOR_MIN_CONFIGS_PER_S:,}) {verdict}")
+        if row["configs_per_s"] < ADVISOR_MIN_CONFIGS_PER_S:
+            failed.append(f"advisor:{name}")
+
     print(f"re-measuring traced section (ceiling "
           f"{TRACED_MAX_OVERHEAD:g}x traced-vs-plain)")
     for name, row in measure_traced().items():
@@ -832,9 +908,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     serving_rows = measure_serving()
     print("measuring the cache section (tier lookups, preloaded burst)")
     cache_rows = measure_cache()
+    print("measuring the advisor section (full sharded Pareto sweep)")
+    advisor_rows = measure_advisor()
     report = build_report(rows, whatif_rows, faulted_rows,
                           traced_rows, serving_rows, cache_rows,
-                          previous)
+                          advisor_rows, previous)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
